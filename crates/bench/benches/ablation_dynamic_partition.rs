@@ -1,0 +1,56 @@
+//! Ablation: static vs dynamic (phase-aware) NDM partitioning — the
+//! paper's stated future work, quantified.
+//!
+//! For each workload, profiles the run in epochs, then compares the best
+//! static placement against the migration-aware dynamic-programming
+//! schedule, printing energy and the number of migrations taken.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim_bench::{bench_scale, bench_workloads};
+use memsim_core::dynamic::{best_static_schedule, dynamic_oracle, simulate_epochs};
+use memsim_tech::Technology;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let workloads = bench_workloads(&scale);
+
+    println!("\n========== ablation: static vs dynamic NDM partitioning (PCM) ==========");
+    println!(
+        "{:<10} {:>8} {:>16} {:>16} {:>10} {:>11}",
+        "workload", "epochs", "static E (mJ)", "dynamic E (mJ)", "gain", "migrations"
+    );
+    for kind in &workloads {
+        let er = simulate_epochs(*kind, &scale, 100_000);
+        let st = best_static_schedule(&er, Technology::Pcm, &scale, 3);
+        let dy = dynamic_oracle(&er, Technology::Pcm, &scale, 3);
+        println!(
+            "{:<10} {:>8} {:>16.3} {:>16.3} {:>9.2}% {:>11}",
+            kind.name(),
+            er.epochs.len(),
+            st.metrics.energy_j() * 1e3,
+            dy.metrics.energy_j() * 1e3,
+            (1.0 - dy.metrics.energy_j() / st.metrics.energy_j()) * 100.0,
+            dy.migrations,
+        );
+    }
+    println!("(the DP may legitimately choose 0 migrations when no phase shift pays");
+    println!(" for the data movement — static placement is a special case of dynamic)");
+    println!("=========================================================================\n");
+
+    let kind = workloads[0];
+    let er = simulate_epochs(kind, &scale, 100_000);
+    c.bench_function("ablation_dynamic_partition/dp", |b| {
+        b.iter(|| black_box(dynamic_oracle(&er, Technology::Pcm, &scale, 3)))
+    });
+    c.bench_function("ablation_dynamic_partition/static", |b| {
+        b.iter(|| black_box(best_static_schedule(&er, Technology::Pcm, &scale, 3)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Ablation: L3 capacity sensitivity with self-consistent SRAM parameters.
+//!
+//! The paper fixes L3 at 20 MB (CACTI point). Using the CACTI-lite
+//! analytical model (`memsim-tech::sram_model`), this ablation co-varies
+//! the L3's capacity, latency, energy, and leakage, and reports the
+//! baseline AMAT/energy of each size — showing where extra SRAM stops
+//! paying for itself on each workload class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim_bench::bench_scale;
+use memsim_cache::{Cache, CacheConfig, Hierarchy};
+use memsim_core::{breakdown, LevelCost, Metrics};
+use memsim_memory::FlatMemory;
+use memsim_tech::{sram_cache_params, sram_model, TechParams, Technology};
+use memsim_workloads::WorkloadKind;
+use std::hint::black_box;
+
+struct Point {
+    amat_ns: f64,
+    energy_mj: f64,
+    l3_hit: f64,
+}
+
+fn run_l3(scale: &memsim_core::Scale, kind: WorkloadKind, l3_bytes: u64) -> Point {
+    let mut w = kind.build(scale.class);
+    let caches = vec![
+        Cache::new(CacheConfig::new("L1", scale.l1_bytes, 64, scale.l1_ways)),
+        Cache::new(CacheConfig::new("L2", scale.l2_bytes, 64, scale.l2_ways)),
+        Cache::new(CacheConfig::new("L3", l3_bytes, 64, 20)),
+    ];
+    let footprint = w.footprint_bytes();
+    let mut h = Hierarchy::new(caches, FlatMemory::new(Technology::Dram, footprint));
+    w.run(&mut h);
+    h.drain();
+
+    // self-consistent costing: the varied L3 uses the analytical model and
+    // represents a paper-scale array (capacity × divisor)
+    let costs = vec![
+        LevelCost::from_tech("L1", &sram_cache_params(1), scale.l1_bytes),
+        LevelCost::from_tech("L2", &sram_cache_params(2), scale.l2_bytes),
+        LevelCost::from_tech(
+            "L3",
+            &sram_model(l3_bytes * scale.capacity_divisor),
+            l3_bytes * scale.capacity_divisor,
+        ),
+        LevelCost::from_tech(
+            "DRAM",
+            &TechParams::of(Technology::Dram),
+            footprint * scale.footprint_multiplier,
+        ),
+    ];
+    let refs = h.total_refs();
+    let l3_hit = h.levels()[2].stats().hit_rate();
+    let mut stats: Vec<_> = h.levels().iter().map(|c| c.stats().clone()).collect();
+    let mut mem = h.memory().stats().clone();
+    mem.name = "DRAM".into();
+    stats.push(mem);
+    let pairs: Vec<_> = stats.iter().zip(costs.iter()).collect();
+    let m = Metrics::compute(&pairs, refs);
+    let _ = breakdown(&pairs);
+    Point { amat_ns: m.amat_ns, energy_mj: m.energy_j() * 1e3, l3_hit }
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    println!("\n========== ablation: L3 size with CACTI-lite co-varying parameters ==========");
+    for kind in [WorkloadKind::Cg, WorkloadKind::Hash] {
+        println!("\n{} (baseline hierarchy, DRAM main memory):", kind.name());
+        println!("{:>10} {:>10} {:>12} {:>10}", "L3", "AMAT (ns)", "energy (mJ)", "L3 hit%");
+        for shift in 0..5 {
+            let l3 = (scale.l3_bytes / 4) << shift; // ¼× … 4× the scale's L3
+            let p = run_l3(&scale, kind, l3);
+            println!(
+                "{:>9}K {:>10.3} {:>12.3} {:>9.2}%",
+                l3 >> 10,
+                p.amat_ns,
+                p.energy_mj,
+                p.l3_hit * 100.0
+            );
+        }
+    }
+    println!("(larger L3 buys hit rate but pays CACTI-lite latency+leakage; the knee");
+    println!(" depends on the workload's reuse-distance profile — cf. `memsim analyze`)");
+    println!("==============================================================================\n");
+
+    c.bench_function("ablation_l3_size/sim", |b| {
+        b.iter(|| black_box(run_l3(&scale, WorkloadKind::Cg, scale.l3_bytes)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation: replacement policy at the DRAM page cache.
+//!
+//! The paper's simulator uses LRU throughout. This ablation replays the
+//! same workload stream against the NMM DRAM cache under LRU, FIFO,
+//! Random, TreePLRU, and SRRIP, reporting the main-memory loads each
+//! policy lets through (lower = better filtering), and Criterion-measures
+//! per-policy simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim_bench::bench_scale;
+use memsim_cache::{Cache, CacheConfig, CountingMemory, Hierarchy, ReplacementPolicy};
+use memsim_workloads::WorkloadKind;
+use std::hint::black_box;
+
+fn build_hierarchy(
+    scale: &memsim_core::Scale,
+    policy: ReplacementPolicy,
+) -> Hierarchy<CountingMemory> {
+    let caches = vec![
+        Cache::new(CacheConfig::new(
+            "L1",
+            scale.l1_bytes,
+            scale.line_bytes,
+            scale.l1_ways,
+        )),
+        Cache::new(CacheConfig::new(
+            "L2",
+            scale.l2_bytes,
+            scale.line_bytes,
+            scale.l2_ways,
+        )),
+        Cache::new(CacheConfig::new(
+            "L3",
+            scale.l3_bytes,
+            scale.line_bytes,
+            scale.l3_ways,
+        )),
+        Cache::new(
+            CacheConfig::new("L4", scale.scaled_capacity(512 << 20), 1024, 16)
+                .with_policy(policy)
+                .with_sectors(64),
+        ),
+    ];
+    Hierarchy::new(caches, CountingMemory::default())
+}
+
+fn run_policy(
+    scale: &memsim_core::Scale,
+    kind: WorkloadKind,
+    policy: ReplacementPolicy,
+) -> (u64, u64) {
+    let mut w = kind.build(scale.class);
+    let mut h = build_hierarchy(scale, policy);
+    w.run(&mut h);
+    h.drain();
+    (h.memory().loads, h.total_refs())
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    println!("\n========== ablation: DRAM-cache replacement policy ==========");
+    for kind in [WorkloadKind::Cg, WorkloadKind::Graph500] {
+        println!(
+            "\n{} (memory loads per 1000 refs; lower is better):",
+            kind.name()
+        );
+        for policy in ReplacementPolicy::ALL {
+            let (mem_loads, refs) = run_policy(&scale, kind, policy);
+            println!(
+                "  {:<9} {:>8.3}",
+                policy.name(),
+                mem_loads as f64 * 1000.0 / refs as f64
+            );
+        }
+    }
+    println!("=============================================================\n");
+
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Srrip] {
+        c.bench_function(
+            &format!("ablation_replacement/sim_{}", policy.name()),
+            |b| b.iter(|| black_box(run_policy(&scale, WorkloadKind::Cg, policy))),
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Ablation: start-gap wear leveling on the NVM main memory.
+//!
+//! The paper defers endurance to future work; this extension quantifies
+//! the tradeoff: gap-rotation write overhead (≈ 1/ψ) against wear
+//! imbalance (max/mean writes per block), sweeping ψ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim_bench::bench_scale;
+use memsim_cache::{Cache, CacheConfig, Hierarchy};
+use memsim_memory::StartGapNvm;
+use memsim_tech::Technology;
+use memsim_trace::DEFAULT_BASE_ADDR;
+use memsim_workloads::WorkloadKind;
+use std::hint::black_box;
+
+fn run_psi(scale: &memsim_core::Scale, psi: u64) -> StartGapNvm {
+    let mut w = WorkloadKind::Hash.build(scale.class);
+    let capacity = w.footprint_bytes().next_power_of_two();
+    let caches = vec![
+        Cache::new(CacheConfig::new(
+            "L1",
+            scale.l1_bytes,
+            scale.line_bytes,
+            scale.l1_ways,
+        )),
+        Cache::new(CacheConfig::new(
+            "L2",
+            scale.l2_bytes,
+            scale.line_bytes,
+            scale.l2_ways,
+        )),
+        Cache::new(CacheConfig::new(
+            "L3",
+            scale.l3_bytes,
+            scale.line_bytes,
+            scale.l3_ways,
+        )),
+    ];
+    let mut h = Hierarchy::new(
+        caches,
+        StartGapNvm::new(Technology::Pcm, capacity, 256, DEFAULT_BASE_ADDR, psi),
+    );
+    w.run(&mut h);
+    h.drain();
+    h.into_memory()
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    println!("\n========== ablation: start-gap wear leveling (Hash -> PCM) ==========");
+    println!(
+        "{:>6} {:>14} {:>12} {:>12} {:>11}",
+        "psi", "total writes", "max/block", "imbalance", "gap moves"
+    );
+    for psi in [0u64, 16, 64, 256, 1024] {
+        let dev = run_psi(&scale, psi);
+        let s = dev.histogram().stats();
+        println!(
+            "{:>6} {:>14} {:>12} {:>12.2} {:>11}",
+            if psi == 0 {
+                "off".to_string()
+            } else {
+                psi.to_string()
+            },
+            s.total_writes,
+            s.max_writes,
+            s.imbalance(),
+            dev.gap_moves()
+        );
+    }
+    println!("(smaller psi levels wear faster but adds ~1/psi write overhead)");
+    println!("======================================================================\n");
+
+    c.bench_function("ablation_wear_leveling/psi64", |b| {
+        b.iter(|| black_box(run_psi(&scale, 64)))
+    });
+    c.bench_function("ablation_wear_leveling/off", |b| {
+        b.iter(|| black_box(run_psi(&scale, 0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 6: average normalized total energy of the 4LCNVM design across EH1-EH8.
+//!
+//! Prints the reproduced series, then Criterion-measures the analytic
+//! re-costing of the whole figure (the underlying simulations are memoized
+//! after the first pass, so the measured quantity is the model evaluation
+//! the paper's methodology performs per configuration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim_bench::{bench_ctx, print_figure};
+use memsim_core::experiments::{fig_4lcnvm, Metric};
+use memsim_core::SimCache;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cache = SimCache::new();
+    let ctx = bench_ctx(&cache);
+    let fig = fig_4lcnvm(&ctx, Metric::Energy);
+    print_figure(&fig);
+    c.bench_function("fig06_4lcnvm_energy/recost", |b| {
+        b.iter(|| black_box(fig_4lcnvm(&ctx, Metric::Energy)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

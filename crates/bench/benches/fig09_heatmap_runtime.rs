@@ -1,0 +1,37 @@
+//! Figure 9: heat map of normalized NMM runtime as a function of read and
+//! write latency multipliers (1×–20× over DRAM).
+//!
+//! Prints the reproduced grid, checks the paper's read-dominance headline,
+//! and Criterion-measures the analytic heat-map sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim_bench::bench_ctx;
+use memsim_core::experiments::fig9;
+use memsim_core::report::heatmap_to_markdown;
+use memsim_core::SimCache;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cache = SimCache::new();
+    let ctx = bench_ctx(&cache);
+    let h = fig9(&ctx);
+    println!("\n==================== reproduced fig9 ====================");
+    println!("{}", heatmap_to_markdown(&h));
+    let n = h.read_mults.len() - 1;
+    println!(
+        "read-dominance check: 20x read -> {:+.1}% vs 20x write -> {:+.1}% (paper: ~+5% at 5x read vs ~+1% at 5x write; ~17% at 20x/20x)",
+        (h.at(n, 0) - 1.0) * 100.0,
+        (h.at(0, n) - 1.0) * 100.0
+    );
+    println!("==========================================================\n");
+    c.bench_function("fig09_heatmap_runtime/sweep", |b| {
+        b.iter(|| black_box(fig9(&ctx)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

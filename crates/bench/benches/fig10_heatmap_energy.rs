@@ -1,0 +1,54 @@
+//! Figure 10: heat map of normalized NMM energy as a function of read and
+//! write energy multipliers (1×–20× over DRAM).
+//!
+//! Prints the reproduced grid, reports the break-even frontier (the paper
+//! finds up to ~9× write / ~2× read energy still at or below DRAM), and
+//! Criterion-measures the analytic sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim_bench::bench_ctx;
+use memsim_core::experiments::fig10;
+use memsim_core::report::heatmap_to_markdown;
+use memsim_core::SimCache;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cache = SimCache::new();
+    let ctx = bench_ctx(&cache);
+    let h = fig10(&ctx);
+    println!("\n==================== reproduced fig10 ====================");
+    println!("{}", heatmap_to_markdown(&h));
+    // break-even frontier: the largest multiplier on one axis (other held
+    // at 1x) whose energy stays at or below the DRAM baseline
+    let frontier = |along_write: bool| {
+        let mults = if along_write {
+            &h.write_mults
+        } else {
+            &h.read_mults
+        };
+        let mut best = None;
+        for (i, m) in mults.iter().enumerate() {
+            let v = if along_write { h.at(0, i) } else { h.at(i, 0) };
+            if v <= 1.0 {
+                best = Some(*m);
+            }
+        }
+        best
+    };
+    println!(
+        "break-even: write-energy x{:?} at read x1; read-energy x{:?} at write x1 (paper: ~9x write / ~2x read)",
+        frontier(true),
+        frontier(false)
+    );
+    println!("===========================================================\n");
+    c.bench_function("fig10_heatmap_energy/sweep", |b| {
+        b.iter(|| black_box(fig10(&ctx)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

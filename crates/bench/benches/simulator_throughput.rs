@@ -1,0 +1,109 @@
+//! Simulator throughput: references per second through the full
+//! hierarchy, on synthetic streams with controlled hit rates and on a real
+//! workload stream. This is the cost of the "online simulation" the
+//! paper's framework performs during application execution.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use memsim_bench::bench_scale;
+use memsim_cache::{Cache, CacheConfig, CountingMemory, Hierarchy};
+use memsim_trace::{TraceEvent, TraceSink};
+use memsim_workloads::WorkloadKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn full_hierarchy(scale: &memsim_core::Scale) -> Hierarchy<CountingMemory> {
+    let caches = vec![
+        Cache::new(CacheConfig::new(
+            "L1",
+            scale.l1_bytes,
+            scale.line_bytes,
+            scale.l1_ways,
+        )),
+        Cache::new(CacheConfig::new(
+            "L2",
+            scale.l2_bytes,
+            scale.line_bytes,
+            scale.l2_ways,
+        )),
+        Cache::new(CacheConfig::new(
+            "L3",
+            scale.l3_bytes,
+            scale.line_bytes,
+            scale.l3_ways,
+        )),
+        Cache::new(
+            CacheConfig::new("L4", scale.scaled_capacity(512 << 20), 1024, 16).with_sectors(64),
+        ),
+    ];
+    Hierarchy::new(caches, CountingMemory::default())
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    const N: u64 = 100_000;
+
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.throughput(Throughput::Elements(N));
+
+    // L1-resident stream: the simulator's fast path
+    g.bench_function("l1_hits", |b| {
+        let mut h = full_hierarchy(&scale);
+        b.iter(|| {
+            for i in 0..N {
+                h.access(TraceEvent::load((i % 512) * 64, 8));
+            }
+            black_box(h.total_refs())
+        })
+    });
+
+    // sequential sweep over a large range: every level fills steadily
+    g.bench_function("streaming", |b| {
+        let mut h = full_hierarchy(&scale);
+        let mut pos = 0u64;
+        b.iter(|| {
+            for _ in 0..N {
+                h.access(TraceEvent::load(pos % (256 << 20), 8));
+                pos += 8;
+            }
+            black_box(h.total_refs())
+        })
+    });
+
+    // uniform random over 256 MiB: the adversarial path (misses everywhere)
+    g.bench_function("random", |b| {
+        let mut h = full_hierarchy(&scale);
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            for _ in 0..N {
+                let addr = rng.random_range(0u64..(256 << 20)) & !7;
+                let ev = if rng.random_bool(0.3) {
+                    TraceEvent::store(addr, 8)
+                } else {
+                    TraceEvent::load(addr, 8)
+                };
+                h.access(ev);
+            }
+            black_box(h.total_refs())
+        })
+    });
+    g.finish();
+
+    // a real workload stream, end to end (construction + run)
+    c.bench_function("simulator_throughput/cg_end_to_end", |b| {
+        b.iter(|| {
+            let mut w = WorkloadKind::Cg.build(memsim_workloads::Class::Mini);
+            let mut h = full_hierarchy(&scale);
+            w.run(&mut h);
+            h.drain();
+            black_box(h.total_refs())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

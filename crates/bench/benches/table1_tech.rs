@@ -1,0 +1,37 @@
+//! Table 1: characteristics of the memory technologies, and the cost of
+//! the per-access model primitives they feed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim_bench::print_figure;
+use memsim_core::experiments::table1;
+use memsim_tech::{Multipliers, TechParams, Technology};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_figure(&table1());
+
+    c.bench_function("table1/params_lookup", |b| {
+        b.iter(|| {
+            for t in Technology::ALL {
+                black_box(TechParams::of(black_box(t)));
+            }
+        })
+    });
+    c.bench_function("table1/scaled_params", |b| {
+        let base = TechParams::of(Technology::Dram);
+        let m = Multipliers {
+            read_latency: 5.0,
+            write_latency: 2.0,
+            read_energy: 3.0,
+            write_energy: 9.0,
+        };
+        b.iter(|| black_box(base.scaled(black_box(m))))
+    });
+    c.bench_function("table1/energy_per_access", |b| {
+        let pcm = TechParams::of(Technology::Pcm);
+        b.iter(|| black_box(pcm.read_pj(black_box(4096)) + pcm.write_pj(black_box(512))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

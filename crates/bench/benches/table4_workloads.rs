@@ -1,0 +1,30 @@
+//! Table 4: characteristics of the benchmarks (footprint, reference count,
+//! modeled reference time), plus the cost of building each workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim_bench::{bench_ctx, bench_scale, print_figure};
+use memsim_core::experiments::table4;
+use memsim_core::SimCache;
+use memsim_workloads::WorkloadKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cache = SimCache::new();
+    let ctx = bench_ctx(&cache);
+    print_figure(&table4(&ctx));
+
+    let class = bench_scale().class;
+    // workload construction (generation + untraced initialization)
+    for kind in [WorkloadKind::Cg, WorkloadKind::Hash] {
+        c.bench_function(&format!("table4/build_{}", kind.name()), |b| {
+            b.iter(|| black_box(kind.build(class)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Shared support for the benchmark harness.
+//!
+//! Every bench target regenerates one table or figure of the paper — it
+//! prints the reproduced series (markdown) before running its Criterion
+//! measurement, so `cargo bench` output doubles as the reproduction log.
+//!
+//! Environment knobs:
+//!
+//! * `MEMSIM_BENCH_SCALE` — `mini` (default; smoke-sized) or `demo`
+//!   (the scale EXPERIMENTS.md numbers are reported at) or `paper`.
+//! * `MEMSIM_BENCH_WORKLOADS` — comma-separated subset; defaults to the
+//!   full Table 4 set at demo/paper scale and a fast trio at mini scale.
+
+use memsim_core::experiments::ExperimentCtx;
+use memsim_core::report::FigureData;
+use memsim_core::{Scale, SimCache};
+use memsim_workloads::WorkloadKind;
+
+/// The scale selected via `MEMSIM_BENCH_SCALE`.
+pub fn bench_scale() -> Scale {
+    match std::env::var("MEMSIM_BENCH_SCALE").as_deref() {
+        Ok("demo") => Scale::demo(),
+        Ok("paper") => Scale::paper(),
+        _ => Scale::mini(),
+    }
+}
+
+/// The workload set selected via `MEMSIM_BENCH_WORKLOADS` (or a
+/// scale-appropriate default).
+pub fn bench_workloads(scale: &Scale) -> Vec<WorkloadKind> {
+    if let Ok(list) = std::env::var("MEMSIM_BENCH_WORKLOADS") {
+        return list
+            .split(',')
+            .map(|w| WorkloadKind::parse(w).unwrap_or_else(|| panic!("unknown workload '{w}'")))
+            .collect();
+    }
+    if *scale == Scale::mini() {
+        vec![WorkloadKind::Cg, WorkloadKind::Hash, WorkloadKind::Graph500]
+    } else {
+        WorkloadKind::PAPER_SET.to_vec()
+    }
+}
+
+/// Build the experiment context for the selected scale/workloads.
+pub fn bench_ctx(cache: &SimCache) -> ExperimentCtx<'_> {
+    let scale = bench_scale();
+    let workloads = bench_workloads(&scale);
+    ExperimentCtx::new(scale, cache).with_workloads(&workloads)
+}
+
+/// Print a regenerated figure with a banner.
+pub fn print_figure(f: &FigureData) {
+    println!(
+        "\n==================== reproduced {} ====================",
+        f.id
+    );
+    println!("{}", f.to_markdown());
+    println!("========================================================\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_resolve() {
+        let s = bench_scale();
+        let w = bench_workloads(&s);
+        assert!(!w.is_empty());
+    }
+}

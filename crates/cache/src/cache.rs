@@ -1,0 +1,675 @@
+//! One write-back, write-allocate set-associative cache level.
+
+use crate::config::{CacheConfig, WritebackMissPolicy};
+use crate::policy::PolicyState;
+use crate::stats::LevelStats;
+use memsim_trace::AccessKind;
+
+const FLAG_VALID: u8 = 0b01;
+const FLAG_DIRTY: u8 = 0b10;
+
+/// Outcome of a demand access (load or store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The block was resident.
+    Hit,
+    /// The block was not resident. The caller must fetch the block from the
+    /// next level; if `evicted_dirty` is set, the caller must also write the
+    /// named block back to the next level.
+    Miss {
+        /// Base address of a dirty block displaced by the fill, if any.
+        evicted_dirty: Option<u64>,
+    },
+}
+
+/// Outcome of a writeback arriving from the level above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritebackOutcome {
+    /// The block was resident and is now dirty here.
+    HitMarkedDirty,
+    /// Not resident; per [`WritebackMissPolicy::Bypass`] the caller must
+    /// forward the writeback to the next level unchanged.
+    MissBypass,
+    /// Not resident; the block was allocated dirty here. If `evicted_dirty`
+    /// is set, the displaced dirty block must be written back below.
+    MissAllocated {
+        /// Base address of a dirty block displaced by the allocation.
+        evicted_dirty: Option<u64>,
+    },
+}
+
+/// A simulated cache level. Holds tags and line state only (no data — the
+/// simulator tracks movement, not contents).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    ways: usize,
+    block_shift: u32,
+    set_mask: u64,
+    /// `sets × ways` tags (block number >> set bits).
+    tags: Vec<u64>,
+    /// `sets × ways` VALID/DIRTY flags.
+    flags: Vec<u8>,
+    policy: PolicyState,
+    stats: LevelStats,
+    /// Per-line dirty-sector bitmasks (empty when unsectored).
+    sector_masks: Vec<u64>,
+    sector_bytes: u32,
+    sector_shift: u32,
+    /// Dirty mask of the block displaced by the most recent install, for
+    /// the hierarchy to fan out into per-sector writebacks.
+    pending_eviction_mask: u64,
+}
+
+impl Cache {
+    /// Build a cache from a validated configuration.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let sets = cfg.sets() as usize;
+        let ways = cfg.resolved_ways() as usize;
+        let sector_bytes = cfg.sector_bytes.unwrap_or(cfg.block_bytes);
+        Self {
+            sets,
+            ways,
+            block_shift: cfg.block_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            tags: vec![0; sets * ways],
+            flags: vec![0; sets * ways],
+            policy: PolicyState::new(cfg.policy, sets, ways),
+            stats: LevelStats::new(&cfg.name),
+            sector_masks: if cfg.sector_bytes.is_some() {
+                vec![0; sets * ways]
+            } else {
+                Vec::new()
+            },
+            sector_bytes,
+            sector_shift: sector_bytes.trailing_zeros(),
+            pending_eviction_mask: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this cache was built from.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Block size in bytes.
+    #[inline]
+    pub fn block_bytes(&self) -> u32 {
+        self.cfg.block_bytes
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &LevelStats {
+        &self.stats
+    }
+
+    /// Align an address down to this cache's block base.
+    #[inline]
+    pub fn block_base(&self, addr: u64) -> u64 {
+        addr >> self.block_shift << self.block_shift
+    }
+
+    #[inline]
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let block = addr >> self.block_shift;
+        let set = (block & self.set_mask) as usize;
+        let tag = block >> self.sets.trailing_zeros();
+        (set, tag)
+    }
+
+    #[inline]
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        (0..self.ways)
+            .find(|&w| self.flags[base + w] & FLAG_VALID != 0 && self.tags[base + w] == tag)
+    }
+
+    /// Reconstruct the base address of the block held in `(set, way)`.
+    #[inline]
+    fn resident_addr(&self, set: usize, way: usize) -> u64 {
+        let tag = self.tags[set * self.ways + way];
+        ((tag << self.sets.trailing_zeros()) | set as u64) << self.block_shift
+    }
+
+    /// Pick a victim way: an invalid way if one exists, else ask the policy.
+    #[inline]
+    fn pick_victim(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.flags[base + w] & FLAG_VALID == 0 {
+                return w;
+            }
+        }
+        self.policy.victim(set)
+    }
+
+    #[inline]
+    fn sectored(&self) -> bool {
+        !self.sector_masks.is_empty()
+    }
+
+    /// Bitmask of the sectors covered by `[addr, addr + bytes)` within the
+    /// block containing `addr`.
+    #[inline]
+    fn sector_span(&self, addr: u64, bytes: u32) -> u64 {
+        let block_base = self.block_base(addr);
+        let first = ((addr - block_base) >> self.sector_shift) as u32;
+        let last_byte = addr - block_base + u64::from(bytes.max(1)) - 1;
+        let last = (last_byte >> self.sector_shift) as u32;
+        let count = last - first + 1;
+        let run = if count >= 64 {
+            !0u64
+        } else {
+            (1u64 << count) - 1
+        };
+        run << first
+    }
+
+    /// Mark the sectors covered by a store as dirty (no-op when unsectored
+    /// — the FLAG_DIRTY bit already covers whole-block tracking).
+    #[inline]
+    fn mark_dirty_sectors(&mut self, idx: usize, addr: u64, bytes: u32) {
+        if self.sectored() {
+            self.sector_masks[idx] |= self.sector_span(addr, bytes);
+        }
+    }
+
+    /// Install `tag` into `(set, way)`, returning the displaced dirty block
+    /// address if the victim was valid and dirty.
+    #[inline]
+    fn install(&mut self, set: usize, way: usize, tag: u64, dirty: bool) -> Option<u64> {
+        let idx = set * self.ways + way;
+        let evicted = (self.flags[idx] & (FLAG_VALID | FLAG_DIRTY) == (FLAG_VALID | FLAG_DIRTY))
+            .then(|| self.resident_addr(set, way));
+        if evicted.is_some() && self.sectored() {
+            self.pending_eviction_mask = self.sector_masks[idx];
+        }
+        if self.sectored() {
+            self.sector_masks[idx] = 0;
+        }
+        self.tags[idx] = tag;
+        self.flags[idx] = FLAG_VALID | if dirty { FLAG_DIRTY } else { 0 };
+        self.policy.on_install(set, way);
+        self.stats.fills += 1;
+        evicted
+    }
+
+    /// Payload of the most recent dirty eviction: the whole block, or only
+    /// the dirty sectors of a sectored page. The eviction is one writeback
+    /// *transaction* either way (a page eviction is one device write whose
+    /// latency Table 1 models per operation), but with sector tracking the
+    /// energy model only pays for the bytes actually dirty.
+    #[inline]
+    pub fn take_eviction_bytes(&mut self) -> u32 {
+        if self.sectored() {
+            let m = self.pending_eviction_mask;
+            self.pending_eviction_mask = 0;
+            m.count_ones() * self.sector_bytes
+        } else {
+            self.cfg.block_bytes
+        }
+    }
+
+    /// Process a demand access. Counts the request (with `req_bytes` moved)
+    /// and returns what the caller must do next.
+    pub fn access(&mut self, addr: u64, kind: AccessKind, req_bytes: u32) -> AccessOutcome {
+        let (set, tag) = self.locate(addr);
+        match kind {
+            AccessKind::Load => {
+                self.stats.loads += 1;
+                self.stats.bytes_loaded += u64::from(req_bytes);
+            }
+            AccessKind::Store => {
+                self.stats.stores += 1;
+                self.stats.bytes_stored += u64::from(req_bytes);
+            }
+        }
+        if let Some(way) = self.find(set, tag) {
+            match kind {
+                AccessKind::Load => self.stats.load_hits += 1,
+                AccessKind::Store => {
+                    self.stats.store_hits += 1;
+                    self.flags[set * self.ways + way] |= FLAG_DIRTY;
+                    self.mark_dirty_sectors(set * self.ways + way, addr, req_bytes);
+                }
+            }
+            self.policy.on_hit(set, way);
+            AccessOutcome::Hit
+        } else {
+            match kind {
+                AccessKind::Load => self.stats.load_misses += 1,
+                AccessKind::Store => self.stats.store_misses += 1,
+            }
+            let way = self.pick_victim(set);
+            let evicted_dirty = self.install(set, way, tag, kind.is_store());
+            if kind.is_store() {
+                self.mark_dirty_sectors(set * self.ways + way, addr, req_bytes);
+            }
+            if evicted_dirty.is_some() {
+                self.stats.writebacks_out += 1;
+            }
+            AccessOutcome::Miss { evicted_dirty }
+        }
+    }
+
+    /// Process a writeback arriving from the level above. Counts a store of
+    /// `req_bytes` and applies the configured [`WritebackMissPolicy`].
+    pub fn writeback(&mut self, addr: u64, req_bytes: u32) -> WritebackOutcome {
+        let (set, tag) = self.locate(addr);
+        self.stats.stores += 1;
+        self.stats.bytes_stored += u64::from(req_bytes);
+        if let Some(way) = self.find(set, tag) {
+            self.stats.store_hits += 1;
+            self.flags[set * self.ways + way] |= FLAG_DIRTY;
+            self.mark_dirty_sectors(set * self.ways + way, addr, req_bytes);
+            self.policy.on_hit(set, way);
+            return WritebackOutcome::HitMarkedDirty;
+        }
+        self.stats.store_misses += 1;
+        match self.cfg.writeback_miss {
+            WritebackMissPolicy::Bypass => WritebackOutcome::MissBypass,
+            WritebackMissPolicy::Allocate => {
+                let way = self.pick_victim(set);
+                let evicted_dirty = self.install(set, way, tag, true);
+                self.mark_dirty_sectors(set * self.ways + way, addr, req_bytes);
+                if evicted_dirty.is_some() {
+                    self.stats.writebacks_out += 1;
+                }
+                WritebackOutcome::MissAllocated { evicted_dirty }
+            }
+        }
+    }
+
+    /// Whether the block containing `addr` is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.locate(addr);
+        self.find(set, tag).is_some()
+    }
+
+    /// Whether the block containing `addr` is resident *and dirty*.
+    pub fn is_dirty(&self, addr: u64) -> bool {
+        let (set, tag) = self.locate(addr);
+        self.find(set, tag)
+            .map(|w| self.flags[set * self.ways + w] & FLAG_DIRTY != 0)
+            .unwrap_or(false)
+    }
+
+    /// Number of valid blocks currently resident.
+    pub fn resident_blocks(&self) -> u64 {
+        self.flags.iter().filter(|f| **f & FLAG_VALID != 0).count() as u64
+    }
+
+    /// Invalidate every line, returning `(addr, bytes)` writeback
+    /// transactions for all dirty data (one per dirty block; sectored
+    /// blocks carry only their dirty sectors' bytes), in set/way order.
+    /// Counts one `writebacks_out` per dirty block. Used by the
+    /// end-of-stream drain.
+    pub fn drain_dirty(&mut self) -> Vec<(u64, u32)> {
+        let mut dirty = Vec::new();
+        for set in 0..self.sets {
+            for way in 0..self.ways {
+                let idx = set * self.ways + way;
+                if self.flags[idx] & (FLAG_VALID | FLAG_DIRTY) == (FLAG_VALID | FLAG_DIRTY) {
+                    let base = self.resident_addr(set, way);
+                    let bytes = if self.sectored() {
+                        self.sector_masks[idx].count_ones() * self.sector_bytes
+                    } else {
+                        self.cfg.block_bytes
+                    };
+                    dirty.push((base, bytes));
+                    self.stats.writebacks_out += 1;
+                }
+                if self.sectored() {
+                    self.sector_masks[idx] = 0;
+                }
+                self.flags[idx] = 0;
+            }
+        }
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Associativity;
+    use crate::policy::ReplacementPolicy;
+    use proptest::prelude::*;
+
+    fn small_cache(ways: u32) -> Cache {
+        // 4 sets × `ways` ways × 64 B blocks
+        Cache::new(CacheConfig::new("t", 4 * u64::from(ways) * 64, 64, ways))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small_cache(2);
+        assert_eq!(
+            c.access(0x1000, AccessKind::Load, 8),
+            AccessOutcome::Miss {
+                evicted_dirty: None
+            }
+        );
+        assert_eq!(c.access(0x1008, AccessKind::Load, 8), AccessOutcome::Hit);
+        assert_eq!(c.stats().load_misses, 1);
+        assert_eq!(c.stats().load_hits, 1);
+        assert!(c.stats().is_consistent());
+    }
+
+    #[test]
+    fn store_marks_dirty_and_eviction_reports_it() {
+        let mut c = small_cache(1); // direct-mapped, 4 sets
+                                    // store to set 0
+        c.access(0x0, AccessKind::Store, 8);
+        assert!(c.is_dirty(0x0));
+        // conflicting load: 4 sets × 64 B → same set every 256 B
+        let out = c.access(0x100, AccessKind::Load, 8);
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                evicted_dirty: Some(0x0)
+            }
+        );
+        assert_eq!(c.stats().writebacks_out, 1);
+        assert!(!c.contains(0x0));
+        assert!(c.contains(0x100));
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = small_cache(1);
+        c.access(0x0, AccessKind::Load, 8);
+        let out = c.access(0x100, AccessKind::Load, 8);
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                evicted_dirty: None
+            }
+        );
+        assert_eq!(c.stats().writebacks_out, 0);
+    }
+
+    #[test]
+    fn store_miss_allocates_dirty() {
+        let mut c = small_cache(2);
+        c.access(0x40, AccessKind::Store, 8);
+        assert!(c.is_dirty(0x40));
+        assert_eq!(c.stats().store_misses, 1);
+    }
+
+    #[test]
+    fn writeback_hit_marks_dirty() {
+        let mut c = small_cache(2);
+        c.access(0x0, AccessKind::Load, 8);
+        assert!(!c.is_dirty(0x0));
+        assert_eq!(c.writeback(0x0, 64), WritebackOutcome::HitMarkedDirty);
+        assert!(c.is_dirty(0x0));
+    }
+
+    #[test]
+    fn writeback_miss_bypasses_by_default() {
+        let mut c = small_cache(2);
+        assert_eq!(c.writeback(0x0, 64), WritebackOutcome::MissBypass);
+        assert!(!c.contains(0x0), "bypass must not allocate");
+        assert_eq!(c.stats().store_misses, 1);
+    }
+
+    #[test]
+    fn writeback_miss_allocate_policy() {
+        let mut c = Cache::new(
+            CacheConfig::new("t", 4 * 64, 64, 1).with_writeback_miss(WritebackMissPolicy::Allocate),
+        );
+        assert_eq!(
+            c.writeback(0x0, 64),
+            WritebackOutcome::MissAllocated {
+                evicted_dirty: None
+            }
+        );
+        assert!(c.is_dirty(0x0));
+        // displacing it with another writeback to the same set reports the victim
+        let out = c.writeback(0x100, 64);
+        assert_eq!(
+            out,
+            WritebackOutcome::MissAllocated {
+                evicted_dirty: Some(0x0)
+            }
+        );
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut c = small_cache(2); // 2-way
+                                    // set 0 blocks live at multiples of 256 (4 sets × 64)
+        c.access(0x000, AccessKind::Load, 8);
+        c.access(0x100, AccessKind::Load, 8);
+        c.access(0x000, AccessKind::Load, 8); // touch -> 0x100 is LRU
+        c.access(0x200, AccessKind::Load, 8); // evicts 0x100
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x100));
+        assert!(c.contains(0x200));
+    }
+
+    #[test]
+    fn drain_returns_all_dirty_blocks() {
+        let mut c = small_cache(2);
+        c.access(0x000, AccessKind::Store, 8);
+        c.access(0x040, AccessKind::Load, 8);
+        c.access(0x080, AccessKind::Store, 8);
+        let mut dirty = c.drain_dirty();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![(0x000, 64), (0x080, 64)]);
+        assert_eq!(c.resident_blocks(), 0);
+        // second drain is empty
+        assert!(c.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn resident_addr_roundtrip() {
+        let mut c = Cache::new(CacheConfig::new("t", 64 * 1024, 64, 8));
+        for addr in [0u64, 0x12340, 0xdead_b000, 0xffff_ffc0] {
+            c.access(addr, AccessKind::Load, 8);
+            assert!(c.contains(addr), "block for {addr:#x} must be resident");
+        }
+    }
+
+    #[test]
+    fn fully_associative_single_set() {
+        let mut c = Cache::new(CacheConfig {
+            name: "fa".into(),
+            capacity_bytes: 4 * 64,
+            block_bytes: 64,
+            associativity: Associativity::Full,
+            policy: ReplacementPolicy::Lru,
+            writeback_miss: WritebackMissPolicy::Bypass,
+            sector_bytes: None,
+        });
+        // 4 blocks anywhere in memory coexist
+        for i in 0..4u64 {
+            c.access(i * 0x1_0000, AccessKind::Load, 8);
+        }
+        for i in 0..4u64 {
+            assert!(c.contains(i * 0x1_0000));
+        }
+        // a 5th evicts the least recently used (the first)
+        c.access(4 * 0x1_0000, AccessKind::Load, 8);
+        assert!(!c.contains(0));
+    }
+
+    fn sectored_cache() -> Cache {
+        // 2 sets × 1 way × 512 B pages, 64 B sectors
+        Cache::new(CacheConfig::new("pg", 2 * 512, 512, 1).with_sectors(64))
+    }
+
+    #[test]
+    fn sectored_eviction_carries_only_dirty_bytes() {
+        let mut c = sectored_cache();
+        // fill page 0 clean, then dirty two sectors via writebacks
+        c.access(0x000, AccessKind::Load, 64);
+        c.writeback(0x000, 64); // sector 0
+        c.writeback(0x080, 64); // sector 2
+                                // conflict: pages map set = (addr/512) % 2, so 0x400 hits set 0
+        let out = c.access(0x400, AccessKind::Load, 64);
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                evicted_dirty: Some(0x000)
+            }
+        );
+        assert_eq!(c.take_eviction_bytes(), 128, "two dirty sectors");
+    }
+
+    #[test]
+    fn sectored_demand_store_dirties_one_sector() {
+        let mut c = sectored_cache();
+        c.access(0x1C0, AccessKind::Store, 8); // sector 7 of page 0x000
+        let out = c.access(0x400, AccessKind::Load, 64);
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                evicted_dirty: Some(0x000)
+            }
+        );
+        assert_eq!(c.take_eviction_bytes(), 64);
+    }
+
+    #[test]
+    fn sectored_clean_page_evicts_silently() {
+        let mut c = sectored_cache();
+        c.access(0x000, AccessKind::Load, 64);
+        let out = c.access(0x400, AccessKind::Load, 64);
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                evicted_dirty: None
+            }
+        );
+    }
+
+    #[test]
+    fn sectored_drain_reports_dirty_bytes() {
+        let mut c = sectored_cache();
+        c.access(0x000, AccessKind::Load, 64); // page resident
+        c.access(0x200, AccessKind::Load, 64); // set-1 page resident
+        c.writeback(0x000, 64);
+        c.writeback(0x040, 64);
+        c.writeback(0x200, 64); // one sector of the set-1 page
+        let mut drained = c.drain_dirty();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![(0x000, 128), (0x200, 64)]);
+    }
+
+    #[test]
+    fn unsectored_eviction_is_whole_block() {
+        let mut c = small_cache(1);
+        c.access(0x0, AccessKind::Store, 8);
+        c.access(0x100, AccessKind::Load, 8);
+        assert_eq!(c.take_eviction_bytes(), 64);
+    }
+
+    #[test]
+    fn sector_mask_resets_on_reinstall() {
+        let mut c = sectored_cache();
+        c.writeback(0x000, 64); // page 0 dirty sector 0
+        c.access(0x400, AccessKind::Load, 64); // evicts page 0
+        let _ = c.take_eviction_bytes();
+        // page 0x400 is clean; evicting it must report nothing dirty
+        let out = c.access(0x000, AccessKind::Load, 64);
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                evicted_dirty: None
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn sectors_must_be_power_of_two() {
+        Cache::new(CacheConfig::new("bad", 1024, 512, 1).with_sectors(96));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 sectors")]
+    fn sector_count_bounded() {
+        Cache::new(CacheConfig::new("bad", 8192, 8192, 1).with_sectors(64));
+    }
+
+    /// Naive reference model: fully associative LRU as an ordered Vec.
+    struct RefLru {
+        cap_blocks: usize,
+        block: u64,
+        // most recent at the back; (block_no, dirty)
+        lines: Vec<(u64, bool)>,
+    }
+
+    impl RefLru {
+        fn access(&mut self, addr: u64, store: bool) -> (bool, Option<u64>) {
+            let b = addr / self.block;
+            if let Some(pos) = self.lines.iter().position(|(x, _)| *x == b) {
+                let (_, mut d) = self.lines.remove(pos);
+                d |= store;
+                self.lines.push((b, d));
+                (true, None)
+            } else {
+                let mut evicted = None;
+                if self.lines.len() == self.cap_blocks {
+                    let (victim, dirty) = self.lines.remove(0);
+                    if dirty {
+                        evicted = Some(victim * self.block);
+                    }
+                }
+                self.lines.push((b, store));
+                (false, evicted)
+            }
+        }
+    }
+
+    proptest! {
+        /// The full-associative LRU cache agrees exactly (hit/miss and dirty
+        /// evictions) with an obviously-correct reference model.
+        #[test]
+        fn matches_reference_lru(
+            ops in proptest::collection::vec((0u64..4096, proptest::bool::ANY), 1..800),
+            cap_blocks in 1usize..16,
+        ) {
+            let mut c = Cache::new(CacheConfig::fully_associative(
+                "fa", cap_blocks as u64 * 64, 64,
+            ));
+            let mut r = RefLru { cap_blocks, block: 64, lines: Vec::new() };
+            for (addr, is_store) in ops {
+                let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+                let out = c.access(addr, kind, 8);
+                let (ref_hit, ref_evicted) = r.access(addr, is_store);
+                match out {
+                    AccessOutcome::Hit => prop_assert!(ref_hit),
+                    AccessOutcome::Miss { evicted_dirty } => {
+                        prop_assert!(!ref_hit);
+                        prop_assert_eq!(evicted_dirty, ref_evicted);
+                    }
+                }
+            }
+            prop_assert!(c.stats().is_consistent());
+        }
+
+        /// Occupancy never exceeds capacity, for any policy.
+        #[test]
+        fn occupancy_bounded(
+            addrs in proptest::collection::vec(0u64..100_000, 1..500),
+            policy_idx in 0usize..5,
+        ) {
+            let policy = ReplacementPolicy::ALL[policy_idx];
+            let ways = if policy == ReplacementPolicy::TreePlru { 4 } else { 3 };
+            let mut c = Cache::new(
+                CacheConfig::new("t", 8 * ways * 64, 64, ways as u32).with_policy(policy),
+            );
+            for a in addrs {
+                c.access(a, AccessKind::Load, 8);
+                prop_assert!(c.resident_blocks() <= 8 * ways);
+            }
+            prop_assert!(c.stats().is_consistent());
+        }
+    }
+}

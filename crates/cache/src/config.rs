@@ -1,0 +1,223 @@
+//! Static configuration of one cache level.
+
+use crate::policy::ReplacementPolicy;
+
+/// Associativity of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Associativity {
+    /// `n`-way set associative (`n >= 1`; `1` is direct-mapped).
+    Ways(u32),
+    /// Fully associative: one set spanning the whole capacity.
+    Full,
+}
+
+/// What a cache does when a writeback arriving from the level above misses.
+///
+/// Demand stores always write-allocate (the paper's model); this policy only
+/// governs *writebacks* of dirty blocks evicted by an upper level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WritebackMissPolicy {
+    /// Forward the writeback to the next level unchanged (no allocation).
+    /// This is the default: dirty lines "eventually make their way to the
+    /// main memory", as the paper describes.
+    #[default]
+    Bypass,
+    /// Allocate the block here without fetching (valid because the incoming
+    /// writeback supplies the whole upper-level block; any bytes of a larger
+    /// local block not covered are treated as untouched).
+    Allocate,
+}
+
+/// Full static configuration of a cache level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Display name (e.g. `"L1"`, `"eDRAM-L4"`, `"DRAM$"`).
+    pub name: String,
+    /// Total capacity in bytes. Must be a multiple of `block_bytes × ways`.
+    pub capacity_bytes: u64,
+    /// Block ("line" for SRAM levels, "page" for DRAM/eDRAM cache levels)
+    /// size in bytes. Must be a power of two.
+    pub block_bytes: u32,
+    /// Associativity.
+    pub associativity: Associativity,
+    /// Replacement policy.
+    pub policy: ReplacementPolicy,
+    /// Behaviour when a writeback from above misses.
+    pub writeback_miss: WritebackMissPolicy,
+    /// Dirty-data tracking granularity. `None` marks the whole block dirty
+    /// on any store and writes the whole block back (SRAM line caches).
+    /// `Some(s)` tracks dirtiness per `s`-byte sector and writes back only
+    /// dirty sectors — how the paper's page-granularity DRAM/eDRAM caches
+    /// behave, since its simulator tracks dirty cache *lines* and those are
+    /// what "eventually make their way to the main memory".
+    pub sector_bytes: Option<u32>,
+}
+
+impl CacheConfig {
+    /// An LRU write-back cache with the given geometry.
+    pub fn new(name: &str, capacity_bytes: u64, block_bytes: u32, ways: u32) -> Self {
+        Self {
+            name: name.to_string(),
+            capacity_bytes,
+            block_bytes,
+            associativity: Associativity::Ways(ways),
+            policy: ReplacementPolicy::Lru,
+            writeback_miss: WritebackMissPolicy::Bypass,
+            sector_bytes: None,
+        }
+    }
+
+    /// A fully associative LRU cache.
+    pub fn fully_associative(name: &str, capacity_bytes: u64, block_bytes: u32) -> Self {
+        Self {
+            name: name.to_string(),
+            capacity_bytes,
+            block_bytes,
+            associativity: Associativity::Full,
+            policy: ReplacementPolicy::Lru,
+            writeback_miss: WritebackMissPolicy::Bypass,
+            sector_bytes: None,
+        }
+    }
+
+    /// Builder-style: set the replacement policy.
+    pub fn with_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style: set the writeback-miss policy.
+    pub fn with_writeback_miss(mut self, wb: WritebackMissPolicy) -> Self {
+        self.writeback_miss = wb;
+        self
+    }
+
+    /// Builder-style: track dirtiness per `sector_bytes` sector (must be a
+    /// power of two dividing the block size, with at most 64 sectors per
+    /// block).
+    pub fn with_sectors(mut self, sector_bytes: u32) -> Self {
+        self.sector_bytes = Some(sector_bytes);
+        self
+    }
+
+    /// Number of ways after resolving [`Associativity::Full`].
+    pub fn resolved_ways(&self) -> u32 {
+        match self.associativity {
+            Associativity::Ways(w) => w,
+            Associativity::Full => {
+                (self.capacity_bytes / u64::from(self.block_bytes)).max(1) as u32
+            }
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / (u64::from(self.block_bytes) * u64::from(self.resolved_ways()))
+    }
+
+    /// Validate the geometry, panicking with a descriptive message if it is
+    /// inconsistent. Called by [`crate::Cache::new`].
+    pub fn validate(&self) {
+        assert!(
+            self.block_bytes.is_power_of_two(),
+            "{}: block size must be a power of two",
+            self.name
+        );
+        assert!(
+            self.capacity_bytes > 0,
+            "{}: capacity must be positive",
+            self.name
+        );
+        let ways = self.resolved_ways();
+        assert!(ways >= 1, "{}: at least one way required", self.name);
+        let way_bytes = u64::from(self.block_bytes) * u64::from(ways);
+        assert!(
+            self.capacity_bytes.is_multiple_of(way_bytes),
+            "{}: capacity {} is not a multiple of block×ways = {}",
+            self.name,
+            self.capacity_bytes,
+            way_bytes
+        );
+        let sets = self.sets();
+        assert!(
+            sets.is_power_of_two(),
+            "{}: set count {} must be a power of two",
+            self.name,
+            sets
+        );
+        if let Some(s) = self.sector_bytes {
+            assert!(
+                s.is_power_of_two(),
+                "{}: sector size must be a power of two",
+                self.name
+            );
+            assert!(
+                s <= self.block_bytes && self.block_bytes.is_multiple_of(s),
+                "{}: sectors must divide the block size",
+                self.name
+            );
+            assert!(
+                self.block_bytes / s <= 64,
+                "{}: at most 64 sectors per block",
+                self.name
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_geometry() {
+        let c = CacheConfig::new("L1", 32 * 1024, 64, 8);
+        c.validate();
+        assert_eq!(c.resolved_ways(), 8);
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    fn fully_associative_geometry() {
+        let c = CacheConfig::fully_associative("VC", 4096, 64);
+        c.validate();
+        assert_eq!(c.resolved_ways(), 64);
+        assert_eq!(c.sets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_block() {
+        CacheConfig::new("bad", 4096, 48, 4).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn rejects_misaligned_capacity() {
+        CacheConfig::new("bad", 1000, 64, 4).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a power of two")]
+    fn rejects_non_pow2_sets() {
+        // 3 sets of 64B × 1 way
+        CacheConfig::new("bad", 192, 64, 1).validate();
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = CacheConfig::new("x", 4096, 64, 4)
+            .with_policy(ReplacementPolicy::Fifo)
+            .with_writeback_miss(WritebackMissPolicy::Allocate);
+        assert_eq!(c.policy, ReplacementPolicy::Fifo);
+        assert_eq!(c.writeback_miss, WritebackMissPolicy::Allocate);
+    }
+
+    #[test]
+    fn paper_reference_caches_validate() {
+        // the Sandy Bridge reference configuration of the paper
+        CacheConfig::new("L1", 32 * 1024, 64, 8).validate();
+        CacheConfig::new("L2", 256 * 1024, 64, 8).validate();
+        CacheConfig::new("L3", 20 * 1024 * 1024, 64, 20).validate();
+    }
+}

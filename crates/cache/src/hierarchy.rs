@@ -1,0 +1,432 @@
+//! Composition of cache levels over a terminal main memory.
+
+use crate::cache::{AccessOutcome, Cache, WritebackOutcome};
+use memsim_trace::{AccessKind, TraceEvent, TraceSink};
+
+/// The terminal level of a hierarchy (below the last cache).
+///
+/// Implementations record the request in whatever structure they need —
+/// a flat DRAM/NVM counter, a partitioned DRAM+NVM address space, a
+/// wear-leveling NVM front end, … (see `memsim-memory`).
+pub trait MainMemory {
+    /// A block-fetch read of `bytes` at `addr` (a fill request from the
+    /// last cache level, or a demand read when there are no caches).
+    fn load(&mut self, addr: u64, bytes: u32);
+    /// A write of `bytes` at `addr` (a dirty writeback from the last cache
+    /// level, or a demand write when there are no caches).
+    fn store(&mut self, addr: u64, bytes: u32);
+}
+
+/// The simplest terminal: counts requests and bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingMemory {
+    /// Read requests received.
+    pub loads: u64,
+    /// Write requests received.
+    pub stores: u64,
+    /// Bytes read.
+    pub bytes_loaded: u64,
+    /// Bytes written.
+    pub bytes_stored: u64,
+}
+
+impl MainMemory for CountingMemory {
+    #[inline]
+    fn load(&mut self, _addr: u64, bytes: u32) {
+        self.loads += 1;
+        self.bytes_loaded += u64::from(bytes);
+    }
+
+    #[inline]
+    fn store(&mut self, _addr: u64, bytes: u32) {
+        self.stores += 1;
+        self.bytes_stored += u64::from(bytes);
+    }
+}
+
+/// A stack of caches over a terminal memory.
+///
+/// Implements [`TraceSink`]: feed it the raw application address stream.
+/// Each reference walks the levels top-down; misses fetch the missing
+/// block from the next level (counted there as a *load* of that block's
+/// size) and dirty evictions propagate downward as *stores* — including,
+/// transitively, evictions triggered by those writebacks themselves.
+///
+/// Call [`Hierarchy::flush`] (or drop the stream) at end of trace to drain
+/// resident dirty blocks to memory, so that "dirty cache lines eventually
+/// make their way to the main memory and count as write operations".
+#[derive(Debug, Clone)]
+pub struct Hierarchy<M: MainMemory> {
+    levels: Vec<Cache>,
+    memory: M,
+    /// Demand references consumed (after line splitting).
+    refs: u64,
+    /// Size in bytes of a CPU demand reference as seen by L1 (the element
+    /// size of each event is used; this tracks the total for reporting).
+    demand_bytes: u64,
+    drained: bool,
+}
+
+impl<M: MainMemory> Hierarchy<M> {
+    /// Build a hierarchy; `levels[0]` is closest to the CPU.
+    pub fn new(levels: Vec<Cache>, memory: M) -> Self {
+        Self {
+            levels,
+            memory,
+            refs: 0,
+            demand_bytes: 0,
+            drained: false,
+        }
+    }
+
+    /// The cache levels, top-down.
+    pub fn levels(&self) -> &[Cache] {
+        &self.levels
+    }
+
+    /// The terminal memory.
+    pub fn memory(&self) -> &M {
+        &self.memory
+    }
+
+    /// Mutable access to the terminal memory.
+    pub fn memory_mut(&mut self) -> &mut M {
+        &mut self.memory
+    }
+
+    /// Total demand references consumed (the paper's "Total Number of
+    /// References" denominator in Equation 2).
+    pub fn total_refs(&self) -> u64 {
+        self.refs
+    }
+
+    /// Consume the hierarchy, returning the terminal memory.
+    pub fn into_memory(self) -> M {
+        self.memory
+    }
+
+    /// Process one demand reference already confined to a single L1 block.
+    fn demand(&mut self, addr: u64, kind: AccessKind, size: u32) {
+        self.refs += 1;
+        self.demand_bytes += u64::from(size);
+        let mut level = 0;
+        let mut req_bytes = size;
+        let mut req_kind = kind;
+        // Walk down until a hit or the terminal memory. Writebacks from
+        // evictions are handled after the fill, per level.
+        loop {
+            if level == self.levels.len() {
+                match req_kind {
+                    AccessKind::Load => self.memory.load(addr, req_bytes),
+                    AccessKind::Store => self.memory.store(addr, req_bytes),
+                }
+                return;
+            }
+            let outcome = self.levels[level].access(addr, req_kind, req_bytes);
+            match outcome {
+                AccessOutcome::Hit => return,
+                AccessOutcome::Miss { evicted_dirty } => {
+                    let block = self.levels[level].block_bytes();
+                    if let Some(victim) = evicted_dirty {
+                        self.writeback_parts(level, victim);
+                    }
+                    // fetch our block from below: always a read
+                    req_kind = AccessKind::Load;
+                    req_bytes = block;
+                    level += 1;
+                }
+            }
+        }
+    }
+
+    /// Deliver a dirty eviction from `level` as one writeback transaction
+    /// carrying the block's dirty bytes (whole block, or only the dirty
+    /// sectors of a sectored page cache).
+    fn writeback_parts(&mut self, level: usize, victim: u64) {
+        let bytes = self.levels[level].take_eviction_bytes();
+        self.writeback(level + 1, victim, bytes);
+    }
+
+    /// Deliver a writeback of `bytes` at `addr` to `level` (may recurse
+    /// further down when it misses or displaces more dirty blocks).
+    fn writeback(&mut self, level: usize, addr: u64, bytes: u32) {
+        if level == self.levels.len() {
+            self.memory.store(addr, bytes);
+            return;
+        }
+        match self.levels[level].writeback(addr, bytes) {
+            WritebackOutcome::HitMarkedDirty => {}
+            WritebackOutcome::MissBypass => self.writeback(level + 1, addr, bytes),
+            WritebackOutcome::MissAllocated { evicted_dirty } => {
+                if let Some(victim) = evicted_dirty {
+                    self.writeback_parts(level, victim);
+                }
+            }
+        }
+    }
+
+    /// Drain all resident dirty blocks to memory, top-down. Idempotent.
+    pub fn drain(&mut self) {
+        if self.drained {
+            return;
+        }
+        self.drained = true;
+        for level in 0..self.levels.len() {
+            for (addr, bytes) in self.levels[level].drain_dirty() {
+                self.writeback(level + 1, addr, bytes);
+            }
+        }
+    }
+
+    /// Run a consistency check over every level's counters.
+    pub fn assert_consistent(&self) {
+        for c in &self.levels {
+            assert!(
+                c.stats().is_consistent(),
+                "{} stats inconsistent: {:?}",
+                c.config().name,
+                c.stats()
+            );
+        }
+    }
+}
+
+impl<M: MainMemory> TraceSink for Hierarchy<M> {
+    #[inline]
+    fn access(&mut self, ev: TraceEvent) {
+        debug_assert!(!self.drained, "stream continued after flush()");
+        // Split references that straddle an L1 block boundary (rare: the
+        // instrumented containers align all regions, but synthetic streams
+        // may not).
+        let block = self
+            .levels
+            .first()
+            .map(|c| u64::from(c.block_bytes()))
+            .unwrap_or(u64::MAX);
+        let first = ev.addr / block;
+        let last = (ev.end().saturating_sub(1)) / block;
+        if first == last {
+            self.demand(ev.addr, ev.kind, ev.size);
+        } else {
+            let mut addr = ev.addr;
+            let mut remaining = u64::from(ev.size);
+            while remaining > 0 {
+                let in_block = (block - addr % block).min(remaining);
+                self.demand(addr, ev.kind, in_block as u32);
+                addr += in_block;
+                remaining -= in_block;
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn two_level() -> Hierarchy<CountingMemory> {
+        let l1 = Cache::new(CacheConfig::new("L1", 4 * 64, 64, 1)); // 4 sets, direct
+        let l2 = Cache::new(CacheConfig::new("L2", 16 * 64, 64, 2)); // 8 sets, 2-way
+        Hierarchy::new(vec![l1, l2], CountingMemory::default())
+    }
+
+    #[test]
+    fn load_miss_walks_to_memory() {
+        let mut h = two_level();
+        h.access(TraceEvent::load(0x1000, 8));
+        assert_eq!(h.levels()[0].stats().load_misses, 1);
+        assert_eq!(h.levels()[1].stats().load_misses, 1);
+        assert_eq!(h.memory().loads, 1);
+        assert_eq!(h.memory().bytes_loaded, 64, "memory supplies L2's block");
+        assert_eq!(h.total_refs(), 1);
+    }
+
+    #[test]
+    fn l1_hit_stops_the_walk() {
+        let mut h = two_level();
+        h.access(TraceEvent::load(0x1000, 8));
+        h.access(TraceEvent::load(0x1010, 8));
+        assert_eq!(h.levels()[0].stats().load_hits, 1);
+        assert_eq!(h.levels()[1].stats().loads, 1, "L2 only saw the first fill");
+        assert_eq!(h.memory().loads, 1);
+    }
+
+    #[test]
+    fn store_miss_fetches_below_as_load() {
+        let mut h = two_level();
+        h.access(TraceEvent::store(0x2000, 8));
+        let l1 = h.levels()[0].stats();
+        assert_eq!(l1.store_misses, 1);
+        assert_eq!(l1.stores, 1);
+        // the fill from L2 is a load there
+        assert_eq!(h.levels()[1].stats().loads, 1);
+        assert_eq!(h.levels()[1].stats().stores, 0);
+        assert_eq!(h.memory().loads, 1);
+        assert_eq!(h.memory().stores, 0);
+    }
+
+    #[test]
+    fn dirty_eviction_propagates_as_store() {
+        let mut h = two_level();
+        // L1 is direct-mapped with 4 sets of 64 B: 0x0 and 0x100 conflict.
+        h.access(TraceEvent::store(0x0, 8));
+        h.access(TraceEvent::load(0x100, 8)); // evicts dirty 0x0 from L1
+                                              // the writeback lands in L2, which holds 0x0 from the original fill
+        assert_eq!(h.levels()[0].stats().writebacks_out, 1);
+        assert!(h.levels()[1].is_dirty(0x0));
+        assert_eq!(h.memory().stores, 0, "writeback absorbed by L2");
+    }
+
+    #[test]
+    fn flush_drains_dirty_lines_to_memory() {
+        let mut h = two_level();
+        h.access(TraceEvent::store(0x0, 8));
+        h.flush();
+        // L1 dirty line 0x0 -> L2 (hit, marked dirty) -> L2 drain -> memory
+        assert_eq!(h.memory().stores, 1);
+        assert_eq!(h.memory().bytes_stored, 64);
+        h.flush(); // idempotent
+        assert_eq!(h.memory().stores, 1);
+    }
+
+    #[test]
+    fn writeback_bypass_reaches_memory_when_absent_below() {
+        // L2 tiny: 2 blocks direct-mapped; fill for 0x0 lands in set 0,
+        // then 0x80 fill replaces it (clean), so the later L1 writeback of
+        // 0x0 misses L2 and must bypass to memory.
+        let l1 = Cache::new(CacheConfig::new("L1", 2 * 64, 64, 1));
+        let l2 = Cache::new(CacheConfig::new("L2", 2 * 64, 64, 1));
+        let mut h = Hierarchy::new(vec![l1, l2], CountingMemory::default());
+        h.access(TraceEvent::store(0x0, 8)); // L1 set0 dirty; L2 set0 = 0x0
+        h.access(TraceEvent::load(0x100, 8)); // L2 set0 replaced by 0x100; L1 set0 evicts dirty 0x0
+        assert_eq!(h.memory().stores, 1, "bypassed writeback hits memory");
+    }
+
+    #[test]
+    fn no_cache_hierarchy_forwards_directly() {
+        let mut h = Hierarchy::new(vec![], CountingMemory::default());
+        h.access(TraceEvent::load(0x0, 8));
+        h.access(TraceEvent::store(0x8, 8));
+        assert_eq!(h.memory().loads, 1);
+        assert_eq!(h.memory().stores, 1);
+        assert_eq!(h.memory().bytes_loaded, 8);
+        assert_eq!(h.memory().bytes_stored, 8);
+    }
+
+    #[test]
+    fn straddling_access_is_split() {
+        let mut h = two_level();
+        // 8 bytes starting 4 bytes before a line boundary
+        h.access(TraceEvent::load(60, 8));
+        assert_eq!(h.total_refs(), 2);
+        assert_eq!(h.levels()[0].stats().loads, 2);
+    }
+
+    #[test]
+    fn counters_conserve_through_random_stream() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut h = two_level();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..20_000 {
+            let addr = rng.random_range(0u64..1 << 14);
+            let kind = if rng.random_bool(0.3) {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            h.access(TraceEvent {
+                addr: addr & !7,
+                size: 8,
+                kind,
+            });
+        }
+        h.flush();
+        h.assert_consistent();
+        let l1 = h.levels()[0].stats();
+        let l2 = h.levels()[1].stats();
+        // every L1 load miss and store miss produces exactly one L2 load
+        assert_eq!(l2.loads, l1.misses());
+        // every L2 load miss produces a memory load; L2 store misses bypass
+        assert_eq!(h.memory().loads, l2.load_misses);
+    }
+
+    #[test]
+    fn memory_write_traffic_matches_dirty_data() {
+        // Property: with a drain at the end, the number of distinct dirty
+        // blocks created at L1 equals memory store *blocks* when caches
+        // can't re-dirty (each block stored exactly once here).
+        let l1 = Cache::new(CacheConfig::new("L1", 4 * 64, 64, 1));
+        let mut h = Hierarchy::new(vec![l1], CountingMemory::default());
+        for i in 0..64u64 {
+            h.access(TraceEvent::store(i * 64, 8));
+        }
+        h.flush();
+        // 64 distinct blocks dirtied; all must reach memory exactly once
+        assert_eq!(h.memory().stores, 64);
+        assert_eq!(h.memory().bytes_stored, 64 * 64);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Conservation invariants hold for random hierarchies (2–4 levels
+        /// with random geometry) over random streams: per-kind hit/miss
+        /// consistency at every level, demand-fetch balance between
+        /// adjacent levels, and writeback conservation through the drain.
+        #[test]
+        fn random_hierarchy_conserves(
+            level_count in 2usize..5,
+            l1_sets_log in 2u32..5,
+            growth in 1u32..3,
+            page_log in 6u32..10,
+            ops in proptest::collection::vec((0u64..(1 << 16), proptest::bool::ANY), 50..400),
+        ) {
+            let mut caches = Vec::new();
+            for lvl in 0..level_count {
+                let block = if lvl + 1 == level_count { 1u32 << page_log } else { 64 };
+                let sets = 1u64 << (l1_sets_log + growth * lvl as u32);
+                let ways = 2;
+                let mut cfg = CacheConfig::new(&format!("C{lvl}"), sets * u64::from(block) * ways, block, ways as u32);
+                if block > 64 {
+                    cfg = cfg.with_sectors(64);
+                }
+                caches.push(Cache::new(cfg));
+            }
+            let mut h = Hierarchy::new(caches, CountingMemory::default());
+            for &(addr, is_store) in &ops {
+                let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+                h.access(TraceEvent { addr: addr & !7, size: 8, kind });
+            }
+            h.flush();
+            h.assert_consistent();
+            // adjacent-level demand balance
+            for (i, w) in h.levels().windows(2).enumerate() {
+                let expected = if i == 0 { w[0].stats().misses() } else { w[0].stats().load_misses };
+                prop_assert_eq!(w[1].stats().loads, expected, "level {} fetch balance", i + 1);
+            }
+            let last = h.levels().last().unwrap().stats();
+            prop_assert_eq!(h.memory().loads, last.load_misses);
+            // stores never amplify beyond CPU stores plus per-level writebacks
+            let cpu_stores = ops.iter().filter(|(_, s)| *s).count() as u64;
+            prop_assert!(h.memory().stores <= cpu_stores, "memory stores {} > CPU stores {cpu_stores}", h.memory().stores);
+            // all dirty data drained: nothing dirty remains anywhere
+            for c in h.levels() {
+                let drained: u64 = 0;
+                let _ = drained;
+                prop_assert_eq!(c.resident_blocks(), 0, "{} not fully drained", c.config().name);
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Replacement policies.
+//!
+//! The paper's simulator uses LRU; the alternatives here support the
+//! replacement-policy ablation bench (`ablation_replacement`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which block of a full set is evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used block (the paper's policy).
+    Lru,
+    /// Evict the oldest-inserted block regardless of use.
+    Fifo,
+    /// Evict a uniformly random block (deterministic seed).
+    Random,
+    /// Tree pseudo-LRU (requires power-of-two ways).
+    TreePlru,
+    /// Static re-reference interval prediction with 2-bit RRPV.
+    Srrip,
+}
+
+impl ReplacementPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [ReplacementPolicy; 5] = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+        ReplacementPolicy::TreePlru,
+        ReplacementPolicy::Srrip,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Fifo => "FIFO",
+            ReplacementPolicy::Random => "Random",
+            ReplacementPolicy::TreePlru => "TreePLRU",
+            ReplacementPolicy::Srrip => "SRRIP",
+        }
+    }
+}
+
+/// SRRIP insertion re-reference prediction value ("long").
+const SRRIP_INSERT: u64 = 2;
+/// SRRIP maximum RRPV ("distant"; eviction candidate).
+const SRRIP_MAX: u64 = 3;
+
+/// Runtime state of a replacement policy across all sets of a cache.
+///
+/// `aux` carries one word per line (recency / insertion tick / RRPV);
+/// `set_bits` carries one word per set (PLRU tree bits).
+#[derive(Debug, Clone)]
+pub(crate) struct PolicyState {
+    policy: ReplacementPolicy,
+    ways: usize,
+    aux: Vec<u64>,
+    set_bits: Vec<u64>,
+    tick: u64,
+    rng: SmallRng,
+}
+
+impl PolicyState {
+    pub(crate) fn new(policy: ReplacementPolicy, sets: usize, ways: usize) -> Self {
+        if policy == ReplacementPolicy::TreePlru {
+            assert!(
+                ways.is_power_of_two(),
+                "TreePLRU requires power-of-two ways, got {ways}"
+            );
+        }
+        Self {
+            policy,
+            ways,
+            aux: vec![0; sets * ways],
+            set_bits: vec![0; sets],
+            tick: 0,
+            rng: SmallRng::seed_from_u64(0x5eed_cafe),
+        }
+    }
+
+    /// Record a hit on `way` of `set`.
+    #[inline]
+    pub(crate) fn on_hit(&mut self, set: usize, way: usize) {
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                self.tick += 1;
+                self.aux[set * self.ways + way] = self.tick;
+            }
+            ReplacementPolicy::Fifo | ReplacementPolicy::Random => {}
+            ReplacementPolicy::TreePlru => self.plru_touch(set, way),
+            ReplacementPolicy::Srrip => {
+                self.aux[set * self.ways + way] = 0;
+            }
+        }
+    }
+
+    /// Record the installation of a new block into `way` of `set`.
+    #[inline]
+    pub(crate) fn on_install(&mut self, set: usize, way: usize) {
+        match self.policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                self.tick += 1;
+                self.aux[set * self.ways + way] = self.tick;
+            }
+            ReplacementPolicy::Random => {}
+            ReplacementPolicy::TreePlru => self.plru_touch(set, way),
+            ReplacementPolicy::Srrip => {
+                self.aux[set * self.ways + way] = SRRIP_INSERT;
+            }
+        }
+    }
+
+    /// Choose the victim way in a full `set`.
+    #[inline]
+    pub(crate) fn victim(&mut self, set: usize) -> usize {
+        match self.policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                let base = set * self.ways;
+                let mut best = 0;
+                let mut best_tick = u64::MAX;
+                for w in 0..self.ways {
+                    let t = self.aux[base + w];
+                    if t < best_tick {
+                        best_tick = t;
+                        best = w;
+                    }
+                }
+                best
+            }
+            ReplacementPolicy::Random => self.rng.random_range(0..self.ways),
+            ReplacementPolicy::TreePlru => self.plru_victim(set),
+            ReplacementPolicy::Srrip => {
+                let base = set * self.ways;
+                loop {
+                    for w in 0..self.ways {
+                        if self.aux[base + w] >= SRRIP_MAX {
+                            return w;
+                        }
+                    }
+                    for w in 0..self.ways {
+                        self.aux[base + w] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walk the PLRU tree toward `way`, flipping each internal node away
+    /// from the taken direction.
+    fn plru_touch(&mut self, set: usize, way: usize) {
+        let mut node = 1usize; // 1-based heap index of the root
+        let mut lo = 0usize;
+        let mut hi = self.ways;
+        let bits = &mut self.set_bits[set];
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let go_right = way >= mid;
+            // point the bit at the *other* half (the least recently used side)
+            if go_right {
+                *bits &= !(1u64 << node);
+                lo = mid;
+                node = node * 2 + 1;
+            } else {
+                *bits |= 1u64 << node;
+                hi = mid;
+                node *= 2;
+            }
+        }
+    }
+
+    /// Follow the PLRU bits to the least-recently-used leaf.
+    fn plru_victim(&mut self, set: usize) -> usize {
+        let mut node = 1usize;
+        let mut lo = 0usize;
+        let mut hi = self.ways;
+        let bits = self.set_bits[set];
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if bits & (1u64 << node) != 0 {
+                lo = mid;
+                node = node * 2 + 1;
+            } else {
+                hi = mid;
+                node *= 2;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = PolicyState::new(ReplacementPolicy::Lru, 1, 4);
+        for w in 0..4 {
+            p.on_install(0, w);
+        }
+        p.on_hit(0, 0); // 0 becomes most recent
+        assert_eq!(p.victim(0), 1);
+        p.on_hit(0, 1);
+        p.on_hit(0, 2);
+        assert_eq!(p.victim(0), 3);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut p = PolicyState::new(ReplacementPolicy::Fifo, 1, 4);
+        for w in 0..4 {
+            p.on_install(0, w);
+        }
+        p.on_hit(0, 0);
+        p.on_hit(0, 0);
+        assert_eq!(p.victim(0), 0, "FIFO evicts the oldest insert even if hit");
+    }
+
+    #[test]
+    fn random_victims_are_in_range_and_varied() {
+        let mut p = PolicyState::new(ReplacementPolicy::Random, 1, 8);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = p.victim(0);
+            assert!(v < 8);
+            seen.insert(v);
+        }
+        assert!(seen.len() > 3, "random policy should spread victims");
+    }
+
+    #[test]
+    fn plru_victim_avoids_touched_way() {
+        let mut p = PolicyState::new(ReplacementPolicy::TreePlru, 1, 8);
+        for w in 0..8 {
+            p.on_install(0, w);
+        }
+        p.on_hit(0, 5);
+        assert_ne!(
+            p.victim(0),
+            5,
+            "PLRU never evicts the most recently touched way"
+        );
+    }
+
+    #[test]
+    fn plru_cycles_through_all_ways() {
+        // repeatedly install into the victim: every way must eventually be chosen
+        let mut p = PolicyState::new(ReplacementPolicy::TreePlru, 1, 4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            let v = p.victim(0);
+            seen.insert(v);
+            p.on_install(0, v);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn plru_rejects_odd_ways() {
+        PolicyState::new(ReplacementPolicy::TreePlru, 1, 20);
+    }
+
+    #[test]
+    fn srrip_prefers_distant_blocks() {
+        let mut p = PolicyState::new(ReplacementPolicy::Srrip, 1, 4);
+        for w in 0..4 {
+            p.on_install(0, w); // all at RRPV=2
+        }
+        p.on_hit(0, 2); // way 2 -> RRPV 0
+        let v = p.victim(0);
+        assert_ne!(v, 2);
+        // after aging, ways 0,1,3 are at 3; way 2 at 1
+        assert!(p.aux[2] < SRRIP_MAX);
+    }
+
+    #[test]
+    fn srrip_victim_terminates_after_aging() {
+        let mut p = PolicyState::new(ReplacementPolicy::Srrip, 1, 2);
+        p.on_hit(0, 0);
+        p.on_hit(0, 1);
+        let v = p.victim(0); // requires 3 aging rounds
+        assert!(v < 2);
+    }
+
+    #[test]
+    fn policies_have_names() {
+        for p in ReplacementPolicy::ALL {
+            assert!(!p.name().is_empty());
+        }
+    }
+}

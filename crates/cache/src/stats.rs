@@ -1,0 +1,149 @@
+//! Per-level data-movement statistics.
+
+/// Counters collected at one level of the hierarchy.
+///
+/// A "load" is any read request arriving at this level (a demand load or a
+/// block-fill fetch from the level above); a "store" is any write request
+/// (a demand store at L1, or a dirty-block writeback from above). These are
+/// precisely the `Loads_Li` / `Stores_Li` terms of the paper's Equation 2.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Display name of the level.
+    pub name: String,
+    /// Read requests that arrived at this level.
+    pub loads: u64,
+    /// Write requests that arrived at this level.
+    pub stores: u64,
+    /// Read requests that hit.
+    pub load_hits: u64,
+    /// Read requests that missed.
+    pub load_misses: u64,
+    /// Write requests that hit.
+    pub store_hits: u64,
+    /// Write requests that missed.
+    pub store_misses: u64,
+    /// Dirty blocks this level evicted and sent downward.
+    pub writebacks_out: u64,
+    /// Blocks installed (fills).
+    pub fills: u64,
+    /// Bytes moved out of this level by read requests (request size × count).
+    pub bytes_loaded: u64,
+    /// Bytes moved into this level by write requests.
+    pub bytes_stored: u64,
+}
+
+impl LevelStats {
+    /// Fresh statistics for a level called `name`.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Total requests (loads + stores).
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.load_hits + self.store_hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.load_misses + self.store_misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 for an idle level.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Internal consistency: hits + misses == accesses, split by kind.
+    ///
+    /// Used by tests and debug assertions.
+    pub fn is_consistent(&self) -> bool {
+        self.load_hits + self.load_misses == self.loads
+            && self.store_hits + self.store_misses == self.stores
+    }
+
+    /// Merge another level's counters into this one (used when averaging
+    /// across workloads or accumulating shards).
+    pub fn merge(&mut self, other: &LevelStats) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.load_hits += other.load_hits;
+        self.load_misses += other.load_misses;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
+        self.writebacks_out += other.writebacks_out;
+        self.fills += other.fills;
+        self.bytes_loaded += other.bytes_loaded;
+        self.bytes_stored += other.bytes_stored;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let s = LevelStats {
+            name: "L1".into(),
+            loads: 10,
+            stores: 5,
+            load_hits: 8,
+            load_misses: 2,
+            store_hits: 5,
+            store_misses: 0,
+            ..Default::default()
+        };
+        assert_eq!(s.accesses(), 15);
+        assert_eq!(s.hits(), 13);
+        assert_eq!(s.misses(), 2);
+        assert!((s.hit_rate() - 13.0 / 15.0).abs() < 1e-12);
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn idle_level_hit_rate_zero() {
+        assert_eq!(LevelStats::new("x").hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn inconsistency_detected() {
+        let s = LevelStats {
+            loads: 3,
+            load_hits: 1,
+            load_misses: 1,
+            ..Default::default()
+        };
+        assert!(!s.is_consistent());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LevelStats {
+            loads: 1,
+            bytes_loaded: 64,
+            ..Default::default()
+        };
+        let b = LevelStats {
+            loads: 2,
+            stores: 3,
+            bytes_loaded: 128,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.loads, 3);
+        assert_eq!(a.stores, 3);
+        assert_eq!(a.bytes_loaded, 192);
+    }
+}

@@ -1,0 +1,677 @@
+//! `memsim` — command-line front end for the hybrid memory simulator.
+//!
+//! ```text
+//! memsim list
+//! memsim table tech|eh-configs|nmm-configs|table4 [--scale S] [--workloads W]
+//! memsim figure fig1|fig2|...|fig10 [--scale S] [--workloads W] [--csv] [--threads N]
+//! memsim run --workload cg --design nmm --nvm pcm --config N5 [--scale S]
+//! memsim heatmap latency|energy [--scale S] [--workloads W] [--csv]
+//! ```
+
+use memsim_core::configs::{eh_by_name, eh_configs, n_by_name, n_configs};
+use memsim_core::experiments::{self, ExperimentCtx, Metric};
+use memsim_core::report::{heatmap_to_csv, heatmap_to_markdown};
+use memsim_core::{evaluate, Design, Scale, SimCache};
+use memsim_tech::Technology;
+use memsim_workloads::WorkloadKind;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [options]\n  memsim analyze --workload <W> [options]\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --csv                     CSV instead of markdown"
+}
+
+/// Minimal flag parser: `--key value` pairs after the positional arguments.
+struct Opts {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if key == "csv" {
+                    switches.push(key.to_string());
+                    i += 1;
+                } else {
+                    let val = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{key} needs a value"))?;
+                    flags.push((key.to_string(), val.clone()));
+                    i += 2;
+                }
+            } else {
+                positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(Self {
+            positional,
+            flags,
+            switches,
+        })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    fn scale(&self) -> Result<Scale, String> {
+        match self.get("scale").unwrap_or("demo") {
+            "mini" => Ok(Scale::mini()),
+            "demo" => Ok(Scale::demo()),
+            "paper" => Ok(Scale::paper()),
+            other => Err(format!("unknown scale '{other}'")),
+        }
+    }
+
+    fn workloads(&self) -> Result<Vec<WorkloadKind>, String> {
+        match self.get("workloads") {
+            None => Ok(WorkloadKind::PAPER_SET.to_vec()),
+            Some(list) => list
+                .split(',')
+                .map(|w| WorkloadKind::parse(w).ok_or_else(|| format!("unknown workload '{w}'")))
+                .collect(),
+        }
+    }
+
+    fn threads(&self) -> Result<Option<usize>, String> {
+        match self.get("threads") {
+            None => Ok(None),
+            Some(t) => t
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad thread count '{t}'")),
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("no command given")?.clone();
+    let opts = Opts::parse(&args[1..])?;
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "table" => cmd_table(&opts),
+        "figure" => cmd_figure(&opts),
+        "run" => cmd_run(&opts),
+        "heatmap" => cmd_heatmap(&opts),
+        "reproduce" => cmd_reproduce(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("workloads (Table 4 set marked *):");
+    for k in WorkloadKind::ALL {
+        let star = if WorkloadKind::PAPER_SET.contains(&k) {
+            "*"
+        } else {
+            " "
+        };
+        println!("  {star} {}", k.name());
+    }
+    println!("\ndesigns: baseline, 4lc, nmm, 4lcnvm, ndm");
+    println!("\nTable 2 (4LC/4LCNVM eDRAM-HMC configs):");
+    for c in eh_configs() {
+        println!(
+            "  {}: {} MB, {} B pages",
+            c.name,
+            c.capacity_bytes >> 20,
+            c.page_bytes
+        );
+    }
+    println!("\nTable 3 (NMM DRAM-cache configs):");
+    for c in n_configs() {
+        println!(
+            "  {}: {} MB, {} B pages",
+            c.name,
+            c.capacity_bytes >> 20,
+            c.page_bytes
+        );
+    }
+    println!("\nfigures: fig1 fig2 (NMM) fig3 fig4 (4LC) fig5 fig6 (4LCNVM) fig7 fig8 (NDM) fig9 fig10 (heat maps)");
+    Ok(())
+}
+
+fn cmd_table(opts: &Opts) -> Result<(), String> {
+    let which = opts.positional.first().ok_or("table needs a name")?;
+    match which.as_str() {
+        "tech" | "table1" => {
+            println!("{}", experiments::table1().to_markdown());
+        }
+        "eh-configs" | "table2" => {
+            println!("| name | capacity (MB) | page (B) |");
+            println!("|---|---|---|");
+            for c in eh_configs() {
+                println!(
+                    "| {} | {} | {} |",
+                    c.name,
+                    c.capacity_bytes >> 20,
+                    c.page_bytes
+                );
+            }
+        }
+        "nmm-configs" | "table3" => {
+            println!("| name | DRAM capacity (MB) | page (B) |");
+            println!("|---|---|---|");
+            for c in n_configs() {
+                println!(
+                    "| {} | {} | {} |",
+                    c.name,
+                    c.capacity_bytes >> 20,
+                    c.page_bytes
+                );
+            }
+        }
+        "table4" | "workloads" => {
+            let cache = SimCache::new();
+            let mut ctx = ExperimentCtx::new(opts.scale()?, &cache);
+            ctx.workloads = opts.workloads()?;
+            ctx.threads = opts.threads()?;
+            let t = experiments::table4(&ctx);
+            println!(
+                "{}",
+                if opts.has("csv") {
+                    t.to_csv()
+                } else {
+                    t.to_markdown()
+                }
+            );
+        }
+        other => return Err(format!("unknown table '{other}'")),
+    }
+    Ok(())
+}
+
+fn cmd_figure(opts: &Opts) -> Result<(), String> {
+    let which = opts
+        .positional
+        .first()
+        .ok_or("figure needs an id (fig1..fig10)")?;
+    let cache = SimCache::new();
+    let mut ctx = ExperimentCtx::new(opts.scale()?, &cache);
+    ctx.workloads = opts.workloads()?;
+    ctx.threads = opts.threads()?;
+    let fig = match which.as_str() {
+        "fig1" => experiments::fig_nmm(&ctx, Metric::Time),
+        "fig2" => experiments::fig_nmm(&ctx, Metric::Energy),
+        "fig3" => experiments::fig_4lc(&ctx, Metric::Time),
+        "fig4" => experiments::fig_4lc(&ctx, Metric::Energy),
+        "fig5" => experiments::fig_4lcnvm(&ctx, Metric::Time),
+        "fig6" => experiments::fig_4lcnvm(&ctx, Metric::Energy),
+        "fig7" => experiments::fig_ndm(&ctx, Metric::Time),
+        "fig8" => experiments::fig_ndm(&ctx, Metric::Energy),
+        "fig9" => {
+            let h = experiments::fig9(&ctx);
+            println!(
+                "{}",
+                if opts.has("csv") {
+                    heatmap_to_csv(&h)
+                } else {
+                    heatmap_to_markdown(&h)
+                }
+            );
+            return Ok(());
+        }
+        "fig10" => {
+            let h = experiments::fig10(&ctx);
+            println!(
+                "{}",
+                if opts.has("csv") {
+                    heatmap_to_csv(&h)
+                } else {
+                    heatmap_to_markdown(&h)
+                }
+            );
+            return Ok(());
+        }
+        other => return Err(format!("unknown figure '{other}'")),
+    };
+    println!(
+        "{}",
+        if opts.has("csv") {
+            fig.to_csv()
+        } else {
+            fig.to_markdown()
+        }
+    );
+    Ok(())
+}
+
+fn parse_tech(opts: &Opts, key: &str, default: Technology) -> Result<Technology, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(t) => Technology::parse(t).ok_or_else(|| format!("unknown technology '{t}'")),
+    }
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let workload = WorkloadKind::parse(opts.get("workload").ok_or("--workload required")?)
+        .ok_or("unknown workload")?;
+    let scale = opts.scale()?;
+    let design = match opts.get("design").ok_or("--design required")? {
+        "baseline" => Design::Baseline,
+        "4lc" => Design::FourLc {
+            llc: parse_tech(opts, "llc", Technology::Edram)?,
+            config: eh_by_name(opts.get("config").unwrap_or("EH1")).ok_or("unknown EH config")?,
+        },
+        "nmm" => Design::Nmm {
+            nvm: parse_tech(opts, "nvm", Technology::Pcm)?,
+            config: n_by_name(opts.get("config").unwrap_or("N6")).ok_or("unknown N config")?,
+        },
+        "4lcnvm" => Design::FourLcNvm {
+            llc: parse_tech(opts, "llc", Technology::Edram)?,
+            nvm: parse_tech(opts, "nvm", Technology::Pcm)?,
+            config: eh_by_name(opts.get("config").unwrap_or("EH1")).ok_or("unknown EH config")?,
+        },
+        "ndm" => Design::Ndm {
+            nvm: parse_tech(opts, "nvm", Technology::Pcm)?,
+        },
+        other => return Err(format!("unknown design '{other}'")),
+    };
+    design.validate()?;
+
+    let base = evaluate(workload, &scale, &Design::Baseline);
+    let result = evaluate(workload, &scale, &design);
+    let norm = result.metrics.normalized_to(&base.metrics);
+
+    println!("# {} on {}", design.label(), workload.name());
+    println!();
+    println!("| metric | baseline | design | normalized |");
+    println!("|---|---|---|---|");
+    println!(
+        "| AMAT (ns) | {:.3} | {:.3} | {:.4} |",
+        base.metrics.amat_ns,
+        result.metrics.amat_ns,
+        result.metrics.amat_ns / base.metrics.amat_ns
+    );
+    println!(
+        "| time (ms) | {:.3} | {:.3} | {:.4} |",
+        base.metrics.time_s * 1e3,
+        result.metrics.time_s * 1e3,
+        norm.time
+    );
+    println!(
+        "| dynamic energy (mJ) | {:.3} | {:.3} | {:.4} |",
+        base.metrics.dynamic_j * 1e3,
+        result.metrics.dynamic_j * 1e3,
+        norm.dynamic
+    );
+    println!(
+        "| static energy (mJ) | {:.3} | {:.3} | {:.4} |",
+        base.metrics.static_j * 1e3,
+        result.metrics.static_j * 1e3,
+        norm.static_
+    );
+    println!(
+        "| total energy (mJ) | {:.3} | {:.3} | {:.4} |",
+        base.metrics.energy_j() * 1e3,
+        result.metrics.energy_j() * 1e3,
+        norm.energy
+    );
+    println!(
+        "| EDP (µJ·s) | {:.4} | {:.4} | {:.4} |",
+        base.metrics.edp() * 1e6,
+        result.metrics.edp() * 1e6,
+        norm.edp
+    );
+    println!();
+    println!("## hierarchy ({} refs)", result.run.total_refs);
+    println!();
+    println!("| level | loads | stores | hit rate | MiB read | MiB written |");
+    println!("|---|---|---|---|---|---|");
+    for s in result.run.all_levels() {
+        println!(
+            "| {} | {} | {} | {:.4} | {:.1} | {:.1} |",
+            s.name,
+            s.loads,
+            s.stores,
+            s.hit_rate(),
+            s.bytes_loaded as f64 / (1 << 20) as f64,
+            s.bytes_stored as f64 / (1 << 20) as f64,
+        );
+    }
+    // per-level energy breakdown (non-NDM designs expose aligned costing)
+    if !matches!(design, Design::Ndm { .. }) {
+        let costs = design.costing(&scale, &result.run);
+        let stats = result.run.all_levels();
+        let pairs: Vec<_> = stats.into_iter().zip(costs.iter()).collect();
+        println!();
+        println!("## energy breakdown");
+        println!();
+        println!("| level | time share | dynamic (mJ) | static power (mW) |");
+        println!("|---|---|---|---|");
+        let total_ns: f64 = pairs.iter().map(|(st, c)| c.time_ns(st)).sum();
+        for row in memsim_core::breakdown(&pairs) {
+            println!(
+                "| {} | {:.1}% | {:.3} | {:.2} |",
+                row.name,
+                100.0 * row.time_ns / total_ns,
+                row.dynamic_j * 1e3,
+                row.static_w * 1e3,
+            );
+        }
+    }
+
+    if let Some(placement) = &result.placement {
+        println!();
+        println!("## NDM placement");
+        println!();
+        println!("| region | bytes | placement | memory refs |");
+        println!("|---|---|---|---|");
+        for (i, p) in placement.iter().enumerate() {
+            println!(
+                "| {} | {} | {:?} | {} |",
+                result.run.region_names[i],
+                result.run.region_sizes[i],
+                p,
+                result.run.per_region[i].loads + result.run.per_region[i].stores,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Characterize a workload's address stream: reference counts, load/store
+/// mix, stride locality, per-region traffic, and the LRU miss-ratio curve
+/// from exact stack-distance analysis.
+fn cmd_analyze(opts: &Opts) -> Result<(), String> {
+    use memsim_trace::sinks::RegionProfiler;
+    use memsim_trace::stats::StreamStats;
+    use memsim_trace::{ReuseDistance, TraceEvent, TraceSink};
+
+    let workload = WorkloadKind::parse(opts.get("workload").ok_or("--workload required")?)
+        .ok_or("unknown workload")?;
+    let scale = opts.scale()?;
+    let mut w = workload.build(scale.class);
+
+    struct Analyzer {
+        stats: StreamStats,
+        reuse: ReuseDistance,
+        regions: RegionProfiler,
+    }
+    impl TraceSink for Analyzer {
+        fn access(&mut self, ev: TraceEvent) {
+            self.stats.access(ev);
+            self.reuse.access(ev);
+            self.regions.access(ev);
+        }
+    }
+
+    let mut sink = Analyzer {
+        stats: StreamStats::new(),
+        reuse: ReuseDistance::new(64),
+        regions: RegionProfiler::new(w.space()),
+    };
+    let names: Vec<String> = w.space().regions().iter().map(|r| r.name.clone()).collect();
+    let sizes: Vec<u64> = w.space().regions().iter().map(|r| r.len).collect();
+    w.run(&mut sink);
+    w.verify()?;
+
+    println!("# {} ({} scale)", workload.name(), scale.class.name());
+    println!();
+    println!(
+        "references: {} ({} loads, {} stores; store fraction {:.1}%)",
+        sink.stats.total_refs(),
+        sink.stats.loads,
+        sink.stats.stores,
+        100.0 * sink.stats.stores as f64 / sink.stats.total_refs().max(1) as f64
+    );
+    println!(
+        "footprint: {:.1} MiB over {} regions; touched span {:.1} MiB",
+        w.footprint_bytes() as f64 / (1 << 20) as f64,
+        names.len(),
+        sink.stats.touched_span() as f64 / (1 << 20) as f64
+    );
+    println!(
+        "stride locality (fraction of consecutive refs within 64 B): {:.1}%",
+        100.0 * sink.stats.locality_below(64)
+    );
+    println!(
+        "distinct 64 B lines touched: {}",
+        sink.reuse.distinct_blocks()
+    );
+    println!();
+    println!("## LRU miss-ratio curve (fully associative, 64 B lines)");
+    println!();
+    println!("| capacity | miss ratio |");
+    println!("|---|---|");
+    let curve = sink.reuse.miss_ratio_curve(24);
+    for (i, m) in curve.iter().enumerate().step_by(2) {
+        println!("| {} | {:.4} |", human_capacity(64u64 << i), m);
+    }
+    println!();
+    println!("## per-region traffic");
+    println!();
+    println!("| region | bytes | loads | stores | refs/KiB |");
+    println!("|---|---|---|---|---|");
+    let hot = sink.regions.hottest();
+    for (id, total) in hot.iter().take(12) {
+        let i = id.index();
+        println!(
+            "| {} | {} | {} | {} | {:.1} |",
+            names[i],
+            sizes[i],
+            sink.regions.loads[i],
+            sink.regions.stores[i],
+            *total as f64 / (sizes[i].max(1) as f64 / 1024.0)
+        );
+    }
+    Ok(())
+}
+
+fn human_capacity(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{} MiB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{} KiB", bytes >> 10)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Regenerate every table and figure into `--out DIR` (markdown + CSV),
+/// sharing one simulation memo across all of them.
+fn cmd_reproduce(opts: &Opts) -> Result<(), String> {
+    let out = std::path::PathBuf::from(opts.get("out").unwrap_or("reproduction"));
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let cache = SimCache::new();
+    let mut ctx = ExperimentCtx::new(opts.scale()?, &cache);
+    ctx.workloads = opts.workloads()?;
+    ctx.threads = opts.threads()?;
+
+    let write = |name: &str, md: String, csv: String| -> Result<(), String> {
+        std::fs::write(out.join(format!("{name}.md")), md).map_err(|e| e.to_string())?;
+        std::fs::write(out.join(format!("{name}.csv")), csv).map_err(|e| e.to_string())?;
+        eprintln!("wrote {name}");
+        Ok(())
+    };
+
+    let t1 = experiments::table1();
+    write("table1", t1.to_markdown(), t1.to_csv())?;
+    let t4 = experiments::table4(&ctx);
+    write("table4", t4.to_markdown(), t4.to_csv())?;
+    for (name, fig) in [
+        ("fig1", experiments::fig_nmm(&ctx, Metric::Time)),
+        ("fig2", experiments::fig_nmm(&ctx, Metric::Energy)),
+        ("fig1_edp", experiments::fig_nmm(&ctx, Metric::Edp)),
+        ("fig3", experiments::fig_4lc(&ctx, Metric::Time)),
+        ("fig4", experiments::fig_4lc(&ctx, Metric::Energy)),
+        ("fig5", experiments::fig_4lcnvm(&ctx, Metric::Time)),
+        ("fig6", experiments::fig_4lcnvm(&ctx, Metric::Energy)),
+        ("fig7", experiments::fig_ndm(&ctx, Metric::Time)),
+        ("fig8", experiments::fig_ndm(&ctx, Metric::Energy)),
+    ] {
+        write(name, fig.to_markdown(), fig.to_csv())?;
+    }
+    let h9 = experiments::fig9(&ctx);
+    write("fig9", heatmap_to_markdown(&h9), heatmap_to_csv(&h9))?;
+    let h10 = experiments::fig10(&ctx);
+    write("fig10", heatmap_to_markdown(&h10), heatmap_to_csv(&h10))?;
+    eprintln!("reproduction complete: {}", out.display());
+    Ok(())
+}
+
+fn cmd_heatmap(opts: &Opts) -> Result<(), String> {
+    let axis = opts
+        .positional
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or("latency");
+    let cache = SimCache::new();
+    let mut ctx = ExperimentCtx::new(opts.scale()?, &cache);
+    ctx.workloads = opts.workloads()?;
+    ctx.threads = opts.threads()?;
+    let h = match axis {
+        "latency" => experiments::fig9(&ctx),
+        "energy" => experiments::fig10(&ctx),
+        other => return Err(format!("unknown heatmap axis '{other}'")),
+    };
+    println!(
+        "{}",
+        if opts.has("csv") {
+            heatmap_to_csv(&h)
+        } else {
+            heatmap_to_markdown(&h)
+        }
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn opts_parse_positional_flags_switches() {
+        let o = Opts::parse(&args(&[
+            "fig1",
+            "--scale",
+            "mini",
+            "--csv",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(o.positional, vec!["fig1"]);
+        assert_eq!(o.get("scale"), Some("mini"));
+        assert_eq!(o.get("threads"), Some("4"));
+        assert!(o.has("csv"));
+        assert!(!o.has("md"));
+        assert_eq!(o.threads().unwrap(), Some(4));
+    }
+
+    #[test]
+    fn opts_missing_value_errors() {
+        assert!(Opts::parse(&args(&["--scale"])).is_err());
+    }
+
+    #[test]
+    fn opts_last_flag_wins() {
+        let o = Opts::parse(&args(&["--scale", "mini", "--scale", "demo"])).unwrap();
+        assert_eq!(o.get("scale"), Some("demo"));
+    }
+
+    #[test]
+    fn scale_parsing() {
+        let mini = Opts::parse(&args(&["--scale", "mini"])).unwrap();
+        assert_eq!(mini.scale().unwrap(), Scale::mini());
+        let default = Opts::parse(&args(&[])).unwrap();
+        assert_eq!(default.scale().unwrap(), Scale::demo());
+        let bad = Opts::parse(&args(&["--scale", "bogus"])).unwrap();
+        assert!(bad.scale().is_err());
+    }
+
+    #[test]
+    fn workload_list_parsing() {
+        let o = Opts::parse(&args(&["--workloads", "cg,hash,graph500"])).unwrap();
+        let w = o.workloads().unwrap();
+        assert_eq!(
+            w,
+            vec![WorkloadKind::Cg, WorkloadKind::Hash, WorkloadKind::Graph500]
+        );
+        let bad = Opts::parse(&args(&["--workloads", "cg,nope"])).unwrap();
+        assert!(bad.workloads().is_err());
+        let default = Opts::parse(&args(&[])).unwrap();
+        assert_eq!(default.workloads().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn bad_thread_count_errors() {
+        let o = Opts::parse(&args(&["--threads", "lots"])).unwrap();
+        assert!(o.threads().is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_commands() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&[])).is_err());
+        assert!(run(&args(&["figure", "fig99"])).is_err());
+        assert!(run(&args(&["table", "bogus"])).is_err());
+        assert!(run(&args(&["heatmap", "sideways"])).is_err());
+    }
+
+    #[test]
+    fn dispatch_static_commands_succeed() {
+        assert!(run(&args(&["list"])).is_ok());
+        assert!(run(&args(&["help"])).is_ok());
+        assert!(run(&args(&["table", "tech"])).is_ok());
+        assert!(run(&args(&["table", "eh-configs"])).is_ok());
+        assert!(run(&args(&["table", "nmm-configs"])).is_ok());
+    }
+
+    #[test]
+    fn run_requires_design_and_workload() {
+        assert!(run(&args(&["run", "--workload", "cg"])).is_err());
+        assert!(run(&args(&["run", "--design", "nmm"])).is_err());
+        // invalid technology for the design
+        assert!(run(&args(&[
+            "run",
+            "--workload",
+            "cg",
+            "--design",
+            "nmm",
+            "--nvm",
+            "edram",
+            "--scale",
+            "mini"
+        ]))
+        .is_err());
+    }
+}

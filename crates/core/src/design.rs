@@ -1,0 +1,327 @@
+//! The four evaluated hierarchy organizations (plus the baseline).
+
+use crate::configs::{EhConfig, NConfig};
+use crate::model::LevelCost;
+use crate::runner::RawRun;
+use crate::scale::Scale;
+use memsim_tech::{sram_cache_params, TechParams, Technology};
+
+/// Name used for the terminal memory level in stats and costs.
+pub(crate) const MEM_NAME: &str = "MEM";
+
+/// A memory hierarchy design of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Design {
+    /// The reference system: L1/L2/L3 SRAM caches over a DRAM large enough
+    /// for the whole footprint.
+    Baseline,
+    /// 4LC: an eDRAM or HMC fourth-level cache in front of DRAM.
+    FourLc {
+        /// Cache technology (must be `Edram` or `Hmc`).
+        llc: Technology,
+        /// Table 2 geometry.
+        config: EhConfig,
+    },
+    /// NMM: NVM main memory behind a DRAM page cache.
+    Nmm {
+        /// Main-memory technology (must be one of the NVM technologies).
+        nvm: Technology,
+        /// Table 3 geometry of the DRAM cache.
+        config: NConfig,
+    },
+    /// 4LCNVM: an eDRAM/HMC cache directly in front of NVM (no DRAM at all).
+    FourLcNvm {
+        /// Cache technology (must be `Edram` or `Hmc`).
+        llc: Technology,
+        /// Main-memory technology (must be NVM).
+        nvm: Technology,
+        /// Table 2 geometry.
+        config: EhConfig,
+    },
+    /// NDM: DRAM and NVM side by side as a partitioned main memory; the
+    /// oracle partitioner picks the address-range placement.
+    Ndm {
+        /// Technology of the NVM partition.
+        nvm: Technology,
+    },
+}
+
+/// The *cache structure* a design needs simulated. Technology assignment
+/// does not change cache statistics, so designs sharing a structure share
+/// one simulation (e.g. 4LC and 4LCNVM at the same Table 2 row, or NMM
+/// with PCM/STT-RAM/FeRAM at the same Table 3 row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Structure {
+    /// L1/L2/L3 over the terminal memory (baseline and NDM).
+    ThreeLevel,
+    /// L1/L2/L3 plus a fourth cache level of the given (already scaled)
+    /// geometry over the terminal memory (4LC, NMM, 4LCNVM).
+    WithL4 {
+        /// Scaled capacity of the added level, in bytes.
+        capacity_bytes: u64,
+        /// Page (block) size of the added level, in bytes.
+        page_bytes: u32,
+    },
+}
+
+impl Design {
+    /// Short display name ("NMM(PCM)@N5" style).
+    pub fn label(&self) -> String {
+        match self {
+            Design::Baseline => "Baseline".into(),
+            Design::FourLc { llc, config } => format!("4LC({})@{}", llc.name(), config.name),
+            Design::Nmm { nvm, config } => format!("NMM({})@{}", nvm.name(), config.name),
+            Design::FourLcNvm { llc, nvm, config } => {
+                format!("4LCNVM({}+{})@{}", llc.name(), nvm.name(), config.name)
+            }
+            Design::Ndm { nvm } => format!("NDM({})", nvm.name()),
+        }
+    }
+
+    /// Validate the technology choices for this design.
+    pub fn validate(&self) -> Result<(), String> {
+        let check_llc = |t: Technology| {
+            if matches!(t, Technology::Edram | Technology::Hmc) {
+                Ok(())
+            } else {
+                Err(format!("{} is not a fast-LLC technology", t.name()))
+            }
+        };
+        let check_nvm = |t: Technology| {
+            if t.is_nvm() {
+                Ok(())
+            } else {
+                Err(format!("{} is not an NVM technology", t.name()))
+            }
+        };
+        match self {
+            Design::Baseline => Ok(()),
+            Design::FourLc { llc, .. } => check_llc(*llc),
+            Design::Nmm { nvm, .. } => check_nvm(*nvm),
+            Design::FourLcNvm { llc, nvm, .. } => check_llc(*llc).and(check_nvm(*nvm)),
+            Design::Ndm { nvm } => check_nvm(*nvm),
+        }
+    }
+
+    /// The cache structure this design needs simulated, at `scale`.
+    pub fn structure(&self, scale: &Scale) -> Structure {
+        match self {
+            Design::Baseline | Design::Ndm { .. } => Structure::ThreeLevel,
+            Design::FourLc { config, .. } | Design::FourLcNvm { config, .. } => Structure::WithL4 {
+                capacity_bytes: scale.scaled_capacity(config.capacity_bytes),
+                page_bytes: config.page_bytes,
+            },
+            Design::Nmm { config, .. } => Structure::WithL4 {
+                capacity_bytes: scale.scaled_capacity(config.capacity_bytes),
+                page_bytes: config.page_bytes,
+            },
+        }
+    }
+
+    /// Per-level cost parameters aligned with the simulated stats of `run`:
+    /// `[L1, L2, L3, (L4,) MEM]`. NDM costing is handled by
+    /// [`crate::partition`] instead (its memory level splits in two).
+    pub fn costing(&self, scale: &Scale, run: &RawRun) -> Vec<LevelCost> {
+        let mut costs = sram_costs(scale);
+        match self {
+            Design::Baseline => {
+                costs.push(LevelCost::from_tech(
+                    MEM_NAME,
+                    &TechParams::of(Technology::Dram),
+                    represented_footprint(scale, run.footprint_bytes),
+                ));
+            }
+            Design::FourLc { llc, config } => {
+                // static on the paper-scale (Table 2) capacity it represents
+                costs.push(LevelCost::from_tech(
+                    "L4",
+                    &TechParams::of(*llc),
+                    config.capacity_bytes,
+                ));
+                costs.push(LevelCost::from_tech(
+                    MEM_NAME,
+                    &TechParams::of(Technology::Dram),
+                    represented_footprint(scale, run.footprint_bytes),
+                ));
+            }
+            Design::Nmm { nvm, config } => {
+                costs.push(LevelCost::from_tech(
+                    "L4",
+                    &TechParams::of(Technology::Dram),
+                    config.capacity_bytes,
+                ));
+                costs.push(LevelCost::from_tech(
+                    MEM_NAME,
+                    &TechParams::of(*nvm),
+                    represented_footprint(scale, run.footprint_bytes),
+                ));
+            }
+            Design::FourLcNvm { llc, nvm, config } => {
+                costs.push(LevelCost::from_tech(
+                    "L4",
+                    &TechParams::of(*llc),
+                    config.capacity_bytes,
+                ));
+                costs.push(LevelCost::from_tech(
+                    MEM_NAME,
+                    &TechParams::of(*nvm),
+                    represented_footprint(scale, run.footprint_bytes),
+                ));
+            }
+            Design::Ndm { .. } => {
+                panic!("NDM costing is computed by the partition module")
+            }
+        }
+        costs
+    }
+}
+
+/// Cost parameters for the fixed SRAM levels of `scale`.
+///
+/// Static power is charged on *represented* capacities (see
+/// [`represented_bytes`]): L1/L2 keep paper geometry, so they represent
+/// themselves; L3 is geometry-scaled and represents the paper's 20 MB.
+pub(crate) fn sram_costs(scale: &Scale) -> Vec<LevelCost> {
+    vec![
+        LevelCost::from_tech("L1", &sram_cache_params(1), scale.l1_bytes),
+        LevelCost::from_tech("L2", &sram_cache_params(2), scale.l2_bytes),
+        LevelCost::from_tech(
+            "L3",
+            &sram_cache_params(3),
+            represented_bytes(scale, scale.l3_bytes),
+        ),
+    ]
+}
+
+/// The paper-scale capacity a geometry-scaled level stands for.
+///
+/// A scaled simulation models a paper-scale machine: hit rates come from
+/// the scaled geometry (which preserves the capacity *ratios*), but static
+/// power must be charged on the capacity the level represents, otherwise
+/// static energy (∝ capacity × time) shrinks quadratically with the scale
+/// divisor while dynamic energy (∝ references) shrinks linearly, and the
+/// paper's static/dynamic balance — the entire NMM/NDM energy story — is
+/// lost.
+pub fn represented_bytes(scale: &Scale, scaled_bytes: u64) -> u64 {
+    scaled_bytes * scale.capacity_divisor
+}
+
+/// The paper-scale footprint a scaled workload stands for (footprints
+/// scale by `footprint_multiplier`, which at mini scale is more aggressive
+/// than the cache-capacity divisor).
+pub fn represented_footprint(scale: &Scale, footprint_bytes: u64) -> u64 {
+    footprint_bytes * scale.footprint_multiplier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{eh_configs, n_configs};
+
+    #[test]
+    fn labels() {
+        let d = Design::Nmm {
+            nvm: Technology::Pcm,
+            config: n_configs()[0],
+        };
+        assert_eq!(d.label(), "NMM(PCM)@N1");
+        assert_eq!(Design::Baseline.label(), "Baseline");
+        let d = Design::FourLcNvm {
+            llc: Technology::Edram,
+            nvm: Technology::SttRam,
+            config: eh_configs()[0],
+        };
+        assert_eq!(d.label(), "4LCNVM(eDRAM+STTRAM)@EH1");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Design::Baseline.validate().is_ok());
+        assert!(Design::FourLc {
+            llc: Technology::Edram,
+            config: eh_configs()[0]
+        }
+        .validate()
+        .is_ok());
+        assert!(Design::FourLc {
+            llc: Technology::Pcm,
+            config: eh_configs()[0]
+        }
+        .validate()
+        .is_err());
+        assert!(Design::Nmm {
+            nvm: Technology::Dram,
+            config: n_configs()[0]
+        }
+        .validate()
+        .is_err());
+        assert!(Design::Ndm {
+            nvm: Technology::FeRam
+        }
+        .validate()
+        .is_ok());
+        assert!(Design::Ndm {
+            nvm: Technology::Hmc
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn structures_shared_between_designs() {
+        let scale = Scale::demo();
+        let eh = eh_configs()[2];
+        let a = Design::FourLc {
+            llc: Technology::Edram,
+            config: eh,
+        }
+        .structure(&scale);
+        let b = Design::FourLcNvm {
+            llc: Technology::Hmc,
+            nvm: Technology::Pcm,
+            config: eh,
+        }
+        .structure(&scale);
+        assert_eq!(a, b, "4LC and 4LCNVM share the simulated structure");
+        let n = n_configs()[2];
+        let c = Design::Nmm {
+            nvm: Technology::Pcm,
+            config: n,
+        }
+        .structure(&scale);
+        let d = Design::Nmm {
+            nvm: Technology::FeRam,
+            config: n,
+        }
+        .structure(&scale);
+        assert_eq!(c, d, "NVM choice does not change the structure");
+        assert_eq!(Design::Baseline.structure(&scale), Structure::ThreeLevel);
+        assert_eq!(
+            Design::Ndm {
+                nvm: Technology::Pcm
+            }
+            .structure(&scale),
+            Structure::ThreeLevel
+        );
+    }
+
+    #[test]
+    fn structure_scales_capacity() {
+        let scale = Scale::demo(); // divisor 32
+        let s = Design::FourLc {
+            llc: Technology::Edram,
+            config: eh_configs()[0],
+        }
+        .structure(&scale);
+        match s {
+            Structure::WithL4 {
+                capacity_bytes,
+                page_bytes,
+            } => {
+                assert_eq!(capacity_bytes, (16 << 20) / 32);
+                assert_eq!(page_bytes, 64);
+            }
+            _ => panic!("expected WithL4"),
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! Dynamic (phase-aware) DRAM/NVM partitioning — the paper's stated
+//! future work: "Further investigation should explore dynamic
+//! partitioning, that may change between computation phases".
+//!
+//! The static NDM oracle picks one placement for the whole run; here the
+//! run is split into epochs (fixed counts of memory requests) and an exact
+//! dynamic program chooses a placement *per epoch*, paying an explicit
+//! migration cost (read the region from the old device + write it to the
+//! new one) at every change. Placement only affects the memory level, so
+//! the DP optimizes memory-level energy and adds the placement-independent
+//! cache costs afterwards.
+
+use crate::configs::NDM_DRAM_BYTES;
+use crate::design::{represented_footprint, sram_costs};
+use crate::model::Metrics;
+use crate::partition::{merge_into_ranges, Placement};
+use crate::runner::RawRun;
+use crate::scale::Scale;
+use memsim_cache::{Cache, CacheConfig, Hierarchy, LevelStats};
+use memsim_memory::{EpochProfiler, RegionTraffic};
+use memsim_tech::{TechParams, Technology};
+use memsim_workloads::WorkloadKind;
+
+/// An epoch-resolved simulation of a workload (three-level structure).
+#[derive(Debug, Clone)]
+pub struct EpochRun {
+    /// The aggregate run view (cache stats, regions, totals).
+    pub run: RawRun,
+    /// `epochs[e][r]` = memory traffic of region `r` during epoch `e`.
+    pub epochs: Vec<Vec<RegionTraffic>>,
+}
+
+/// Simulate `kind` through L1–L3 with an epoch-profiling terminal.
+pub fn simulate_epochs(kind: WorkloadKind, scale: &Scale, epoch_requests: u64) -> EpochRun {
+    let mut workload = kind.build(scale.class);
+    let caches = vec![
+        Cache::new(CacheConfig::new(
+            "L1",
+            scale.l1_bytes,
+            scale.line_bytes,
+            scale.l1_ways,
+        )),
+        Cache::new(CacheConfig::new(
+            "L2",
+            scale.l2_bytes,
+            scale.line_bytes,
+            scale.l2_ways,
+        )),
+        Cache::new(CacheConfig::new(
+            "L3",
+            scale.l3_bytes,
+            scale.line_bytes,
+            scale.l3_ways,
+        )),
+    ];
+    let regions = workload.space().regions().to_vec();
+    let mut hierarchy = Hierarchy::new(caches, EpochProfiler::new(&regions, epoch_requests));
+    workload.run(&mut hierarchy);
+    hierarchy.drain();
+    workload
+        .verify()
+        .unwrap_or_else(|e| panic!("{} failed self-verification: {e}", workload.name()));
+
+    let total_refs = hierarchy.total_refs();
+    let cache_stats: Vec<LevelStats> = hierarchy
+        .levels()
+        .iter()
+        .map(|c| c.stats().clone())
+        .collect();
+    let profiler = hierarchy.into_memory();
+    let epochs = profiler.epochs().to_vec();
+    let per_region = profiler.aggregate();
+
+    let mut mem = LevelStats::new("MEM");
+    for t in &per_region {
+        mem.loads += t.loads;
+        mem.stores += t.stores;
+        mem.bytes_loaded += t.bytes_loaded;
+        mem.bytes_stored += t.bytes_stored;
+    }
+
+    let run = RawRun {
+        caches: cache_stats,
+        mem,
+        per_region,
+        region_names: regions.iter().map(|r| r.name.clone()).collect(),
+        region_sizes: regions.iter().map(|r| r.len).collect(),
+        region_starts: regions.iter().map(|r| r.start).collect(),
+        total_refs,
+        footprint_bytes: regions.iter().map(|r| r.len).sum(),
+    };
+    EpochRun { run, epochs }
+}
+
+/// Memory-level time (ns) and dynamic energy (pJ) of one epoch's traffic
+/// under a group placement mask (bit set = group in DRAM).
+fn epoch_mem_cost(
+    epoch: &[RegionTraffic],
+    group_of: &[usize],
+    mask: u32,
+    dram: &TechParams,
+    nvm: &TechParams,
+) -> (f64, f64) {
+    let mut ns = 0.0;
+    let mut pj = 0.0;
+    for (r, t) in epoch.iter().enumerate() {
+        let p = if mask & (1 << group_of[r]) != 0 {
+            dram
+        } else {
+            nvm
+        };
+        ns += p.read_ns * t.loads as f64 + p.write_ns * t.stores as f64;
+        pj += p.read_pj_per_bit * t.bytes_loaded as f64 * 8.0
+            + p.write_pj_per_bit * t.bytes_stored as f64 * 8.0;
+    }
+    (ns, pj)
+}
+
+/// Cost of migrating the regions whose group placement changed between
+/// `from` and `to` (in ns and pJ): each moved byte is read from the old
+/// device and written to the new one, in 4 KiB transfer units.
+fn migration_cost(
+    groups_bytes: &[u64],
+    from: u32,
+    to: u32,
+    dram: &TechParams,
+    nvm: &TechParams,
+) -> (f64, f64) {
+    const UNIT: f64 = 4096.0;
+    let mut ns = 0.0;
+    let mut pj = 0.0;
+    let changed = from ^ to;
+    for (g, &bytes) in groups_bytes.iter().enumerate() {
+        if changed & (1 << g) == 0 {
+            continue;
+        }
+        let to_dram = to & (1 << g) != 0;
+        let (src, dst) = if to_dram { (nvm, dram) } else { (dram, nvm) };
+        let units = (bytes as f64 / UNIT).ceil();
+        ns += units * (src.read_ns + dst.write_ns);
+        pj += bytes as f64 * 8.0 * (src.read_pj_per_bit + dst.write_pj_per_bit);
+    }
+    (ns, pj)
+}
+
+/// The dynamic oracle's schedule.
+#[derive(Debug, Clone)]
+pub struct DynamicChoice {
+    /// Group placement mask per epoch (bit set = group in DRAM).
+    pub schedule: Vec<u32>,
+    /// Number of epochs whose placement differs from the previous one.
+    pub migrations: usize,
+    /// Full-run metrics including migration costs.
+    pub metrics: Metrics,
+    /// The merged-range group of each region.
+    pub group_of: Vec<usize>,
+    /// Bytes per group.
+    pub group_bytes: Vec<u64>,
+}
+
+/// Choose a per-epoch placement schedule minimizing total energy (memory
+/// dynamic + migration + static over the resulting runtime), by exact DP
+/// over `2^groups` states per epoch.
+pub fn dynamic_oracle(
+    epoch_run: &EpochRun,
+    nvm_tech: Technology,
+    scale: &Scale,
+    max_groups: usize,
+) -> DynamicChoice {
+    let run = &epoch_run.run;
+    let groups = merge_into_ranges(run, max_groups);
+    let mut group_of = vec![0usize; run.per_region.len()];
+    for (g, gr) in groups.iter().enumerate() {
+        for &r in &gr.regions {
+            group_of[r] = g;
+        }
+    }
+    let group_bytes: Vec<u64> = groups.iter().map(|g| g.bytes).collect();
+    let n_states = 1u32 << groups.len();
+    let dram = TechParams::of(Technology::Dram);
+    let nvm = TechParams::of(nvm_tech);
+    let budget = crate::partition::ndm_dram_budget(scale, run.footprint_bytes);
+
+    let feasible: Vec<bool> = (0..n_states)
+        .map(|m| {
+            let bytes: u64 = group_bytes
+                .iter()
+                .enumerate()
+                .filter(|(g, _)| m & (1 << *g) != 0)
+                .map(|(_, b)| *b)
+                .sum();
+            bytes <= budget
+        })
+        .collect();
+
+    // DP over epochs: cost = weighted ns+pj objective. Energy is the
+    // optimization target; runtime is carried along for reporting. To keep
+    // a single scalar objective we minimize energy (pJ) + static power ×
+    // time contribution of the memory level — static power is placement-
+    // independent here (provisioned DRAM device), so energy ordering is
+    // dominated by (dynamic pJ, migration pJ); ties broken by ns.
+    let n_epochs = epoch_run.epochs.len().max(1);
+    let big = f64::INFINITY;
+    let mut cost = vec![vec![big; n_states as usize]; n_epochs];
+    let mut time = vec![vec![0.0f64; n_states as usize]; n_epochs];
+    let mut prev = vec![vec![u32::MAX; n_states as usize]; n_epochs];
+
+    for s in 0..n_states {
+        if !feasible[s as usize] {
+            continue;
+        }
+        let (ns, pj) = epoch_mem_cost(&epoch_run.epochs[0], &group_of, s, &dram, &nvm);
+        cost[0][s as usize] = pj;
+        time[0][s as usize] = ns;
+    }
+    for e in 1..n_epochs {
+        for s in 0..n_states {
+            if !feasible[s as usize] {
+                continue;
+            }
+            let (ns_e, pj_e) = epoch_mem_cost(&epoch_run.epochs[e], &group_of, s, &dram, &nvm);
+            for p in 0..n_states {
+                if cost[e - 1][p as usize].is_infinite() {
+                    continue;
+                }
+                let (ns_m, pj_m) = migration_cost(&group_bytes, p, s, &dram, &nvm);
+                let c = cost[e - 1][p as usize] + pj_e + pj_m;
+                if c < cost[e][s as usize] {
+                    cost[e][s as usize] = c;
+                    time[e][s as usize] = time[e - 1][p as usize] + ns_e + ns_m;
+                    prev[e][s as usize] = p;
+                }
+            }
+        }
+    }
+
+    // backtrack the cheapest final state
+    let (mut best_state, _) = cost[n_epochs - 1]
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, c)| (i as u32, *c))
+        .expect("at least the all-NVM state is feasible");
+    let mut schedule = vec![0u32; n_epochs];
+    for e in (0..n_epochs).rev() {
+        schedule[e] = best_state;
+        if e > 0 {
+            best_state = prev[e][best_state as usize];
+        }
+    }
+    let migrations = schedule.windows(2).filter(|w| w[0] != w[1]).count();
+
+    // assemble full metrics: caches + memory-level DP result + static
+    let mem_pj = cost[n_epochs - 1][schedule[n_epochs - 1] as usize];
+    let mem_ns = time[n_epochs - 1][schedule[n_epochs - 1] as usize];
+    let cache_costs = sram_costs(scale);
+    let mut total_ns = mem_ns;
+    let mut dyn_pj = mem_pj;
+    let mut static_w = 0.0;
+    for (stats, c) in run.caches.iter().zip(cache_costs.iter()) {
+        total_ns += c.time_ns(stats);
+        dyn_pj += c.dynamic_pj(stats);
+        static_w += c.static_w;
+    }
+    let dram_device = NDM_DRAM_BYTES
+        .min(represented_footprint(scale, run.footprint_bytes) / 2)
+        .max(1);
+    static_w += TechParams::of(Technology::Dram).static_watts(dram_device);
+    let time_s = total_ns * 1e-9;
+    let metrics = Metrics {
+        amat_ns: total_ns / run.total_refs as f64,
+        time_s,
+        dynamic_j: dyn_pj * 1e-12,
+        static_j: time_s * static_w,
+        total_refs: run.total_refs,
+    };
+
+    DynamicChoice {
+        schedule,
+        migrations,
+        metrics,
+        group_of,
+        group_bytes,
+    }
+}
+
+/// Static-equivalent baseline through the same costing path: the best
+/// single placement held for the whole run (used to quantify the benefit
+/// of adapting between phases).
+pub fn best_static_schedule(
+    epoch_run: &EpochRun,
+    nvm_tech: Technology,
+    scale: &Scale,
+    max_groups: usize,
+) -> DynamicChoice {
+    // reuse the DP with an infinite migration cost by evaluating each
+    // constant schedule directly
+    let run = &epoch_run.run;
+    let groups = merge_into_ranges(run, max_groups);
+    let mut group_of = vec![0usize; run.per_region.len()];
+    for (g, gr) in groups.iter().enumerate() {
+        for &r in &gr.regions {
+            group_of[r] = g;
+        }
+    }
+    let group_bytes: Vec<u64> = groups.iter().map(|g| g.bytes).collect();
+    let n_states = 1u32 << groups.len();
+    let dram = TechParams::of(Technology::Dram);
+    let nvm = TechParams::of(nvm_tech);
+    let budget = crate::partition::ndm_dram_budget(scale, run.footprint_bytes);
+
+    let mut best: Option<(f64, f64, u32)> = None;
+    for s in 0..n_states {
+        let bytes: u64 = group_bytes
+            .iter()
+            .enumerate()
+            .filter(|(g, _)| s & (1 << *g) != 0)
+            .map(|(_, b)| *b)
+            .sum();
+        if bytes > budget {
+            continue;
+        }
+        let mut pj = 0.0;
+        let mut ns = 0.0;
+        for epoch in &epoch_run.epochs {
+            let (e_ns, e_pj) = epoch_mem_cost(epoch, &group_of, s, &dram, &nvm);
+            ns += e_ns;
+            pj += e_pj;
+        }
+        if best.map(|(b, ..)| pj < b).unwrap_or(true) {
+            best = Some((pj, ns, s));
+        }
+    }
+    let (mem_pj, mem_ns, state) = best.expect("all-NVM is feasible");
+
+    let cache_costs = sram_costs(scale);
+    let mut total_ns = mem_ns;
+    let mut dyn_pj = mem_pj;
+    let mut static_w = 0.0;
+    for (stats, c) in run.caches.iter().zip(cache_costs.iter()) {
+        total_ns += c.time_ns(stats);
+        dyn_pj += c.dynamic_pj(stats);
+        static_w += c.static_w;
+    }
+    let dram_device = NDM_DRAM_BYTES
+        .min(represented_footprint(scale, run.footprint_bytes) / 2)
+        .max(1);
+    static_w += TechParams::of(Technology::Dram).static_watts(dram_device);
+    let time_s = total_ns * 1e-9;
+    DynamicChoice {
+        schedule: vec![state; epoch_run.epochs.len().max(1)],
+        migrations: 0,
+        metrics: Metrics {
+            amat_ns: total_ns / run.total_refs as f64,
+            time_s,
+            dynamic_j: dyn_pj * 1e-12,
+            static_j: time_s * static_w,
+            total_refs: run.total_refs,
+        },
+        group_of,
+        group_bytes,
+    }
+}
+
+/// Placement of each region in a given epoch of a schedule.
+pub fn placements_at(choice: &DynamicChoice, epoch: usize) -> Vec<Placement> {
+    let mask = choice.schedule[epoch.min(choice.schedule.len() - 1)];
+    choice
+        .group_of
+        .iter()
+        .map(|&g| {
+            if mask & (1 << g) != 0 {
+                Placement::Dram
+            } else {
+                Placement::Nvm
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch_run() -> EpochRun {
+        simulate_epochs(WorkloadKind::Cg, &Scale::mini(), 20_000)
+    }
+
+    #[test]
+    fn epoch_run_conserves_aggregate() {
+        let er = epoch_run();
+        let total_mem: u64 = er
+            .epochs
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|t| t.loads + t.stores)
+            .sum();
+        assert_eq!(total_mem, er.run.mem.loads + er.run.mem.stores);
+        assert!(er.epochs.len() > 1, "expected multiple epochs");
+    }
+
+    #[test]
+    fn dynamic_never_loses_to_static() {
+        let er = epoch_run();
+        let scale = Scale::mini();
+        let dynamic = dynamic_oracle(&er, Technology::Pcm, &scale, 3);
+        let static_ = best_static_schedule(&er, Technology::Pcm, &scale, 3);
+        // a constant schedule is always available to the DP (migration
+        // cost 0 along it), so the dynamic optimum can only be ≤
+        assert!(
+            dynamic.metrics.dynamic_j <= static_.metrics.dynamic_j + 1e-15,
+            "dynamic {} > static {}",
+            dynamic.metrics.dynamic_j,
+            static_.metrics.dynamic_j
+        );
+        assert_eq!(static_.migrations, 0);
+        assert_eq!(dynamic.schedule.len(), er.epochs.len());
+    }
+
+    #[test]
+    fn schedule_respects_budget() {
+        let er = epoch_run();
+        let scale = Scale::mini();
+        let choice = dynamic_oracle(&er, Technology::SttRam, &scale, 3);
+        let budget = crate::partition::ndm_dram_budget(&scale, er.run.footprint_bytes);
+        for (e, &mask) in choice.schedule.iter().enumerate() {
+            let bytes: u64 = choice
+                .group_bytes
+                .iter()
+                .enumerate()
+                .filter(|(g, _)| mask & (1 << *g) != 0)
+                .map(|(_, b)| *b)
+                .sum();
+            assert!(bytes <= budget, "epoch {e} over budget");
+        }
+    }
+
+    #[test]
+    fn migration_cost_is_zero_for_identical_masks() {
+        let dram = TechParams::of(Technology::Dram);
+        let nvm = TechParams::of(Technology::Pcm);
+        let (ns, pj) = migration_cost(&[1 << 20, 1 << 21], 0b01, 0b01, &dram, &nvm);
+        assert_eq!((ns, pj), (0.0, 0.0));
+        let (ns2, pj2) = migration_cost(&[1 << 20, 1 << 21], 0b01, 0b10, &dram, &nvm);
+        assert!(ns2 > 0.0 && pj2 > 0.0);
+    }
+
+    #[test]
+    fn placements_at_translates_masks() {
+        let er = epoch_run();
+        let choice = dynamic_oracle(&er, Technology::Pcm, &Scale::mini(), 2);
+        let p0 = placements_at(&choice, 0);
+        assert_eq!(p0.len(), er.run.per_region.len());
+    }
+
+    #[test]
+    fn synthetic_phase_shift_triggers_migration() {
+        // hand-build an epoch run with two groups whose hotness swaps
+        use memsim_cache::LevelStats;
+        let hot = RegionTraffic {
+            loads: 1_000_000,
+            stores: 100_000,
+            bytes_loaded: 64_000_000,
+            bytes_stored: 6_400_000,
+        };
+        let cold = RegionTraffic {
+            loads: 10,
+            stores: 1,
+            bytes_loaded: 640,
+            bytes_stored: 64,
+        };
+        let run = RawRun {
+            caches: vec![
+                LevelStats::new("L1"),
+                LevelStats::new("L2"),
+                LevelStats::new("L3"),
+            ],
+            mem: LevelStats::new("MEM"),
+            per_region: vec![hot, cold],
+            region_names: vec!["a".into(), "b".into()],
+            region_sizes: vec![4 << 20, 4 << 20],
+            region_starts: vec![0x1000_0000, 0x2000_0000],
+            total_refs: 10_000_000,
+            footprint_bytes: 8 << 20,
+        };
+        // epoch 0: region a hot; epoch 1: region b hot — repeated so the
+        // migration amortizes
+        let e0 = vec![hot, cold];
+        let e1 = vec![cold, hot];
+        let er = EpochRun {
+            run,
+            epochs: vec![e0.clone(), e0, e1.clone(), e1],
+        };
+        let scale = Scale::mini();
+        let choice = dynamic_oracle(&er, Technology::Pcm, &scale, 2);
+        // budget at mini = min(8 MiB, footprint/2 = 4 MiB): one group fits
+        assert!(
+            choice.migrations >= 1,
+            "oracle should follow the phase shift"
+        );
+        let static_ = best_static_schedule(&er, Technology::Pcm, &scale, 2);
+        assert!(choice.metrics.dynamic_j < static_.metrics.dynamic_j);
+    }
+}

@@ -1,0 +1,437 @@
+//! The performance and energy models — Equations 1–4 of the paper.
+//!
+//! The simulator (see [`crate::runner`]) produces per-level load/store
+//! counts and byte volumes; this module combines them with per-level
+//! technology parameters:
+//!
+//! * **Eq. 2** `AMAT = Σ_i (t_ld(i)·loads_i + t_st(i)·stores_i) / refs`
+//! * **Eq. 1** `T_design = T_ref · AMAT_design / AMAT_ref` — with the model
+//!   reference time `T_ref = AMAT_ref · refs`, this reduces to
+//!   `T = AMAT · refs` for every design, so any constant factor between
+//!   model time and wall-clock time cancels in normalized figures.
+//! * **Eq. 3** dynamic energy = per-bit access energy × bits moved.
+//! * **Eq. 4** static energy = runtime × Σ static power, with DRAM/eDRAM
+//!   refresh proportional to capacity and zero for NVM.
+
+use memsim_cache::LevelStats;
+use memsim_tech::TechParams;
+
+/// Per-level cost parameters: a technology applied to a concrete capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelCost {
+    /// Display name (matches the level's stats name).
+    pub name: String,
+    /// Read latency in ns.
+    pub read_ns: f64,
+    /// Write latency in ns.
+    pub write_ns: f64,
+    /// Read energy per bit in pJ.
+    pub read_pj_per_bit: f64,
+    /// Write energy per bit in pJ.
+    pub write_pj_per_bit: f64,
+    /// Static (leakage + refresh) power of this level in watts.
+    pub static_w: f64,
+    /// Optional bandwidth cap in GB/s: when set, each access additionally
+    /// pays transfer time for the bytes it moves (1 GB/s = 1 byte/ns).
+    /// `None` reproduces the paper's latency-only model.
+    pub gb_per_s: Option<f64>,
+}
+
+impl LevelCost {
+    /// Cost a level of `capacity_bytes` built from `params`.
+    pub fn from_tech(name: &str, params: &TechParams, capacity_bytes: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            read_ns: params.read_ns,
+            write_ns: params.write_ns,
+            read_pj_per_bit: params.read_pj_per_bit,
+            write_pj_per_bit: params.write_pj_per_bit,
+            static_w: params.static_watts(capacity_bytes),
+            gb_per_s: None,
+        }
+    }
+
+    /// Builder-style: cap this level's bandwidth (an extension beyond the
+    /// paper's latency-only Eq. 2; see the `ablation_bandwidth` bench).
+    pub fn with_bandwidth(mut self, gb_per_s: f64) -> Self {
+        assert!(gb_per_s > 0.0);
+        self.gb_per_s = Some(gb_per_s);
+        self
+    }
+
+    /// Time contribution of `stats` at this level, in ns.
+    pub fn time_ns(&self, stats: &LevelStats) -> f64 {
+        let latency = self.read_ns * stats.loads as f64 + self.write_ns * stats.stores as f64;
+        match self.gb_per_s {
+            // 1 GB/s moves 1 byte per ns
+            Some(bw) => latency + (stats.bytes_loaded + stats.bytes_stored) as f64 / bw,
+            None => latency,
+        }
+    }
+
+    /// Dynamic energy contribution of `stats` at this level, in pJ.
+    pub fn dynamic_pj(&self, stats: &LevelStats) -> f64 {
+        self.read_pj_per_bit * (stats.bytes_loaded as f64 * 8.0)
+            + self.write_pj_per_bit * (stats.bytes_stored as f64 * 8.0)
+    }
+}
+
+/// Modeled performance and energy of one (workload, design) point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Average memory access time in ns (Eq. 2).
+    pub amat_ns: f64,
+    /// Modeled runtime in seconds (Eq. 1 with model `T_ref`).
+    pub time_s: f64,
+    /// Dynamic energy in joules (Eq. 3).
+    pub dynamic_j: f64,
+    /// Static energy in joules (Eq. 4).
+    pub static_j: f64,
+    /// Total memory references.
+    pub total_refs: u64,
+}
+
+impl Metrics {
+    /// Combine per-level stats and costs. `pairs` must align stats with
+    /// their cost parameters (caches top-down, then the terminal memory —
+    /// possibly several terminal components for partitioned designs).
+    pub fn compute(pairs: &[(&LevelStats, &LevelCost)], total_refs: u64) -> Self {
+        assert!(total_refs > 0, "cannot model an empty run");
+        let mut total_ns = 0.0;
+        let mut dyn_pj = 0.0;
+        let mut static_w = 0.0;
+        for (stats, cost) in pairs {
+            debug_assert_eq!(stats.name, cost.name, "stats/cost misalignment");
+            total_ns += cost.time_ns(stats);
+            dyn_pj += cost.dynamic_pj(stats);
+            static_w += cost.static_w;
+        }
+        let amat_ns = total_ns / total_refs as f64;
+        let time_s = total_ns * 1e-9;
+        Self {
+            amat_ns,
+            time_s,
+            dynamic_j: dyn_pj * 1e-12,
+            static_j: time_s * static_w,
+            total_refs,
+        }
+    }
+
+    /// Total energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.dynamic_j + self.static_j
+    }
+
+    /// Energy-delay product in J·s ("product of energy consumed multiplied
+    /// by time taken").
+    pub fn edp(&self) -> f64 {
+        self.energy_j() * self.time_s
+    }
+
+    /// Normalize against a baseline (the paper's figures all plot ratios to
+    /// the 3-level SRAM + big-DRAM base case).
+    pub fn normalized_to(&self, base: &Metrics) -> NormMetrics {
+        NormMetrics {
+            time: self.time_s / base.time_s,
+            energy: self.energy_j() / base.energy_j(),
+            dynamic: self.dynamic_j / base.dynamic_j,
+            static_: self.static_j / base.static_j,
+            edp: self.edp() / base.edp(),
+        }
+    }
+}
+
+/// One level's share of the modeled time and energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelBreakdown {
+    /// Level name.
+    pub name: String,
+    /// Total access time spent at this level, ns.
+    pub time_ns: f64,
+    /// Dynamic energy at this level, joules.
+    pub dynamic_j: f64,
+    /// Static power of this level, watts.
+    pub static_w: f64,
+}
+
+/// Per-level decomposition of a design's time and energy (the rows behind
+/// `Metrics`; useful for explaining *where* a design wins or loses).
+pub fn breakdown(pairs: &[(&LevelStats, &LevelCost)]) -> Vec<LevelBreakdown> {
+    pairs
+        .iter()
+        .map(|(stats, cost)| LevelBreakdown {
+            name: cost.name.clone(),
+            time_ns: cost.time_ns(stats),
+            dynamic_j: cost.dynamic_pj(stats) * 1e-12,
+            static_w: cost.static_w,
+        })
+        .collect()
+}
+
+/// Metrics normalized to the baseline configuration (1.0 = parity; < 1 is
+/// savings, > 1 is overhead).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormMetrics {
+    /// Runtime ratio.
+    pub time: f64,
+    /// Total energy ratio.
+    pub energy: f64,
+    /// Dynamic energy ratio.
+    pub dynamic: f64,
+    /// Static energy ratio.
+    pub static_: f64,
+    /// EDP ratio.
+    pub edp: f64,
+}
+
+impl NormMetrics {
+    /// Element-wise mean of several normalized results ("average of
+    /// normalized run time of all benchmarks", as every figure caption puts
+    /// it).
+    pub fn mean(items: &[NormMetrics]) -> NormMetrics {
+        assert!(!items.is_empty());
+        let n = items.len() as f64;
+        NormMetrics {
+            time: items.iter().map(|m| m.time).sum::<f64>() / n,
+            energy: items.iter().map(|m| m.energy).sum::<f64>() / n,
+            dynamic: items.iter().map(|m| m.dynamic).sum::<f64>() / n,
+            static_: items.iter().map(|m| m.static_).sum::<f64>() / n,
+            edp: items.iter().map(|m| m.edp).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_tech::Technology;
+
+    fn stats(name: &str, loads: u64, stores: u64, bl: u64, bs: u64) -> LevelStats {
+        LevelStats {
+            name: name.into(),
+            loads,
+            stores,
+            load_hits: loads,
+            store_hits: stores,
+            bytes_loaded: bl,
+            bytes_stored: bs,
+            ..Default::default()
+        }
+    }
+
+    fn cost(name: &str, rns: f64, wns: f64, rpj: f64, wpj: f64, sw: f64) -> LevelCost {
+        LevelCost {
+            name: name.into(),
+            read_ns: rns,
+            write_ns: wns,
+            read_pj_per_bit: rpj,
+            write_pj_per_bit: wpj,
+            static_w: sw,
+            gb_per_s: None,
+        }
+    }
+
+    #[test]
+    fn amat_equation2() {
+        // 10 loads at 2 ns + 5 stores at 4 ns at one level; 15 refs
+        let s = stats("x", 10, 5, 80, 40);
+        let c = cost("x", 2.0, 4.0, 0.0, 0.0, 0.0);
+        let m = Metrics::compute(&[(&s, &c)], 15);
+        assert!((m.amat_ns - (10.0 * 2.0 + 5.0 * 4.0) / 15.0).abs() < 1e-12);
+        assert!((m.time_s - 40.0e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    fn dynamic_energy_equation3() {
+        // 100 bytes loaded at 10 pJ/bit = 8000 pJ; 50 bytes stored at 2 pJ/bit = 800 pJ
+        let s = stats("x", 1, 1, 100, 50);
+        let c = cost("x", 1.0, 1.0, 10.0, 2.0, 0.0);
+        let m = Metrics::compute(&[(&s, &c)], 2);
+        assert!((m.dynamic_j - 8800.0e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn static_energy_equation4() {
+        // 1000 refs × 1 ns = 1 µs runtime at 2 W static = 2 µJ
+        let s = stats("x", 1000, 0, 8000, 0);
+        let c = cost("x", 1.0, 1.0, 0.0, 0.0, 2.0);
+        let m = Metrics::compute(&[(&s, &c)], 1000);
+        assert!((m.static_j - 2.0e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn multi_level_sums() {
+        let s1 = stats("L1", 100, 50, 800, 400);
+        let s2 = stats("mem", 10, 5, 640, 320);
+        let c1 = cost("L1", 1.0, 1.0, 0.5, 0.5, 1.0);
+        let c2 = cost("mem", 10.0, 10.0, 10.0, 10.0, 3.0);
+        let m = Metrics::compute(&[(&s1, &c1), (&s2, &c2)], 150);
+        let expect_ns = 150.0 * 1.0 + 15.0 * 10.0;
+        assert!((m.amat_ns - expect_ns / 150.0).abs() < 1e-12);
+        assert!((m.static_j - m.time_s * 4.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn edp_and_normalization() {
+        let s = stats("x", 100, 0, 800, 0);
+        let fast = cost("x", 1.0, 1.0, 1.0, 1.0, 1.0);
+        let slow = cost("x", 2.0, 2.0, 2.0, 2.0, 1.0);
+        let mf = Metrics::compute(&[(&s, &fast)], 100);
+        let ms = Metrics::compute(&[(&s, &slow)], 100);
+        let n = ms.normalized_to(&mf);
+        assert!((n.time - 2.0).abs() < 1e-12);
+        assert!((n.dynamic - 2.0).abs() < 1e-12);
+        // static doubles too (same power × double time)
+        assert!((n.static_ - 2.0).abs() < 1e-12);
+        assert!((n.energy - 2.0).abs() < 1e-12);
+        assert!((n.edp - 4.0).abs() < 1e-12);
+        assert!(ms.edp() > mf.edp());
+    }
+
+    #[test]
+    fn mean_of_norms() {
+        let a = NormMetrics {
+            time: 1.0,
+            energy: 0.5,
+            dynamic: 1.0,
+            static_: 0.2,
+            edp: 0.5,
+        };
+        let b = NormMetrics {
+            time: 3.0,
+            energy: 1.5,
+            dynamic: 2.0,
+            static_: 0.4,
+            edp: 4.5,
+        };
+        let m = NormMetrics::mean(&[a, b]);
+        assert!((m.time - 2.0).abs() < 1e-12);
+        assert!((m.energy - 1.0).abs() < 1e-12);
+        assert!((m.edp - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_tech_uses_table1() {
+        let p = TechParams::of(Technology::Pcm);
+        let c = LevelCost::from_tech("PCM", &p, 1 << 30);
+        assert_eq!(c.read_ns, 21.0);
+        assert_eq!(c.write_ns, 100.0);
+        assert_eq!(c.static_w, 0.0, "NVM has no static power");
+        let d = LevelCost::from_tech("DRAM", &TechParams::of(Technology::Dram), 1 << 30);
+        assert!(d.static_w > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty run")]
+    fn zero_refs_rejected() {
+        Metrics::compute(&[], 0);
+    }
+
+    #[test]
+    fn bandwidth_term_adds_transfer_time() {
+        let s = stats("x", 100, 0, 6400, 0); // 100 loads moving 6400 B
+        let lat_only = cost("x", 10.0, 10.0, 0.0, 0.0, 0.0);
+        let bw = lat_only.clone().with_bandwidth(6.4); // 6.4 GB/s → 1000 ns for 6400 B
+        let m0 = Metrics::compute(&[(&s, &lat_only)], 100);
+        let m1 = Metrics::compute(&[(&s, &bw)], 100);
+        assert!((m0.time_s - 1000.0e-9).abs() < 1e-18);
+        assert!((m1.time_s - 2000.0e-9).abs() < 1e-18, "latency 1000 ns + transfer 1000 ns");
+        // unlimited bandwidth reproduces the paper's model exactly
+        let wide = lat_only.clone().with_bandwidth(1e12);
+        let m2 = Metrics::compute(&[(&s, &wide)], 100);
+        assert!((m2.time_s - m0.time_s).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_rejected() {
+        let _ = cost("x", 1.0, 1.0, 0.0, 0.0, 0.0).with_bandwidth(0.0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_metrics() {
+        let s1 = stats("L1", 100, 50, 800, 400);
+        let s2 = stats("mem", 10, 5, 640, 320);
+        let c1 = cost("L1", 1.0, 1.0, 0.5, 0.5, 1.0);
+        let c2 = cost("mem", 10.0, 10.0, 10.0, 10.0, 3.0);
+        let pairs = [(&s1, &c1), (&s2, &c2)];
+        let m = Metrics::compute(&pairs, 150);
+        let b = breakdown(&pairs);
+        assert_eq!(b.len(), 2);
+        let t: f64 = b.iter().map(|x| x.time_ns).sum();
+        assert!((t * 1e-9 - m.time_s).abs() < 1e-18);
+        let d: f64 = b.iter().map(|x| x.dynamic_j).sum();
+        assert!((d - m.dynamic_j).abs() < 1e-18);
+        let w: f64 = b.iter().map(|x| x.static_w).sum();
+        assert!((m.static_j - m.time_s * w).abs() < 1e-18);
+        assert_eq!(b[0].name, "L1");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_stats() -> impl Strategy<Value = LevelStats> {
+            (0u64..1_000_000, 0u64..1_000_000).prop_map(|(loads, stores)| LevelStats {
+                name: "x".into(),
+                loads,
+                stores,
+                load_hits: loads,
+                store_hits: stores,
+                bytes_loaded: loads * 64,
+                bytes_stored: stores * 64,
+                ..Default::default()
+            })
+        }
+
+        proptest! {
+            /// Scaling any latency component up never decreases AMAT or
+            /// the static energy (time × power), and never changes the
+            /// dynamic energy.
+            #[test]
+            fn latency_monotonicity(stats in arb_stats(), factor in 1.0f64..50.0) {
+                prop_assume!(stats.loads + stats.stores > 0);
+                let base = cost("x", 10.0, 10.0, 5.0, 5.0, 1.0);
+                let slower = cost("x", 10.0 * factor, 10.0, 5.0, 5.0, 1.0);
+                let refs = stats.loads + stats.stores;
+                let m0 = Metrics::compute(&[(&stats, &base)], refs);
+                let m1 = Metrics::compute(&[(&stats, &slower)], refs);
+                prop_assert!(m1.amat_ns >= m0.amat_ns - 1e-9);
+                prop_assert!(m1.static_j >= m0.static_j - 1e-18);
+                prop_assert!((m1.dynamic_j - m0.dynamic_j).abs() < 1e-18);
+                prop_assert!(m1.edp() >= m0.edp() - 1e-24);
+            }
+
+            /// Energy scaling is exactly linear in the per-bit costs.
+            #[test]
+            fn energy_linearity(stats in arb_stats(), factor in 0.1f64..50.0) {
+                prop_assume!(stats.loads + stats.stores > 0);
+                let base = cost("x", 1.0, 1.0, 2.0, 4.0, 0.0);
+                let scaled = cost("x", 1.0, 1.0, 2.0 * factor, 4.0 * factor, 0.0);
+                let refs = stats.loads + stats.stores;
+                let m0 = Metrics::compute(&[(&stats, &base)], refs);
+                let m1 = Metrics::compute(&[(&stats, &scaled)], refs);
+                prop_assert!((m1.dynamic_j - m0.dynamic_j * factor).abs() <= m0.dynamic_j * factor * 1e-12 + 1e-18);
+            }
+
+            /// Normalization is reflexive and anti-symmetric: x/x = 1 and
+            /// (a/b)·(b/a) = 1 in every component.
+            #[test]
+            fn normalization_algebra(stats in arb_stats(), f in 1.1f64..8.0) {
+                prop_assume!(stats.loads + stats.stores > 0);
+                prop_assume!(stats.loads > 0 && stats.stores > 0);
+                let refs = stats.loads + stats.stores;
+                let a = Metrics::compute(&[(&stats, &cost("x", 1.0, 2.0, 3.0, 4.0, 5.0))], refs);
+                let b = Metrics::compute(&[(&stats, &cost("x", f, 2.0 * f, 3.0 * f, 4.0 * f, 5.0))], refs);
+                let aa = a.normalized_to(&a);
+                prop_assert!((aa.time - 1.0).abs() < 1e-12);
+                prop_assert!((aa.energy - 1.0).abs() < 1e-12);
+                prop_assert!((aa.edp - 1.0).abs() < 1e-12);
+                let ab = a.normalized_to(&b);
+                let ba = b.normalized_to(&a);
+                prop_assert!((ab.time * ba.time - 1.0).abs() < 1e-9);
+                prop_assert!((ab.energy * ba.energy - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! The NDM oracle partitioner.
+//!
+//! The paper's method: "identif\[y\], in the application, a contiguous range
+//! of addresses that accounts for the bulk of the memory references …
+//! merge\[d\] ranges close to each other. Typically we found 2 or 3 address
+//! ranges in each workload. Then … we placed an address range to NVM at a
+//! time, and the rest to DRAM", keeping the best permutation — an *oracle*
+//! static partitioning, not a proposed mechanism.
+//!
+//! Because routing below the caches cannot change cache behaviour, every
+//! placement is costed analytically from one simulation's per-region
+//! traffic. The DRAM partition is capped at the provisioned NDM DRAM size
+//! (512 MB at paper scale) and at half the footprint, so the design
+//! actually exercises NVM capacity (the paper explicitly excludes the
+//! degenerate all-in-DRAM placements from its figures).
+
+use crate::configs::NDM_DRAM_BYTES;
+use crate::design::{represented_footprint, sram_costs};
+use crate::model::{LevelCost, Metrics};
+use crate::runner::RawRun;
+use crate::scale::Scale;
+use memsim_cache::LevelStats;
+pub use memsim_memory::Placement;
+use memsim_tech::{TechParams, Technology};
+
+/// Names of the two memory components in NDM costing.
+const DRAM_PART: &str = "MEM.dram";
+const NVM_PART: &str = "MEM.nvm";
+
+/// A contiguous cluster of regions treated as one placeable address range.
+#[derive(Debug, Clone)]
+pub struct RangeGroup {
+    /// Indices into the run's region arrays.
+    pub regions: Vec<usize>,
+    /// Total bytes of the group.
+    pub bytes: u64,
+    /// Total memory-level references of the group.
+    pub refs: u64,
+}
+
+/// The oracle's decision for one workload × NVM technology.
+#[derive(Debug, Clone)]
+pub struct OracleChoice {
+    /// Per-region placement (aligned with the run's region arrays).
+    pub placement: Vec<Placement>,
+    /// Metrics of the chosen placement.
+    pub metrics: Metrics,
+    /// Bytes placed in DRAM.
+    pub dram_bytes: u64,
+    /// Bytes placed in NVM.
+    pub nvm_bytes: u64,
+    /// Number of merged address ranges considered.
+    pub groups: usize,
+}
+
+/// Merge the run's regions (address-ordered) into at most `max_groups`
+/// contiguous ranges by repeatedly coalescing the pair separated by the
+/// smallest address gap — the paper's "merged ranges close to each other".
+pub fn merge_into_ranges(run: &RawRun, max_groups: usize) -> Vec<RangeGroup> {
+    assert!(max_groups >= 1);
+    let n = run.region_sizes.len();
+    // groups as (first_idx, last_idx) over the address-ordered region list
+    let mut bounds: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+    while bounds.len() > max_groups {
+        // find the adjacent pair with the smallest gap between them
+        let mut best = 0;
+        let mut best_gap = u64::MAX;
+        for i in 0..bounds.len() - 1 {
+            let end_of_left = run.region_starts[bounds[i].1] + run.region_sizes[bounds[i].1];
+            let gap = run.region_starts[bounds[i + 1].0].saturating_sub(end_of_left);
+            if gap < best_gap {
+                best_gap = gap;
+                best = i;
+            }
+        }
+        let (_, right_last) = bounds.remove(best + 1);
+        bounds[best].1 = right_last;
+    }
+    bounds
+        .into_iter()
+        .map(|(a, b)| {
+            let regions: Vec<usize> = (a..=b).collect();
+            let bytes = regions.iter().map(|&i| run.region_sizes[i]).sum();
+            let refs = regions
+                .iter()
+                .map(|&i| run.per_region[i].loads + run.per_region[i].stores)
+                .sum();
+            RangeGroup {
+                regions,
+                bytes,
+                refs,
+            }
+        })
+        .collect()
+}
+
+/// Analytically cost a per-region placement of `run` under NDM.
+pub fn cost_placement(
+    run: &RawRun,
+    placement: &[Placement],
+    nvm: Technology,
+    scale: &Scale,
+) -> Metrics {
+    assert_eq!(placement.len(), run.per_region.len());
+    let mut dram = LevelStats::new(DRAM_PART);
+    let mut nvm_stats = LevelStats::new(NVM_PART);
+    let mut dram_bytes_cap = 0u64;
+    for (i, traffic) in run.per_region.iter().enumerate() {
+        let target = match placement[i] {
+            Placement::Dram => {
+                dram_bytes_cap += run.region_sizes[i];
+                &mut dram
+            }
+            Placement::Nvm => &mut nvm_stats,
+        };
+        target.loads += traffic.loads;
+        target.stores += traffic.stores;
+        target.bytes_loaded += traffic.bytes_loaded;
+        target.bytes_stored += traffic.bytes_stored;
+    }
+    let _ = dram_bytes_cap;
+    let mut costs = sram_costs(scale);
+    // the DRAM partition is a provisioned device: refresh is paid on the
+    // whole provisioned capacity, not just the bytes placed
+    // provisioned at the paper's 512 MB (scaled budget × footprint factor
+    // would overshoot it; the device represents min(512 MB, footprint/2))
+    let dram_device = (crate::configs::NDM_DRAM_BYTES)
+        .min(represented_footprint(scale, run.footprint_bytes) / 2)
+        .max(1);
+    costs.push(LevelCost::from_tech(
+        DRAM_PART,
+        &TechParams::of(Technology::Dram),
+        dram_device,
+    ));
+    costs.push(LevelCost::from_tech(
+        NVM_PART,
+        &TechParams::of(nvm),
+        represented_footprint(scale, run.footprint_bytes),
+    ));
+
+    let stats: Vec<&LevelStats> = run.caches.iter().collect();
+    let mut pairs: Vec<(&LevelStats, &LevelCost)> = stats.into_iter().zip(costs.iter()).collect();
+    pairs.push((&dram, &costs[3]));
+    pairs.push((&nvm_stats, &costs[4]));
+    Metrics::compute(&pairs, run.total_refs)
+}
+
+/// The DRAM device size provisioned for NDM at this scale: the paper's
+/// 512 MB scaled down, and never more than half the footprint (so NVM
+/// always carries meaningful capacity — the design's purpose).
+pub fn ndm_dram_budget(scale: &Scale, footprint_bytes: u64) -> u64 {
+    (NDM_DRAM_BYTES / scale.capacity_divisor)
+        .min(footprint_bytes / 2)
+        .max(1)
+}
+
+/// Exhaustively evaluate placements over the merged ranges and return the
+/// best feasible one by EDP.
+pub fn oracle(run: &RawRun, nvm: Technology, scale: &Scale) -> OracleChoice {
+    oracle_with(run, nvm, scale, 4)
+}
+
+/// [`oracle`] with an explicit bound on merged range count.
+pub fn oracle_with(
+    run: &RawRun,
+    nvm: Technology,
+    scale: &Scale,
+    max_groups: usize,
+) -> OracleChoice {
+    let groups = merge_into_ranges(run, max_groups);
+    let budget = ndm_dram_budget(scale, run.footprint_bytes);
+    let n_regions = run.per_region.len();
+
+    let mut best: Option<(f64, Vec<Placement>, u64, u64)> = None;
+    for mask in 0u32..(1 << groups.len()) {
+        // bit set = group goes to DRAM
+        let mut placement = vec![Placement::Nvm; n_regions];
+        let mut dram_bytes = 0u64;
+        for (g, group) in groups.iter().enumerate() {
+            if mask & (1 << g) != 0 {
+                dram_bytes += group.bytes;
+                for &r in &group.regions {
+                    placement[r] = Placement::Dram;
+                }
+            }
+        }
+        if dram_bytes > budget {
+            continue;
+        }
+        let metrics = cost_placement(run, &placement, nvm, scale);
+        let edp = metrics.edp();
+        if best.as_ref().map(|(b, ..)| edp < *b).unwrap_or(true) {
+            let nvm_bytes = run.footprint_bytes - dram_bytes;
+            best = Some((edp, placement, dram_bytes, nvm_bytes));
+        }
+    }
+    let (_, placement, dram_bytes, nvm_bytes) = best.expect("all-NVM placement is always feasible");
+    let metrics = cost_placement(run, &placement, nvm, scale);
+    OracleChoice {
+        placement,
+        metrics,
+        dram_bytes,
+        nvm_bytes,
+        groups: groups.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Structure;
+    use crate::runner::simulate_structure;
+    use memsim_workloads::WorkloadKind;
+
+    fn run() -> RawRun {
+        simulate_structure(WorkloadKind::Cg, &Scale::mini(), &Structure::ThreeLevel)
+    }
+
+    #[test]
+    fn merge_respects_max_groups() {
+        let r = run();
+        for g in [1, 2, 3, 4] {
+            let groups = merge_into_ranges(&r, g);
+            assert!(groups.len() <= g);
+            assert!(!groups.is_empty());
+            // groups partition all regions in order
+            let flat: Vec<usize> = groups.iter().flat_map(|gr| gr.regions.clone()).collect();
+            let expect: Vec<usize> = (0..r.region_sizes.len()).collect();
+            assert_eq!(flat, expect);
+            // byte totals conserve
+            let total: u64 = groups.iter().map(|gr| gr.bytes).sum();
+            assert_eq!(total, r.footprint_bytes);
+        }
+    }
+
+    #[test]
+    fn analytic_costing_matches_resimulation() {
+        // The core soundness property of the oracle: costing a placement
+        // from per-region traffic equals what a real partitioned terminal
+        // measures. Aggregate DRAM+NVM traffic must equal MEM traffic.
+        let r = run();
+        let placement = vec![Placement::Nvm; r.per_region.len()];
+        let all_nvm = cost_placement(&r, &placement, Technology::Pcm, &Scale::mini());
+        // compare against treating MEM entirely as PCM (plus the DRAM
+        // device's idle refresh, which all-NVM still pays for the
+        // provisioned partition)
+        let mut costs = sram_costs(&Scale::mini());
+        costs.push(LevelCost::from_tech(
+            "MEM",
+            &memsim_tech::TechParams::of(Technology::Pcm),
+            r.footprint_bytes,
+        ));
+        let stats = r.all_levels();
+        let pairs: Vec<_> = stats.into_iter().zip(costs.iter()).collect();
+        let flat = Metrics::compute(&pairs, r.total_refs);
+        assert!(
+            (all_nvm.amat_ns - flat.amat_ns).abs() < 1e-9,
+            "AMAT must match"
+        );
+        assert!(
+            (all_nvm.dynamic_j - flat.dynamic_j).abs() < 1e-12,
+            "dynamic energy must match"
+        );
+        // static differs only by the provisioned DRAM device
+        assert!(all_nvm.static_j > flat.static_j);
+    }
+
+    #[test]
+    fn oracle_returns_feasible_best() {
+        let r = run();
+        let scale = Scale::mini();
+        let choice = oracle(&r, Technology::Pcm, &scale);
+        assert_eq!(choice.placement.len(), r.per_region.len());
+        assert!(choice.dram_bytes <= ndm_dram_budget(&scale, r.footprint_bytes));
+        assert_eq!(choice.dram_bytes + choice.nvm_bytes, r.footprint_bytes);
+        // the oracle never does worse than all-NVM
+        let all_nvm = cost_placement(
+            &r,
+            &vec![Placement::Nvm; r.per_region.len()],
+            Technology::Pcm,
+            &scale,
+        );
+        assert!(choice.metrics.edp() <= all_nvm.edp() + 1e-12);
+    }
+
+    #[test]
+    fn hot_regions_prefer_dram() {
+        let r = run();
+        let scale = Scale::mini();
+        let choice = oracle_with(&r, Technology::Pcm, &scale, 4);
+        // per-byte traffic density of DRAM-placed regions should beat the
+        // NVM-placed ones when anything is placed at all
+        let mut dram_refs = 0u64;
+        let mut dram_bytes = 0u64;
+        let mut nvm_refs = 0u64;
+        let mut nvm_bytes = 0u64;
+        for (i, p) in choice.placement.iter().enumerate() {
+            let t = r.per_region[i].loads + r.per_region[i].stores;
+            match p {
+                Placement::Dram => {
+                    dram_refs += t;
+                    dram_bytes += r.region_sizes[i];
+                }
+                Placement::Nvm => {
+                    nvm_refs += t;
+                    nvm_bytes += r.region_sizes[i];
+                }
+            }
+        }
+        if dram_bytes > 0 && nvm_bytes > 0 && nvm_refs > 0 {
+            let dram_density = dram_refs as f64 / dram_bytes as f64;
+            let nvm_density = nvm_refs as f64 / nvm_bytes as f64;
+            assert!(
+                dram_density >= nvm_density * 0.5,
+                "oracle placed cold data in scarce DRAM: {dram_density} vs {nvm_density}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_respects_footprint_cap() {
+        let scale = Scale::mini();
+        assert_eq!(ndm_dram_budget(&scale, 4 << 20), 2 << 20);
+        assert_eq!(ndm_dram_budget(&scale, 1 << 30), (512 << 20) / 64);
+    }
+}

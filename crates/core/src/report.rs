@@ -1,0 +1,181 @@
+//! Figure/table containers and plain-text rendering (markdown and CSV).
+
+use crate::heatmap::HeatmapData;
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// One value per x label (NaN = missing).
+    pub values: Vec<f64>,
+}
+
+/// A table or bar-figure: x labels (configurations or benchmarks) against
+/// one or more value series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureData {
+    /// Identifier ("fig1", "table4", …).
+    pub id: String,
+    /// Human title (the paper's caption).
+    pub title: String,
+    /// Column labels.
+    pub x_labels: Vec<String>,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Assert internal shape consistency.
+    pub fn validate(&self) {
+        for s in &self.series {
+            assert_eq!(
+                s.values.len(),
+                self.x_labels.len(),
+                "series '{}' length mismatch in {}",
+                s.name,
+                self.id
+            );
+        }
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        self.validate();
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str("| series |");
+        for x in &self.x_labels {
+            out.push_str(&format!(" {x} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        out.push_str(&"---|".repeat(self.x_labels.len()));
+        out.push('\n');
+        for s in &self.series {
+            out.push_str(&format!("| {} |", s.name));
+            for v in &s.values {
+                out.push_str(&format!(" {v:.4} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (`series,label1,label2,…`).
+    pub fn to_csv(&self) -> String {
+        self.validate();
+        let mut out = String::from("series");
+        for x in &self.x_labels {
+            out.push(',');
+            out.push_str(x);
+        }
+        out.push('\n');
+        for s in &self.series {
+            out.push_str(&s.name);
+            for v in &s.values {
+                out.push_str(&format!(",{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a heat map as a markdown grid (rows = write ×, cols = read ×).
+pub fn heatmap_to_markdown(h: &HeatmapData) -> String {
+    let mut out = format!("### {}\n\n| write× \\ read× |", h.title);
+    for r in &h.read_mults {
+        out.push_str(&format!(" {r:.0}× |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    out.push_str(&"---|".repeat(h.read_mults.len()));
+    out.push('\n');
+    for (wi, w) in h.write_mults.iter().enumerate() {
+        out.push_str(&format!("| {w:.0}× |"));
+        for ri in 0..h.read_mults.len() {
+            out.push_str(&format!(" {:.3} |", h.grid[wi][ri]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a heat map as CSV with the read multipliers as the header row.
+pub fn heatmap_to_csv(h: &HeatmapData) -> String {
+    let mut out = String::from("write_x\\read_x");
+    for r in &h.read_mults {
+        out.push_str(&format!(",{r}"));
+    }
+    out.push('\n');
+    for (wi, w) in h.write_mults.iter().enumerate() {
+        out.push_str(&format!("{w}"));
+        for ri in 0..h.read_mults.len() {
+            out.push_str(&format!(",{:.6}", h.grid[wi][ri]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureData {
+        FigureData {
+            id: "figX".into(),
+            title: "sample".into(),
+            x_labels: vec!["N1".into(), "N2".into()],
+            series: vec![
+                Series {
+                    name: "PCM".into(),
+                    values: vec![1.05, 1.02],
+                },
+                Series {
+                    name: "STTRAM".into(),
+                    values: vec![1.10, 1.04],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### figX — sample"));
+        assert!(md.contains("| PCM | 1.0500 | 1.0200 |"));
+        assert!(md.lines().filter(|l| l.starts_with('|')).count() == 4);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("series,N1,N2"));
+        assert_eq!(lines.next(), Some("PCM,1.050000,1.020000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn validate_catches_ragged_series() {
+        let mut f = sample();
+        f.series[0].values.pop();
+        f.validate();
+    }
+
+    #[test]
+    fn heatmap_rendering() {
+        let h = HeatmapData {
+            title: "t".into(),
+            read_mults: vec![1.0, 5.0],
+            write_mults: vec![1.0, 20.0],
+            grid: vec![vec![1.0, 1.05], vec![1.01, 1.17]],
+        };
+        let md = heatmap_to_markdown(&h);
+        assert!(md.contains("| 20× | 1.010 | 1.170 |"));
+        let csv = heatmap_to_csv(&h);
+        assert!(csv.starts_with("write_x\\read_x,1,5\n"));
+        assert!(csv.contains("20,1.010000,1.170000"));
+    }
+}

@@ -1,0 +1,403 @@
+//! Simulation driver: stream a workload through a hierarchy structure once,
+//! then cost any number of designs analytically.
+//!
+//! Cache statistics depend only on the address stream and the cache
+//! geometry — never on latency or energy parameters — so one simulation of
+//! a [`Structure`] serves every technology assignment that shares it. The
+//! paper's whole grid (9 N-configs × 3 NVMs, 8 EH-configs × 2 LLCs × 3
+//! NVMs, NDM × 3 NVMs, heat maps) reduces to 18 simulations per workload.
+
+use crate::design::{Design, Structure, MEM_NAME};
+use crate::model::Metrics;
+use crate::partition::{self, Placement};
+use crate::scale::Scale;
+use memsim_cache::{Cache, CacheConfig, Hierarchy, LevelStats};
+use memsim_memory::{PartitionedMemory, RegionTraffic};
+use memsim_tech::Technology;
+use memsim_workloads::WorkloadKind;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The raw output of one workload × structure simulation.
+#[derive(Debug, Clone)]
+pub struct RawRun {
+    /// Per-cache statistics, top-down (`L1`, `L2`, `L3`[, `L4`]).
+    pub caches: Vec<LevelStats>,
+    /// Aggregate terminal-memory statistics (name `MEM`).
+    pub mem: LevelStats,
+    /// Terminal traffic attributed to each workload region.
+    pub per_region: Vec<RegionTraffic>,
+    /// Region names, aligned with `per_region`.
+    pub region_names: Vec<String>,
+    /// Region sizes in bytes, aligned with `per_region`.
+    pub region_sizes: Vec<u64>,
+    /// Region start addresses, aligned with `per_region`.
+    pub region_starts: Vec<u64>,
+    /// Total demand references issued by the workload.
+    pub total_refs: u64,
+    /// Workload footprint in bytes.
+    pub footprint_bytes: u64,
+}
+
+impl RawRun {
+    /// Stats/cost alignment helper: caches followed by the terminal memory.
+    pub fn all_levels(&self) -> Vec<&LevelStats> {
+        self.caches
+            .iter()
+            .chain(std::iter::once(&self.mem))
+            .collect()
+    }
+}
+
+/// Simulate `kind` (at `scale.class`) through `structure`. This is the
+/// expensive step: every memory reference of the workload walks the
+/// hierarchy.
+pub fn simulate_structure(kind: WorkloadKind, scale: &Scale, structure: &Structure) -> RawRun {
+    let mut workload = kind.build(scale.class);
+    let mut caches = vec![
+        Cache::new(CacheConfig::new(
+            "L1",
+            scale.l1_bytes,
+            scale.line_bytes,
+            scale.l1_ways,
+        )),
+        Cache::new(CacheConfig::new(
+            "L2",
+            scale.l2_bytes,
+            scale.line_bytes,
+            scale.l2_ways,
+        )),
+        Cache::new(CacheConfig::new(
+            "L3",
+            scale.l3_bytes,
+            scale.line_bytes,
+            scale.l3_ways,
+        )),
+    ];
+    if let Structure::WithL4 {
+        capacity_bytes,
+        page_bytes,
+    } = structure
+    {
+        let mut ways = scale.l4_ways;
+        // keep the set count a power of two for small scaled capacities
+        while ways > 1
+            && !(capacity_bytes / (u64::from(*page_bytes) * u64::from(ways))).is_power_of_two()
+        {
+            ways /= 2;
+        }
+        let cap = capacity_bytes - capacity_bytes % (u64::from(*page_bytes) * u64::from(ways));
+        let mut cfg = CacheConfig::new(
+            "L4",
+            cap.max(u64::from(*page_bytes) * u64::from(ways)),
+            *page_bytes,
+            ways,
+        );
+        // pages write back at line granularity: the paper's simulator
+        // tracks dirty cache *lines*, and those are what reach memory
+        if *page_bytes > scale.line_bytes {
+            cfg = cfg.with_sectors(scale.line_bytes);
+        }
+        caches.push(Cache::new(cfg));
+    }
+
+    // the terminal collects per-region traffic for every structure; the
+    // aggregate equals a flat memory's counters because everything is
+    // placed on the DRAM side
+    let regions = workload.space().regions().to_vec();
+    let terminal = PartitionedMemory::new(&regions, Technology::Pcm);
+    let mut hierarchy = Hierarchy::new(caches, terminal);
+
+    workload.run(&mut hierarchy);
+    hierarchy.drain();
+    hierarchy.assert_consistent();
+    workload
+        .verify()
+        .unwrap_or_else(|e| panic!("{} failed self-verification: {e}", workload.name()));
+
+    let total_refs = hierarchy.total_refs();
+    let cache_stats: Vec<LevelStats> = hierarchy
+        .levels()
+        .iter()
+        .map(|c| c.stats().clone())
+        .collect();
+    let mem_part = hierarchy.into_memory();
+    let mut mem = mem_part.dram_stats().clone();
+    mem.name = MEM_NAME.to_string();
+
+    RawRun {
+        caches: cache_stats,
+        mem,
+        per_region: mem_part.traffic().to_vec(),
+        region_names: regions.iter().map(|r| r.name.clone()).collect(),
+        region_sizes: regions.iter().map(|r| r.len).collect(),
+        region_starts: regions.iter().map(|r| r.start).collect(),
+        total_refs,
+        footprint_bytes: regions.iter().map(|r| r.len).sum(),
+    }
+}
+
+/// A concurrency-safe memo of structure simulations.
+#[derive(Default)]
+pub struct SimCache {
+    map: Mutex<HashMap<(WorkloadKind, Scale, Structure), Arc<RawRun>>>,
+}
+
+impl SimCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch or simulate.
+    pub fn get(&self, kind: WorkloadKind, scale: &Scale, structure: &Structure) -> Arc<RawRun> {
+        let key = (kind, *scale, *structure);
+        if let Some(hit) = self.map.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        // simulate outside the lock so independent structures can proceed
+        // in parallel; a duplicate race costs one redundant simulation
+        let run = Arc::new(simulate_structure(kind, scale, structure));
+        self.map
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&run))
+            .clone()
+    }
+
+    /// Number of memoized runs.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One evaluated (workload, design) point.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// The design evaluated.
+    pub design: Design,
+    /// The workload it ran.
+    pub workload: WorkloadKind,
+    /// Modeled metrics (Eq. 1–4).
+    pub metrics: Metrics,
+    /// The underlying simulation.
+    pub run: Arc<RawRun>,
+    /// NDM only: the oracle's chosen region placement.
+    pub placement: Option<Vec<Placement>>,
+}
+
+/// Evaluate one design point, memoizing the simulation in `cache`.
+pub fn evaluate_cached(
+    kind: WorkloadKind,
+    scale: &Scale,
+    design: &Design,
+    cache: &SimCache,
+) -> EvalResult {
+    design.validate().expect("invalid design");
+    let run = cache.get(kind, scale, &design.structure(scale));
+    match design {
+        Design::Ndm { nvm } => {
+            let choice = partition::oracle(&run, *nvm, scale);
+            EvalResult {
+                design: *design,
+                workload: kind,
+                metrics: choice.metrics,
+                run,
+                placement: Some(choice.placement),
+            }
+        }
+        _ => {
+            let costs = design.costing(scale, &run);
+            let stats = run.all_levels();
+            let pairs: Vec<_> = stats.into_iter().zip(costs.iter()).collect();
+            let metrics = Metrics::compute(&pairs, run.total_refs);
+            EvalResult {
+                design: *design,
+                workload: kind,
+                metrics,
+                run,
+                placement: None,
+            }
+        }
+    }
+}
+
+/// Evaluate one design point with a throwaway memo.
+pub fn evaluate(kind: WorkloadKind, scale: &Scale, design: &Design) -> EvalResult {
+    evaluate_cached(kind, scale, design, &SimCache::new())
+}
+
+/// Evaluate a grid of points in parallel over `threads` workers (defaults
+/// to the available parallelism when `None`), sharing one simulation memo.
+pub fn evaluate_grid(
+    points: &[(WorkloadKind, Design)],
+    scale: &Scale,
+    cache: &SimCache,
+    threads: Option<usize>,
+) -> Vec<EvalResult> {
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .clamp(1, points.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<EvalResult>>> = Mutex::new(vec![None; points.len()]);
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let (kind, design) = points[i];
+                let r = evaluate_cached(kind, scale, &design, cache);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("missing result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{eh_configs, n_configs};
+
+    fn scale() -> Scale {
+        Scale::mini()
+    }
+
+    #[test]
+    fn baseline_run_is_consistent() {
+        let run = simulate_structure(WorkloadKind::Cg, &scale(), &Structure::ThreeLevel);
+        assert_eq!(run.caches.len(), 3);
+        assert!(run.total_refs > 100_000);
+        // L1 sees every demand reference (after line splitting)
+        assert_eq!(run.caches[0].accesses(), run.total_refs);
+        // memory loads equal L3 load misses (store misses bypass on writeback)
+        assert_eq!(run.mem.loads, run.caches[2].load_misses);
+        // per-region traffic sums to the aggregate
+        let sum_loads: u64 = run.per_region.iter().map(|t| t.loads).sum();
+        assert_eq!(sum_loads, run.mem.loads);
+        let sum_stores: u64 = run.per_region.iter().map(|t| t.stores).sum();
+        assert_eq!(sum_stores, run.mem.stores);
+    }
+
+    #[test]
+    fn l4_structure_adds_level_and_filters() {
+        let st = Structure::WithL4 {
+            capacity_bytes: 1 << 20,
+            page_bytes: 1024,
+        };
+        let run = simulate_structure(WorkloadKind::Cg, &scale(), &st);
+        assert_eq!(run.caches.len(), 4);
+        assert_eq!(run.caches[3].name, "L4");
+        // the L4 must filter some traffic: memory loads < L3 load misses
+        assert!(run.mem.loads < run.caches[2].load_misses);
+        // with 1 KiB pages, memory fills move 1 KiB each
+        assert_eq!(run.mem.bytes_loaded, run.mem.loads * 1024);
+    }
+
+    #[test]
+    fn sim_cache_memoizes() {
+        let cache = SimCache::new();
+        let a = cache.get(WorkloadKind::Hash, &scale(), &Structure::ThreeLevel);
+        let b = cache.get(WorkloadKind::Hash, &scale(), &Structure::ThreeLevel);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evaluate_baseline_and_nmm() {
+        let cache = SimCache::new();
+        let base = evaluate_cached(WorkloadKind::Cg, &scale(), &Design::Baseline, &cache);
+        let nmm = evaluate_cached(
+            WorkloadKind::Cg,
+            &scale(),
+            &Design::Nmm {
+                nvm: Technology::Pcm,
+                config: n_configs()[2],
+            },
+            &cache,
+        );
+        let norm = nmm.metrics.normalized_to(&base.metrics);
+        // PCM behind a DRAM cache costs some time but is in a sane band
+        assert!(
+            norm.time >= 0.9 && norm.time < 3.0,
+            "norm.time = {}",
+            norm.time
+        );
+        assert!(
+            norm.energy > 0.05 && norm.energy < 5.0,
+            "norm.energy = {}",
+            norm.energy
+        );
+    }
+
+    #[test]
+    fn fourlc_and_fourlcnvm_share_sim() {
+        let cache = SimCache::new();
+        let eh = eh_configs()[0];
+        let a = evaluate_cached(
+            WorkloadKind::Hash,
+            &scale(),
+            &Design::FourLc {
+                llc: Technology::Edram,
+                config: eh,
+            },
+            &cache,
+        );
+        let b = evaluate_cached(
+            WorkloadKind::Hash,
+            &scale(),
+            &Design::FourLcNvm {
+                llc: Technology::Edram,
+                nvm: Technology::Pcm,
+                config: eh,
+            },
+            &cache,
+        );
+        assert!(
+            Arc::ptr_eq(&a.run, &b.run),
+            "same structure must share the simulation"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn grid_matches_serial() {
+        let cache = SimCache::new();
+        let points = vec![
+            (WorkloadKind::Cg, Design::Baseline),
+            (
+                WorkloadKind::Cg,
+                Design::Nmm {
+                    nvm: Technology::Pcm,
+                    config: n_configs()[0],
+                },
+            ),
+            (WorkloadKind::Hash, Design::Baseline),
+        ];
+        let grid = evaluate_grid(&points, &scale(), &cache, Some(3));
+        assert_eq!(grid.len(), 3);
+        for (r, (k, d)) in grid.iter().zip(&points) {
+            assert_eq!(r.workload, *k);
+            assert_eq!(r.design, *d);
+            let serial = evaluate_cached(*k, &scale(), d, &cache);
+            assert!((r.metrics.time_s - serial.metrics.time_s).abs() < 1e-15);
+        }
+    }
+}

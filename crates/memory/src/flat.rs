@@ -1,0 +1,75 @@
+//! A single flat main memory.
+
+use memsim_cache::{LevelStats, MainMemory};
+use memsim_tech::Technology;
+
+/// A flat DRAM or NVM main memory: the terminal level of the baseline,
+/// 4LC, NMM, and 4LCNVM designs. Records arriving fetches as loads and
+/// writebacks as stores, per the paper's counting rule.
+#[derive(Debug, Clone)]
+pub struct FlatMemory {
+    tech: Technology,
+    capacity_bytes: u64,
+    stats: LevelStats,
+}
+
+impl FlatMemory {
+    /// A memory of `capacity_bytes` built from `tech`.
+    pub fn new(tech: Technology, capacity_bytes: u64) -> Self {
+        Self {
+            tech,
+            capacity_bytes,
+            stats: LevelStats::new(tech.name()),
+        }
+    }
+
+    /// The technology backing this memory.
+    pub fn tech(&self) -> Technology {
+        self.tech
+    }
+
+    /// Device capacity in bytes (drives static power in the energy model).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Request statistics (only `loads`/`stores`/`bytes_*` are meaningful;
+    /// a terminal memory has no hits or misses).
+    pub fn stats(&self) -> &LevelStats {
+        &self.stats
+    }
+}
+
+impl MainMemory for FlatMemory {
+    #[inline]
+    fn load(&mut self, _addr: u64, bytes: u32) {
+        self.stats.loads += 1;
+        self.stats.bytes_loaded += u64::from(bytes);
+    }
+
+    #[inline]
+    fn store(&mut self, _addr: u64, bytes: u32) {
+        self.stats.stores += 1;
+        self.stats.bytes_stored += u64::from(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_requests() {
+        let mut m = FlatMemory::new(Technology::Pcm, 1 << 30);
+        m.load(0, 1024);
+        m.store(4096, 1024);
+        m.store(8192, 64);
+        assert_eq!(m.stats().loads, 1);
+        assert_eq!(m.stats().stores, 2);
+        assert_eq!(m.stats().bytes_loaded, 1024);
+        assert_eq!(m.stats().bytes_stored, 1088);
+        assert_eq!(m.tech(), Technology::Pcm);
+        assert_eq!(m.capacity_bytes(), 1 << 30);
+        assert_eq!(m.stats().name, "PCM");
+    }
+}

@@ -1,0 +1,30 @@
+//! Main-memory organizations for the hybrid-hierarchy designs.
+//!
+//! The cache levels of every design live in `memsim-cache`; this crate
+//! provides the *terminal* memories below them:
+//!
+//! * [`FlatMemory`] — a single DRAM or NVM main memory (the terminal of the
+//!   baseline, 4LC, NMM, and 4LCNVM designs).
+//! * [`PartitionedMemory`] — the NDM design's DRAM + NVM partitioned
+//!   address space, with per-region accounting that feeds the oracle
+//!   partitioner in `memsim-core`.
+//! * [`EpochProfiler`] — per-phase traffic profiling, the substrate for
+//!   the dynamic-partitioning extension (the paper's stated future work).
+//! * [`StartGapNvm`] — start-gap wear leveling (Qureshi et al., MICRO'09)
+//!   wrapped around a flat NVM, with a per-block write histogram for
+//!   endurance analysis. The paper lists wear as future work; this is the
+//!   corresponding extension, exercised by the `ablation_wear_leveling`
+//!   bench.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod epoch;
+mod flat;
+mod partitioned;
+mod wear;
+
+pub use epoch::EpochProfiler;
+pub use flat::FlatMemory;
+pub use partitioned::{PartitionedMemory, Placement, RegionTraffic};
+pub use wear::{EnduranceStats, StartGapNvm, WriteHistogram};

@@ -1,0 +1,359 @@
+//! Start-gap wear leveling and endurance accounting.
+//!
+//! The paper notes PCM's "low endurance … may be compensated by wear
+//! leveling, [which] does incur some overhead" and defers wear modeling to
+//! future work. This module implements that extension: the start-gap
+//! scheme of Qureshi et al. (MICRO'09) over a flat NVM, tracking per-block
+//! write counts so the benefit (write spreading) and the cost (extra gap-
+//! movement writes) can both be measured — see `ablation_wear_leveling`.
+
+use memsim_cache::{LevelStats, MainMemory};
+use memsim_tech::Technology;
+
+/// Per-physical-block write histogram.
+#[derive(Debug, Clone)]
+pub struct WriteHistogram {
+    counts: Vec<u64>,
+}
+
+impl WriteHistogram {
+    /// A histogram over `blocks` physical blocks.
+    pub fn new(blocks: usize) -> Self {
+        Self {
+            counts: vec![0; blocks],
+        }
+    }
+
+    /// Record one write to physical block `b`.
+    #[inline]
+    pub fn record(&mut self, b: usize) {
+        self.counts[b] += 1;
+    }
+
+    /// Raw per-block counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> EnduranceStats {
+        let n = self.counts.len().max(1) as f64;
+        let total: u64 = self.counts.iter().sum();
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        let mean = total as f64 / n;
+        let var = self
+            .counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        EnduranceStats {
+            total_writes: total,
+            max_writes: max,
+            mean_writes: mean,
+            std_writes: var.sqrt(),
+        }
+    }
+}
+
+/// Summary of write wear across the device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceStats {
+    /// Total writes absorbed by the device.
+    pub total_writes: u64,
+    /// Writes to the most-written block — the device lifetime limiter.
+    pub max_writes: u64,
+    /// Mean writes per block.
+    pub mean_writes: f64,
+    /// Standard deviation of writes per block.
+    pub std_writes: f64,
+}
+
+impl EnduranceStats {
+    /// `max / mean`: 1.0 is perfectly level wear; large values mean the
+    /// hottest block wears out long before the average block.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_writes == 0.0 {
+            1.0
+        } else {
+            self.max_writes as f64 / self.mean_writes
+        }
+    }
+}
+
+/// Start-gap wear leveling over a flat NVM.
+///
+/// The device keeps `n + 1` physical blocks for `n` logical blocks; a
+/// roaming *gap* block absorbs a rotation of the mapping. Every `psi`
+/// demand writes, the gap moves one slot (copying its neighbour — one
+/// extra device write). After the gap traverses the whole device, `start`
+/// advances, so every logical block eventually visits every physical slot.
+///
+/// Address translation (Qureshi et al., alg. 1):
+/// `pa = (la + start) mod n; if pa >= gap { pa += 1 }`.
+#[derive(Debug, Clone)]
+pub struct StartGapNvm {
+    tech: Technology,
+    capacity_bytes: u64,
+    base_addr: u64,
+    block_bytes: u64,
+    n: u64,
+    start: u64,
+    gap: u64,
+    psi: u64,
+    writes_since_move: u64,
+    gap_moves: u64,
+    stats: LevelStats,
+    histogram: WriteHistogram,
+    enabled: bool,
+}
+
+impl StartGapNvm {
+    /// A wear-leveled NVM of `capacity_bytes` with `block_bytes` blocks,
+    /// remapping addresses relative to `base_addr`, moving the gap every
+    /// `psi` writes. `psi = 0` disables leveling (the ablation baseline):
+    /// the identity mapping is used and no gap writes occur.
+    pub fn new(
+        tech: Technology,
+        capacity_bytes: u64,
+        block_bytes: u64,
+        base_addr: u64,
+        psi: u64,
+    ) -> Self {
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        let n = (capacity_bytes / block_bytes).max(1);
+        Self {
+            tech,
+            capacity_bytes,
+            base_addr,
+            block_bytes,
+            n,
+            start: 0,
+            gap: n, // gap begins past the last logical block
+            psi,
+            writes_since_move: 0,
+            gap_moves: 0,
+            stats: LevelStats::new(tech.name()),
+            // n logical + 1 gap block
+            histogram: WriteHistogram::new(n as usize + 1),
+            enabled: psi > 0,
+        }
+    }
+
+    /// The technology backing this memory.
+    pub fn tech(&self) -> Technology {
+        self.tech
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Request statistics. `stores` includes the extra gap-movement writes.
+    pub fn stats(&self) -> &LevelStats {
+        &self.stats
+    }
+
+    /// The per-physical-block write histogram.
+    pub fn histogram(&self) -> &WriteHistogram {
+        &self.histogram
+    }
+
+    /// Number of gap movements so far (each cost one extra device write).
+    pub fn gap_moves(&self) -> u64 {
+        self.gap_moves
+    }
+
+    /// Translate a logical block number to a physical one.
+    #[inline]
+    fn translate(&self, logical: u64) -> u64 {
+        if !self.enabled {
+            return logical;
+        }
+        let pa = (logical + self.start) % self.n;
+        if pa >= self.gap {
+            pa + 1
+        } else {
+            pa
+        }
+    }
+
+    #[inline]
+    fn logical_block(&self, addr: u64) -> u64 {
+        (addr.wrapping_sub(self.base_addr) / self.block_bytes) % self.n
+    }
+
+    fn maybe_move_gap(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        self.writes_since_move += 1;
+        if self.writes_since_move < self.psi {
+            return;
+        }
+        self.writes_since_move = 0;
+        self.gap_moves += 1;
+        // moving the gap copies the block above/below into the gap slot:
+        // one extra device write at the *new* gap's old occupant location
+        if self.gap == 0 {
+            self.start = (self.start + 1) % self.n;
+            self.gap = self.n;
+        } else {
+            // block at gap-1 moves into the gap slot
+            self.histogram.record(self.gap as usize);
+            self.stats.stores += 1;
+            self.stats.bytes_stored += self.block_bytes;
+            self.gap -= 1;
+        }
+    }
+}
+
+impl MainMemory for StartGapNvm {
+    fn load(&mut self, addr: u64, bytes: u32) {
+        self.stats.loads += 1;
+        self.stats.bytes_loaded += u64::from(bytes);
+        // reads do not wear the device; translation has no side effects
+        let _ = self.translate(self.logical_block(addr));
+    }
+
+    fn store(&mut self, addr: u64, bytes: u32) {
+        self.stats.stores += 1;
+        self.stats.bytes_stored += u64::from(bytes);
+        let phys = self.translate(self.logical_block(addr));
+        self.histogram.record(phys as usize);
+        self.maybe_move_gap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn device(psi: u64) -> StartGapNvm {
+        // 16 blocks of 64 B
+        StartGapNvm::new(Technology::Pcm, 16 * 64, 64, 0, psi)
+    }
+
+    #[test]
+    fn disabled_is_identity_mapping() {
+        let mut d = device(0);
+        for i in 0..16u64 {
+            d.store(i * 64, 64);
+        }
+        // each block written exactly once, gap block untouched
+        assert_eq!(&d.histogram().counts()[..16], &[1u64; 16][..]);
+        assert_eq!(d.histogram().counts()[16], 0);
+        assert_eq!(d.gap_moves(), 0);
+    }
+
+    #[test]
+    fn hot_block_without_leveling_concentrates_wear() {
+        let mut d = device(0);
+        for _ in 0..1000 {
+            d.store(0, 64);
+        }
+        let s = d.histogram().stats();
+        assert_eq!(s.max_writes, 1000);
+        assert!(s.imbalance() > 10.0);
+    }
+
+    #[test]
+    fn leveling_spreads_a_hot_block() {
+        let mut d = device(4); // move gap every 4 writes
+        for _ in 0..10_000 {
+            d.store(0, 64);
+        }
+        let s = d.histogram().stats();
+        let base = device(0);
+        let _ = base;
+        // the hot logical block visits many physical slots
+        let touched = d.histogram().counts().iter().filter(|&&c| c > 0).count();
+        assert!(
+            touched > 8,
+            "wear must spread: only {touched} slots touched"
+        );
+        assert!(s.imbalance() < 16.0);
+        assert!(d.gap_moves() > 0);
+    }
+
+    #[test]
+    fn leveling_adds_write_overhead() {
+        let mut with = device(4);
+        let mut without = device(0);
+        for i in 0..1000u64 {
+            with.store((i % 16) * 64, 64);
+            without.store((i % 16) * 64, 64);
+        }
+        assert!(with.stats().stores > without.stats().stores);
+        // overhead is bounded by ~1/psi
+        let overhead = with.stats().stores - without.stats().stores;
+        assert!(overhead <= 1000 / 4 + 1);
+    }
+
+    #[test]
+    fn loads_do_not_wear() {
+        let mut d = device(4);
+        for _ in 0..100 {
+            d.load(0, 64);
+        }
+        assert_eq!(d.histogram().stats().total_writes, 0);
+        assert_eq!(d.stats().loads, 100);
+    }
+
+    #[test]
+    fn histogram_stats_basics() {
+        let mut h = WriteHistogram::new(4);
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        let s = h.stats();
+        assert_eq!(s.total_writes, 3);
+        assert_eq!(s.max_writes, 2);
+        assert!((s.mean_writes - 0.75).abs() < 1e-12);
+        assert!(s.imbalance() > 2.0);
+    }
+
+    #[test]
+    fn empty_histogram_imbalance_is_one() {
+        assert_eq!(WriteHistogram::new(8).stats().imbalance(), 1.0);
+    }
+
+    proptest! {
+        /// The start-gap mapping is injective at every point of its
+        /// evolution: no two logical blocks share a physical slot.
+        #[test]
+        fn translation_stays_injective(writes in 1usize..2000, psi in 1u64..8) {
+            let mut d = StartGapNvm::new(Technology::Pcm, 32 * 64, 64, 0, psi);
+            for w in 0..writes {
+                d.store((w as u64 % 32) * 64, 64);
+                // verify injectivity of the current mapping
+                let mut seen = std::collections::HashSet::new();
+                for l in 0..32u64 {
+                    let p = d.translate(l);
+                    prop_assert!(p <= 32, "physical slot out of range");
+                    prop_assert!(seen.insert(p), "collision at logical {l}");
+                }
+            }
+        }
+
+        /// With leveling on, long runs of single-block writes never leave
+        /// wear imbalance unbounded (it is capped by ~psi × n / total).
+        #[test]
+        fn hot_write_imbalance_bounded(psi in 1u64..6) {
+            let n = 16u64;
+            let mut d = StartGapNvm::new(Technology::Pcm, n * 64, 64, 0, psi);
+            for _ in 0..50_000 {
+                d.store(0, 64);
+            }
+            let s = d.histogram().stats();
+            // gap cycles the hot block through all slots every n*psi writes
+            prop_assert!(s.imbalance() < (psi as f64 + 1.0) * n as f64 / 4.0 + 2.0,
+                "imbalance {} too high for psi {psi}", s.imbalance());
+        }
+    }
+}

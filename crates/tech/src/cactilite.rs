@@ -1,0 +1,103 @@
+//! CACTI-lite: an analytical SRAM parameter model.
+//!
+//! The paper takes its SRAM cache parameters from CACTI 6.0 at fixed
+//! design points. For sensitivity studies that *vary* a cache's capacity
+//! (e.g. the `ablation_l3_size` bench), fixed points are not enough —
+//! latency, access energy, and leakage must co-vary with capacity the way
+//! a real array's do. This module provides a deliberately simple
+//! logarithmic fit anchored on the three fixed levels of
+//! [`crate::sram_cache_params`]:
+//!
+//! * access latency grows ~0.77 ns per capacity doubling past 32 KiB
+//!   (wordline/bitline and H-tree lengthening),
+//! * access energy grows ~0.08 pJ/bit per doubling (longer wires dominate
+//!   past the sense amps),
+//! * leakage density *falls* slightly with size (periphery amortization)
+//!   toward a 20 mW/MiB floor.
+//!
+//! These are engineering fits, not device physics; their contract — tested
+//! below — is monotonicity plus agreement with the fixed anchor points.
+
+use crate::db::{TechParams, Technology};
+
+/// Smallest capacity the model accepts (one L1-class array).
+pub const MIN_SRAM_BYTES: u64 = 4 << 10;
+
+/// Analytical SRAM parameters for an array of `capacity_bytes`
+/// (clamped below at [`MIN_SRAM_BYTES`]).
+pub fn sram_model(capacity_bytes: u64) -> TechParams {
+    let c = capacity_bytes.max(MIN_SRAM_BYTES) as f64;
+    let doublings = (c / (32.0 * 1024.0)).log2();
+    TechParams {
+        tech: Technology::Sram,
+        read_ns: (1.2 + 0.77 * doublings).max(0.4),
+        write_ns: (1.2 + 0.77 * doublings).max(0.4),
+        read_pj_per_bit: (0.5 + 0.08 * doublings).max(0.2),
+        write_pj_per_bit: (0.5 + 0.08 * doublings).max(0.2),
+        static_mw_per_mib: (40.0 - 1.8 * doublings).clamp(20.0, 60.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::sram_cache_params;
+
+    #[test]
+    fn anchored_on_the_fixed_levels() {
+        // L1 32 KiB: exact anchor
+        let l1 = sram_model(32 << 10);
+        let l1_fixed = sram_cache_params(1);
+        assert!((l1.read_ns - l1_fixed.read_ns).abs() < 1e-9);
+        assert!((l1.read_pj_per_bit - l1_fixed.read_pj_per_bit).abs() < 1e-9);
+        assert!((l1.static_mw_per_mib - l1_fixed.static_mw_per_mib).abs() < 1e-9);
+
+        // L2 256 KiB and L3 20 MiB: within 20 % of the CACTI-class points
+        let l2 = sram_model(256 << 10);
+        let l2_fixed = sram_cache_params(2);
+        assert!((l2.read_ns / l2_fixed.read_ns - 1.0).abs() < 0.2, "{}", l2.read_ns);
+        let l3 = sram_model(20 << 20);
+        let l3_fixed = sram_cache_params(3);
+        assert!((l3.read_ns / l3_fixed.read_ns - 1.0).abs() < 0.2, "{}", l3.read_ns);
+        assert!((l3.read_pj_per_bit / l3_fixed.read_pj_per_bit - 1.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn monotonic_in_capacity() {
+        let caps: Vec<u64> = (12..=26).map(|i| 1u64 << i).collect();
+        for w in caps.windows(2) {
+            let small = sram_model(w[0]);
+            let big = sram_model(w[1]);
+            assert!(big.read_ns >= small.read_ns, "latency must grow with capacity");
+            assert!(big.read_pj_per_bit >= small.read_pj_per_bit, "energy must grow");
+            assert!(
+                big.static_mw_per_mib <= small.static_mw_per_mib,
+                "leakage density must not grow"
+            );
+        }
+    }
+
+    #[test]
+    fn total_leakage_still_grows_with_capacity() {
+        // density falls, but watts = density × capacity must rise
+        let small = sram_model(1 << 20).static_watts(1 << 20);
+        let big = sram_model(16 << 20).static_watts(16 << 20);
+        assert!(big > 4.0 * small);
+    }
+
+    #[test]
+    fn tiny_capacities_clamp() {
+        let t = sram_model(1);
+        let floor = sram_model(MIN_SRAM_BYTES);
+        assert_eq!(t, floor);
+        assert!(t.read_ns >= 0.4);
+        assert!(t.static_mw_per_mib <= 60.0);
+    }
+
+    #[test]
+    fn stays_below_dram_latency_at_llc_sizes() {
+        // an SRAM LLC should not be modeled slower than DRAM below ~128 MiB
+        let dram = TechParams::of(Technology::Dram);
+        assert!(sram_model(64 << 20).read_ns < dram.read_ns);
+    }
+}

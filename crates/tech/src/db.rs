@@ -1,0 +1,243 @@
+//! The parameter database: Table 1 plus CACTI/Micron-derived constants.
+
+use crate::multiplier::Multipliers;
+
+/// A memory technology evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technology {
+    /// Conventional DDR DRAM (the "RAM" row of Table 1).
+    Dram,
+    /// Phase-change memory (ITRS 2013).
+    Pcm,
+    /// Spin-torque-transfer magnetic RAM (ITRS 2013).
+    SttRam,
+    /// Ferro-electric RAM (Hoya et al., ISSCC 2006).
+    FeRam,
+    /// Embedded DRAM (Barth et al., ISSCC 2007).
+    Edram,
+    /// Hybrid Memory Cube (Jeddeloh & Keeth, VLSIT 2012 prototype data).
+    Hmc,
+    /// On-chip SRAM (the fixed L1/L2/L3 levels; not a Table 1 row — its
+    /// per-level parameters come from [`sram_cache_params`]).
+    Sram,
+}
+
+impl Technology {
+    /// All technologies of Table 1.
+    pub const ALL: [Technology; 6] = [
+        Technology::Dram,
+        Technology::Pcm,
+        Technology::SttRam,
+        Technology::FeRam,
+        Technology::Edram,
+        Technology::Hmc,
+    ];
+
+    /// The non-volatile main-memory candidates of the paper.
+    pub const NVM: [Technology; 3] = [Technology::Pcm, Technology::SttRam, Technology::FeRam];
+
+    /// The fast volatile LLC candidates of the paper.
+    pub const FAST_LLC: [Technology; 2] = [Technology::Edram, Technology::Hmc];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Technology::Dram => "DRAM",
+            Technology::Pcm => "PCM",
+            Technology::SttRam => "STTRAM",
+            Technology::FeRam => "FeRAM",
+            Technology::Edram => "eDRAM",
+            Technology::Hmc => "HMC",
+            Technology::Sram => "SRAM",
+        }
+    }
+
+    /// Whether this is one of the non-volatile technologies.
+    pub fn is_nvm(self) -> bool {
+        matches!(
+            self,
+            Technology::Pcm | Technology::SttRam | Technology::FeRam
+        )
+    }
+
+    /// Case-insensitive parse of common spellings ("stt-ram", "STTRAM", …).
+    pub fn parse(s: &str) -> Option<Technology> {
+        let k: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match k.as_str() {
+            "dram" | "ram" | "ddr" => Some(Technology::Dram),
+            "pcm" => Some(Technology::Pcm),
+            "sttram" | "stt" | "sttmram" => Some(Technology::SttRam),
+            "feram" | "fram" => Some(Technology::FeRam),
+            "edram" => Some(Technology::Edram),
+            "hmc" => Some(Technology::Hmc),
+            "sram" => Some(Technology::Sram),
+            _ => None,
+        }
+    }
+}
+
+/// Characterization parameters of one memory technology (Table 1 columns,
+/// plus the capacity-proportional static/refresh power the energy model
+/// needs for Equation 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechParams {
+    /// Which technology this characterizes (kept for reporting).
+    pub tech: Technology,
+    /// Read access delay in nanoseconds.
+    pub read_ns: f64,
+    /// Write access delay in nanoseconds.
+    pub write_ns: f64,
+    /// Read energy in picojoules per bit transferred.
+    pub read_pj_per_bit: f64,
+    /// Write energy in picojoules per bit transferred.
+    pub write_pj_per_bit: f64,
+    /// Static (background + refresh) power in milliwatts per MiB of
+    /// capacity. Zero for the NVM technologies, per the paper's assumption.
+    pub static_mw_per_mib: f64,
+}
+
+/// DRAM background + refresh power density.
+///
+/// From the Micron DDR3 system power calculator the paper cites: a 4 GiB
+/// module idles near 1 W, i.e. ≈ 0.25 mW/MiB.
+pub const DRAM_STATIC_MW_PER_MIB: f64 = 0.25;
+
+/// eDRAM refresh power density (CACTI-class estimate; eDRAM macro cells
+/// retain for ~100 µs and refresh far more often than DDR DRAM, so the
+/// per-MiB burden is higher).
+pub const EDRAM_STATIC_MW_PER_MIB: f64 = 2.0;
+
+/// HMC background power density (stacked DRAM + logic layer, amortized).
+pub const HMC_STATIC_MW_PER_MIB: f64 = 0.5;
+
+impl TechParams {
+    /// Table 1 of the paper, verbatim.
+    pub fn of(tech: Technology) -> Self {
+        match tech {
+            Technology::Dram => Self {
+                tech,
+                read_ns: 10.0,
+                write_ns: 10.0,
+                read_pj_per_bit: 10.0,
+                write_pj_per_bit: 10.0,
+                static_mw_per_mib: DRAM_STATIC_MW_PER_MIB,
+            },
+            Technology::Pcm => Self {
+                tech,
+                read_ns: 21.0,
+                write_ns: 100.0,
+                read_pj_per_bit: 12.4,
+                write_pj_per_bit: 210.3,
+                static_mw_per_mib: 0.0,
+            },
+            Technology::SttRam => Self {
+                tech,
+                read_ns: 35.0,
+                write_ns: 35.0,
+                read_pj_per_bit: 58.5,
+                write_pj_per_bit: 67.7,
+                static_mw_per_mib: 0.0,
+            },
+            Technology::FeRam => Self {
+                tech,
+                read_ns: 40.0,
+                write_ns: 65.0,
+                read_pj_per_bit: 12.4,
+                write_pj_per_bit: 210.0,
+                static_mw_per_mib: 0.0,
+            },
+            Technology::Edram => Self {
+                tech,
+                read_ns: 4.4,
+                write_ns: 4.4,
+                read_pj_per_bit: 3.11,
+                write_pj_per_bit: 3.09,
+                static_mw_per_mib: EDRAM_STATIC_MW_PER_MIB,
+            },
+            Technology::Hmc => Self {
+                tech,
+                read_ns: 0.18,
+                write_ns: 0.18,
+                read_pj_per_bit: 0.48,
+                write_pj_per_bit: 10.48,
+                static_mw_per_mib: HMC_STATIC_MW_PER_MIB,
+            },
+            // Generic SRAM defaults to the L3-class parameters; the fixed
+            // cache levels use `sram_cache_params(level)` for per-level values.
+            Technology::Sram => sram_cache_params(3),
+        }
+    }
+
+    /// Static power of a device of `capacity_bytes`, in watts.
+    pub fn static_watts(&self, capacity_bytes: u64) -> f64 {
+        self.static_mw_per_mib * (capacity_bytes as f64 / (1024.0 * 1024.0)) / 1000.0
+    }
+
+    /// Dynamic energy of one read moving `bytes`, in picojoules.
+    #[inline]
+    pub fn read_pj(&self, bytes: u64) -> f64 {
+        self.read_pj_per_bit * bytes as f64 * 8.0
+    }
+
+    /// Dynamic energy of one write moving `bytes`, in picojoules.
+    #[inline]
+    pub fn write_pj(&self, bytes: u64) -> f64 {
+        self.write_pj_per_bit * bytes as f64 * 8.0
+    }
+
+    /// Scale latency and energy by the heat-map multipliers, leaving
+    /// static power untouched (the heat maps scale *per-operation* costs
+    /// "with respect to DRAM").
+    pub fn scaled(&self, m: Multipliers) -> Self {
+        Self {
+            tech: self.tech,
+            read_ns: self.read_ns * m.read_latency,
+            write_ns: self.write_ns * m.write_latency,
+            read_pj_per_bit: self.read_pj_per_bit * m.read_energy,
+            write_pj_per_bit: self.write_pj_per_bit * m.write_energy,
+            static_mw_per_mib: self.static_mw_per_mib,
+        }
+    }
+}
+
+/// SRAM parameters for the fixed on-chip cache levels (L1/L2/L3).
+///
+/// The paper takes these from CACTI 6.0 for a Sandy Bridge-class part but
+/// does not print them; the constants below are CACTI-class values at 32 nm
+/// (latency grows with capacity, L3 ≈ 30 cycles at 3 GHz ≈ 10 ns which also
+/// keeps it at the Table 1 DRAM bound). `level` is 1-based.
+pub fn sram_cache_params(level: u8) -> TechParams {
+    // SRAM leakage density: CACTI reports ~0.4–0.6 W for a 20 MiB 32 nm L3,
+    // i.e. ≈ 25 mW/MiB; smaller, faster arrays leak slightly more per bit.
+    match level {
+        1 => TechParams {
+            tech: Technology::Sram,
+            read_ns: 1.2,
+            write_ns: 1.2,
+            read_pj_per_bit: 0.50,
+            write_pj_per_bit: 0.50,
+            static_mw_per_mib: 40.0,
+        },
+        2 => TechParams {
+            tech: Technology::Sram,
+            read_ns: 3.5,
+            write_ns: 3.5,
+            read_pj_per_bit: 0.80,
+            write_pj_per_bit: 0.80,
+            static_mw_per_mib: 30.0,
+        },
+        3 => TechParams {
+            tech: Technology::Sram,
+            read_ns: 8.0,
+            write_ns: 8.0,
+            read_pj_per_bit: 1.20,
+            write_pj_per_bit: 1.20,
+            static_mw_per_mib: 25.0,
+        },
+        _ => panic!("sram_cache_params: level must be 1..=3, got {level}"),
+    }
+}

@@ -1,0 +1,138 @@
+//! Memory technology characterization parameters.
+//!
+//! Table 1 of the paper, plus the supporting constants the paper takes from
+//! CACTI (SRAM cache latency/energy/leakage), the Micron power calculator
+//! (DRAM background/refresh power), and the ITRS 2013 report — reproduced
+//! here as documented constants, with the latency/energy *multiplier*
+//! machinery used by the Figure 9/10 heat-map study.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cactilite;
+mod db;
+mod multiplier;
+
+pub use cactilite::{sram_model, MIN_SRAM_BYTES};
+pub use db::{sram_cache_params, TechParams, Technology};
+pub use multiplier::Multipliers;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_exact_values() {
+        // The exact characterization of Table 1 of the paper.
+        let dram = TechParams::of(Technology::Dram);
+        assert_eq!((dram.read_ns, dram.write_ns), (10.0, 10.0));
+        assert_eq!((dram.read_pj_per_bit, dram.write_pj_per_bit), (10.0, 10.0));
+
+        let pcm = TechParams::of(Technology::Pcm);
+        assert_eq!((pcm.read_ns, pcm.write_ns), (21.0, 100.0));
+        assert_eq!((pcm.read_pj_per_bit, pcm.write_pj_per_bit), (12.4, 210.3));
+
+        let stt = TechParams::of(Technology::SttRam);
+        assert_eq!((stt.read_ns, stt.write_ns), (35.0, 35.0));
+        assert_eq!((stt.read_pj_per_bit, stt.write_pj_per_bit), (58.5, 67.7));
+
+        let fe = TechParams::of(Technology::FeRam);
+        assert_eq!((fe.read_ns, fe.write_ns), (40.0, 65.0));
+        assert_eq!((fe.read_pj_per_bit, fe.write_pj_per_bit), (12.4, 210.0));
+
+        let ed = TechParams::of(Technology::Edram);
+        assert_eq!((ed.read_ns, ed.write_ns), (4.4, 4.4));
+        assert_eq!((ed.read_pj_per_bit, ed.write_pj_per_bit), (3.11, 3.09));
+
+        let hmc = TechParams::of(Technology::Hmc);
+        assert_eq!((hmc.read_ns, hmc.write_ns), (0.18, 0.18));
+        assert_eq!((hmc.read_pj_per_bit, hmc.write_pj_per_bit), (0.48, 10.48));
+    }
+
+    #[test]
+    fn nvm_has_no_static_power() {
+        // paper assumption: "NVM memory technologies do not have any static power"
+        for t in [Technology::Pcm, Technology::SttRam, Technology::FeRam] {
+            assert_eq!(TechParams::of(t).static_mw_per_mib, 0.0, "{t:?}");
+            assert!(t.is_nvm());
+        }
+        assert!(TechParams::of(Technology::Dram).static_mw_per_mib > 0.0);
+        assert!(TechParams::of(Technology::Edram).static_mw_per_mib > 0.0);
+        assert!(!Technology::Dram.is_nvm());
+        assert!(!Technology::Edram.is_nvm());
+        assert!(!Technology::Hmc.is_nvm());
+    }
+
+    #[test]
+    fn static_power_scales_with_capacity() {
+        let dram = TechParams::of(Technology::Dram);
+        let one = dram.static_watts(1 << 20);
+        let four = dram.static_watts(4 << 20);
+        assert!((four - 4.0 * one).abs() < 1e-12);
+        assert_eq!(TechParams::of(Technology::Pcm).static_watts(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn dynamic_energy_per_access() {
+        let dram = TechParams::of(Technology::Dram);
+        // 64-byte transfer at 10 pJ/bit = 5120 pJ
+        assert!((dram.read_pj(64) - 5120.0).abs() < 1e-9);
+        assert!((dram.write_pj(64) - 5120.0).abs() < 1e-9);
+        let pcm = TechParams::of(Technology::Pcm);
+        assert!(pcm.write_pj(64) > pcm.read_pj(64), "PCM write asymmetry");
+    }
+
+    #[test]
+    fn sram_levels_are_ordered() {
+        let l1 = sram_cache_params(1);
+        let l2 = sram_cache_params(2);
+        let l3 = sram_cache_params(3);
+        assert!(l1.read_ns < l2.read_ns && l2.read_ns < l3.read_ns);
+        assert!(l1.read_pj_per_bit < l3.read_pj_per_bit);
+        // L3 (10 ns class) must stay at or below DRAM latency
+        assert!(l3.read_ns <= TechParams::of(Technology::Dram).read_ns);
+    }
+
+    #[test]
+    fn multipliers_apply() {
+        let base = TechParams::of(Technology::Dram);
+        let m = Multipliers {
+            read_latency: 5.0,
+            write_latency: 2.0,
+            read_energy: 3.0,
+            write_energy: 9.0,
+        };
+        let t = base.scaled(m);
+        assert_eq!(t.read_ns, 50.0);
+        assert_eq!(t.write_ns, 20.0);
+        assert_eq!(t.read_pj_per_bit, 30.0);
+        assert_eq!(t.write_pj_per_bit, 90.0);
+        // static power and identity preserved
+        assert_eq!(t.static_mw_per_mib, base.static_mw_per_mib);
+        assert_eq!(t.tech, base.tech);
+    }
+
+    #[test]
+    fn identity_multiplier_is_noop() {
+        let base = TechParams::of(Technology::SttRam);
+        let t = base.scaled(Multipliers::identity());
+        assert_eq!(t, base);
+    }
+
+    #[test]
+    fn all_technologies_enumerable_and_named() {
+        assert_eq!(Technology::ALL.len(), 6);
+        for t in Technology::ALL {
+            assert!(!t.name().is_empty());
+            assert_eq!(TechParams::of(t).tech, t);
+        }
+        assert_eq!(Technology::parse("pcm"), Some(Technology::Pcm));
+        assert_eq!(Technology::parse("STTRAM"), Some(Technology::SttRam));
+        assert_eq!(Technology::parse("stt-ram"), Some(Technology::SttRam));
+        assert_eq!(Technology::parse("feram"), Some(Technology::FeRam));
+        assert_eq!(Technology::parse("edram"), Some(Technology::Edram));
+        assert_eq!(Technology::parse("hmc"), Some(Technology::Hmc));
+        assert_eq!(Technology::parse("dram"), Some(Technology::Dram));
+        assert_eq!(Technology::parse("bogus"), None);
+    }
+}

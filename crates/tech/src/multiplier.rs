@@ -1,0 +1,75 @@
+//! Latency/energy scaling multipliers for the generalization study.
+//!
+//! Figures 9 and 10 of the paper model a *hypothetical* memory whose
+//! per-operation costs are DRAM's scaled by independent read and write
+//! factors, asking "what must an emerging technology achieve to be viable?"
+
+/// Independent multipliers on the four per-operation cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Multipliers {
+    /// Factor on read latency.
+    pub read_latency: f64,
+    /// Factor on write latency.
+    pub write_latency: f64,
+    /// Factor on read energy per bit.
+    pub read_energy: f64,
+    /// Factor on write energy per bit.
+    pub write_energy: f64,
+}
+
+impl Multipliers {
+    /// All factors 1.0 (the technology is exactly DRAM).
+    pub const fn identity() -> Self {
+        Self {
+            read_latency: 1.0,
+            write_latency: 1.0,
+            read_energy: 1.0,
+            write_energy: 1.0,
+        }
+    }
+
+    /// Scale only the latencies (the Figure 9 axis pair).
+    pub const fn latency(read: f64, write: f64) -> Self {
+        Self {
+            read_latency: read,
+            write_latency: write,
+            read_energy: 1.0,
+            write_energy: 1.0,
+        }
+    }
+
+    /// Scale only the energies (the Figure 10 axis pair).
+    pub const fn energy(read: f64, write: f64) -> Self {
+        Self {
+            read_latency: 1.0,
+            write_latency: 1.0,
+            read_energy: read,
+            write_energy: write,
+        }
+    }
+}
+
+impl Default for Multipliers {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let l = Multipliers::latency(5.0, 20.0);
+        assert_eq!(l.read_latency, 5.0);
+        assert_eq!(l.write_latency, 20.0);
+        assert_eq!(l.read_energy, 1.0);
+        assert_eq!(l.write_energy, 1.0);
+        let e = Multipliers::energy(2.0, 9.0);
+        assert_eq!(e.read_energy, 2.0);
+        assert_eq!(e.write_energy, 9.0);
+        assert_eq!(e.read_latency, 1.0);
+        assert_eq!(Multipliers::default(), Multipliers::identity());
+    }
+}

@@ -1,0 +1,152 @@
+//! Trace events and the streaming sink interface.
+
+/// Whether a memory reference reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read of memory (CPU load, or a block fetch issued by a cache fill).
+    Load,
+    /// A write to memory (CPU store, or a dirty-block writeback).
+    Store,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Store`].
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+
+    /// `true` for [`AccessKind::Load`].
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, AccessKind::Load)
+    }
+}
+
+/// One memory reference in the application's address stream.
+///
+/// `size` is the number of bytes touched (the element size for container
+/// accesses). Events never cross a cache-line boundary when produced by the
+/// instrumented containers, because [`crate::AddressSpace`] aligns every
+/// region and Rust element types are naturally aligned within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual byte address of the first byte touched.
+    pub addr: u64,
+    /// Number of bytes touched.
+    pub size: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl TraceEvent {
+    /// Convenience constructor for a load event.
+    #[inline]
+    pub fn load(addr: u64, size: u32) -> Self {
+        Self {
+            addr,
+            size,
+            kind: AccessKind::Load,
+        }
+    }
+
+    /// Convenience constructor for a store event.
+    #[inline]
+    pub fn store(addr: u64, size: u32) -> Self {
+        Self {
+            addr,
+            size,
+            kind: AccessKind::Store,
+        }
+    }
+
+    /// Exclusive end address of the touched range.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.addr + u64::from(self.size)
+    }
+}
+
+/// A consumer of the online address stream.
+///
+/// Implementors include the cache hierarchy simulator (in `memsim-cache` /
+/// `memsim-core`) and the composable utility sinks in [`crate::sinks`].
+pub trait TraceSink {
+    /// Consume one memory reference.
+    fn access(&mut self, ev: TraceEvent);
+
+    /// Signal the end of the stream. Sinks that buffer (e.g. sampling
+    /// aggregators) finalize here. The default does nothing.
+    fn flush(&mut self) {}
+}
+
+/// A sink that forwards every event to a closure.
+///
+/// Useful in tests and for ad-hoc filtering.
+pub struct FnSink<F: FnMut(TraceEvent)>(pub F);
+
+impl<F: FnMut(TraceEvent)> TraceSink for FnSink<F> {
+    #[inline]
+    fn access(&mut self, ev: TraceEvent) {
+        (self.0)(ev)
+    }
+}
+
+impl TraceSink for Box<dyn TraceSink + '_> {
+    #[inline]
+    fn access(&mut self, ev: TraceEvent) {
+        (**self).access(ev)
+    }
+
+    fn flush(&mut self) {
+        (**self).flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Load.is_load());
+        assert!(!AccessKind::Load.is_store());
+        assert!(AccessKind::Store.is_store());
+        assert!(!AccessKind::Store.is_load());
+    }
+
+    #[test]
+    fn event_constructors() {
+        let l = TraceEvent::load(0x100, 8);
+        assert_eq!(l.kind, AccessKind::Load);
+        assert_eq!(l.end(), 0x108);
+        let s = TraceEvent::store(0x200, 4);
+        assert_eq!(s.kind, AccessKind::Store);
+        assert_eq!(s.end(), 0x204);
+    }
+
+    #[test]
+    fn fn_sink_forwards() {
+        let mut seen = Vec::new();
+        {
+            let mut sink = FnSink(|ev: TraceEvent| seen.push(ev.addr));
+            sink.access(TraceEvent::load(1, 8));
+            sink.access(TraceEvent::store(2, 8));
+            sink.flush();
+        }
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn boxed_sink_dispatches() {
+        struct Probe(u64);
+        impl TraceSink for Probe {
+            fn access(&mut self, _: TraceEvent) {
+                self.0 += 1;
+            }
+        }
+        let mut boxed: Box<dyn TraceSink> = Box::new(Probe(0));
+        boxed.access(TraceEvent::load(0, 8));
+        boxed.flush();
+    }
+}

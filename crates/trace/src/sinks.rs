@@ -1,0 +1,414 @@
+//! Composable consumers of the address stream.
+//!
+//! These mirror the utility passes of the paper's PEBIL-based framework:
+//! counting references, sampling the stream, profiling accesses per data
+//! region (the input to the NDM oracle partitioner), and fanning one stream
+//! out to several consumers.
+
+use crate::event::{AccessKind, TraceEvent, TraceSink};
+use crate::space::{AddressSpace, Region, RegionId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Discards every event. Useful to run a workload untraced.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn access(&mut self, _: TraceEvent) {}
+}
+
+/// Counts loads, stores, and bytes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Number of load events seen.
+    pub loads: u64,
+    /// Number of store events seen.
+    pub stores: u64,
+    /// Total bytes read.
+    pub load_bytes: u64,
+    /// Total bytes written.
+    pub store_bytes: u64,
+}
+
+impl CountingSink {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads + stores.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Fraction of references that are stores (0 when the stream is empty).
+    pub fn store_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.stores as f64 / self.total() as f64
+        }
+    }
+}
+
+impl TraceSink for CountingSink {
+    #[inline]
+    fn access(&mut self, ev: TraceEvent) {
+        match ev.kind {
+            AccessKind::Load => {
+                self.loads += 1;
+                self.load_bytes += u64::from(ev.size);
+            }
+            AccessKind::Store => {
+                self.stores += 1;
+                self.store_bytes += u64::from(ev.size);
+            }
+        }
+    }
+}
+
+/// Records every event in order. Only for tests and small traces — the
+/// whole point of the online framework is to avoid doing this at scale.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingSink {
+    /// The recorded stream.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RecordingSink {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for RecordingSink {
+    #[inline]
+    fn access(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+}
+
+/// Forwards each event to two sinks.
+pub struct TeeSink<A, B>(pub A, pub B);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    #[inline]
+    fn access(&mut self, ev: TraceEvent) {
+        self.0.access(ev);
+        self.1.access(ev);
+    }
+
+    fn flush(&mut self) {
+        self.0.flush();
+        self.1.flush();
+    }
+}
+
+/// Forwards an unbiased ~`1/period` systematic sample of the stream to an
+/// inner sink, with random phase to avoid aliasing against loop strides.
+pub struct SamplingSink<S> {
+    inner: S,
+    period: u64,
+    countdown: u64,
+    rng: SmallRng,
+    seen: u64,
+    forwarded: u64,
+}
+
+impl<S: TraceSink> SamplingSink<S> {
+    /// Sample roughly one in `period` events (`period >= 1`).
+    pub fn new(inner: S, period: u64, seed: u64) -> Self {
+        assert!(period >= 1, "sampling period must be at least 1");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let countdown = rng.random_range(0..period);
+        Self {
+            inner,
+            period,
+            countdown,
+            rng,
+            seen: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// Events observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events forwarded to the inner sink so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Access the inner sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consume the sampler, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: TraceSink> TraceSink for SamplingSink<S> {
+    #[inline]
+    fn access(&mut self, ev: TraceEvent) {
+        self.seen += 1;
+        if self.countdown == 0 {
+            self.inner.access(ev);
+            self.forwarded += 1;
+            // re-randomize the gap so periodic access patterns do not alias
+            self.countdown = self.rng.random_range(0..self.period.max(1)) + self.period / 2;
+        } else {
+            self.countdown -= 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
+/// Per-region load/store profile — the measurement behind the NDM design's
+/// address-space partitioning ("identify a contiguous range of addresses
+/// that accounts for the bulk of the memory references").
+#[derive(Debug, Clone)]
+pub struct RegionProfiler {
+    starts: Vec<u64>,
+    ends: Vec<u64>,
+    ids: Vec<RegionId>,
+    /// Loads per region, indexed by [`RegionId`].
+    pub loads: Vec<u64>,
+    /// Stores per region, indexed by [`RegionId`].
+    pub stores: Vec<u64>,
+    /// Events that fell outside every registered region.
+    pub unattributed: u64,
+}
+
+impl RegionProfiler {
+    /// Build a profiler over the regions currently registered in `space`.
+    pub fn new(space: &AddressSpace) -> Self {
+        Self::from_regions(space.regions())
+    }
+
+    /// Build a profiler over an explicit region list (must be
+    /// address-ordered, as produced by [`AddressSpace::regions`]).
+    pub fn from_regions(regions: &[Region]) -> Self {
+        let n = regions.iter().map(|r| r.id.index() + 1).max().unwrap_or(0);
+        Self {
+            starts: regions.iter().map(|r| r.start).collect(),
+            ends: regions.iter().map(|r| r.end()).collect(),
+            ids: regions.iter().map(|r| r.id).collect(),
+            loads: vec![0; n],
+            stores: vec![0; n],
+            unattributed: 0,
+        }
+    }
+
+    #[inline]
+    fn locate(&self, addr: u64) -> Option<RegionId> {
+        let idx = self.starts.partition_point(|&s| s <= addr);
+        if idx == 0 {
+            return None;
+        }
+        (addr < self.ends[idx - 1]).then(|| self.ids[idx - 1])
+    }
+
+    /// Total references attributed to region `id`.
+    pub fn total(&self, id: RegionId) -> u64 {
+        self.loads[id.index()] + self.stores[id.index()]
+    }
+
+    /// Regions sorted by total reference count, hottest first.
+    pub fn hottest(&self) -> Vec<(RegionId, u64)> {
+        let mut v: Vec<(RegionId, u64)> = (0..self.loads.len())
+            .map(|i| (RegionId(i as u32), self.loads[i] + self.stores[i]))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl TraceSink for RegionProfiler {
+    #[inline]
+    fn access(&mut self, ev: TraceEvent) {
+        match self.locate(ev.addr) {
+            Some(id) => match ev.kind {
+                AccessKind::Load => self.loads[id.index()] += 1,
+                AccessKind::Store => self.stores[id.index()] += 1,
+            },
+            None => self.unattributed += 1,
+        }
+    }
+}
+
+/// Tracks the set of unique block-aligned addresses touched — a direct
+/// working-set-size measurement at any granularity (cache line, page, …).
+#[derive(Debug, Clone)]
+pub struct WorkingSetSink {
+    block_shift: u32,
+    blocks: std::collections::HashSet<u64>,
+}
+
+impl WorkingSetSink {
+    /// Track unique blocks of `block_bytes` (must be a power of two).
+    pub fn new(block_bytes: u64) -> Self {
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        Self {
+            block_shift: block_bytes.trailing_zeros(),
+            blocks: Default::default(),
+        }
+    }
+
+    /// Number of unique blocks touched.
+    pub fn unique_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Unique blocks × block size — the touched footprint in bytes.
+    pub fn touched_bytes(&self) -> u64 {
+        self.unique_blocks() << self.block_shift
+    }
+}
+
+impl TraceSink for WorkingSetSink {
+    #[inline]
+    fn access(&mut self, ev: TraceEvent) {
+        let first = ev.addr >> self.block_shift;
+        let last = (ev.end().saturating_sub(1)) >> self.block_shift;
+        for b in first..=last {
+            self.blocks.insert(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::AddressSpace;
+    use proptest::prelude::*;
+
+    fn ev(addr: u64, kind: AccessKind) -> TraceEvent {
+        TraceEvent {
+            addr,
+            size: 8,
+            kind,
+        }
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut c = CountingSink::new();
+        c.access(ev(0, AccessKind::Load));
+        c.access(ev(8, AccessKind::Load));
+        c.access(ev(16, AccessKind::Store));
+        assert_eq!(c.loads, 2);
+        assert_eq!(c.stores, 1);
+        assert_eq!(c.load_bytes, 16);
+        assert_eq!(c.store_bytes, 8);
+        assert_eq!(c.total(), 3);
+        assert!((c.store_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counting_sink_fraction_is_zero() {
+        assert_eq!(CountingSink::new().store_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tee_forwards_to_both() {
+        let mut tee = TeeSink(CountingSink::new(), RecordingSink::new());
+        tee.access(ev(0, AccessKind::Store));
+        tee.flush();
+        assert_eq!(tee.0.stores, 1);
+        assert_eq!(tee.1.events.len(), 1);
+    }
+
+    #[test]
+    fn sampler_rate_is_approximately_one_over_period() {
+        let mut s = SamplingSink::new(CountingSink::new(), 100, 42);
+        for i in 0..200_000u64 {
+            s.access(ev(i * 8, AccessKind::Load));
+        }
+        let rate = s.forwarded() as f64 / s.seen() as f64;
+        // randomized gap averages ~period, allow generous tolerance
+        assert!(rate > 0.004 && rate < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn sampler_period_one_forwards_everything_roughly() {
+        let mut s = SamplingSink::new(CountingSink::new(), 1, 7);
+        for i in 0..1000u64 {
+            s.access(ev(i, AccessKind::Load));
+        }
+        // with period 1 the randomized gap is 0..1 + 0, so every event forwards
+        assert!(s.forwarded() >= 500);
+    }
+
+    #[test]
+    fn region_profiler_attributes_accesses() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", 4096);
+        let b = space.alloc("b", 4096);
+        let mut p = RegionProfiler::new(&space);
+        p.access(ev(a.start, AccessKind::Load));
+        p.access(ev(a.start + 100, AccessKind::Store));
+        p.access(ev(b.start + 8, AccessKind::Load));
+        p.access(ev(0, AccessKind::Load)); // outside all regions
+        assert_eq!(p.loads[a.id.index()], 1);
+        assert_eq!(p.stores[a.id.index()], 1);
+        assert_eq!(p.loads[b.id.index()], 1);
+        assert_eq!(p.unattributed, 1);
+        assert_eq!(p.total(a.id), 2);
+        let hot = p.hottest();
+        assert_eq!(hot[0].0, a.id);
+    }
+
+    #[test]
+    fn working_set_counts_unique_lines() {
+        let mut w = WorkingSetSink::new(64);
+        w.access(ev(0, AccessKind::Load));
+        w.access(ev(8, AccessKind::Load)); // same line
+        w.access(ev(64, AccessKind::Store)); // next line
+        w.access(TraceEvent::load(60, 8)); // straddles lines 0 and 1
+        assert_eq!(w.unique_blocks(), 2);
+        assert_eq!(w.touched_bytes(), 128);
+    }
+
+    proptest! {
+        /// The profiler never loses events: attributed + unattributed = total.
+        #[test]
+        fn profiler_conserves_events(addrs in proptest::collection::vec(0u64..0x1100_0000, 1..500)) {
+            let mut space = AddressSpace::new();
+            space.alloc("a", 65536);
+            space.alloc("b", 65536);
+            let mut p = RegionProfiler::new(&space);
+            for &a in &addrs {
+                p.access(ev(a, AccessKind::Load));
+            }
+            let attributed: u64 = p.loads.iter().sum::<u64>() + p.stores.iter().sum::<u64>();
+            prop_assert_eq!(attributed + p.unattributed, addrs.len() as u64);
+        }
+
+        /// Sampling preserves the load/store mix to within statistical noise.
+        #[test]
+        fn sampler_preserves_mix(store_period in 2u64..10) {
+            let mut s = SamplingSink::new(CountingSink::new(), 50, 3);
+            for i in 0..100_000u64 {
+                let kind = if i % store_period == 0 { AccessKind::Store } else { AccessKind::Load };
+                s.access(ev(i * 8, kind));
+            }
+            let expected = 1.0 / store_period as f64;
+            let got = s.inner().store_fraction();
+            prop_assert!((got - expected).abs() < 0.05, "expected {expected}, got {got}");
+        }
+    }
+}

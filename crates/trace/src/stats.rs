@@ -1,0 +1,161 @@
+//! Stream characterization: the numbers behind Table 4 of the paper
+//! (footprint, reference counts) plus spatial-locality summaries that the
+//! page-size experiments make useful.
+
+use crate::event::{AccessKind, TraceEvent, TraceSink};
+
+/// Rolling summary of an address stream.
+///
+/// Tracks reference counts, byte volumes, the touched address range, and a
+/// stride histogram (distance between consecutive references), which is a
+/// cheap online proxy for spatial locality: unit-stride-dominated streams
+/// reward large pages, pointer-chasing streams do not.
+#[derive(Debug, Clone)]
+pub struct StreamStats {
+    /// Load events.
+    pub loads: u64,
+    /// Store events.
+    pub stores: u64,
+    /// Bytes read.
+    pub load_bytes: u64,
+    /// Bytes written.
+    pub store_bytes: u64,
+    /// Lowest address touched (`u64::MAX` when empty).
+    pub min_addr: u64,
+    /// Highest (exclusive) address touched.
+    pub max_addr: u64,
+    last_addr: Option<u64>,
+    /// Histogram of |stride| between consecutive references, bucketed by
+    /// power of two: bucket `i` counts strides in `[2^i, 2^(i+1))`;
+    /// bucket 0 also counts stride 0 and 1.
+    pub stride_pow2: [u64; 48],
+}
+
+impl Default for StreamStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamStats {
+    /// A fresh, empty summary.
+    pub fn new() -> Self {
+        Self {
+            loads: 0,
+            stores: 0,
+            load_bytes: 0,
+            store_bytes: 0,
+            min_addr: u64::MAX,
+            max_addr: 0,
+            last_addr: None,
+            stride_pow2: [0; 48],
+        }
+    }
+
+    /// Loads + stores.
+    pub fn total_refs(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Span of the touched address range in bytes (0 when empty).
+    pub fn touched_span(&self) -> u64 {
+        self.max_addr.saturating_sub(self.min_addr)
+    }
+
+    /// Fraction of consecutive reference pairs whose stride is below
+    /// `limit` bytes — a spatial-locality score in `[0, 1]`.
+    pub fn locality_below(&self, limit: u64) -> f64 {
+        let total: u64 = self.stride_pow2.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let cut = 64 - limit.max(1).leading_zeros(); // buckets strictly below `limit`
+        let near: u64 = self.stride_pow2[..(cut as usize).min(48)].iter().sum();
+        near as f64 / total as f64
+    }
+}
+
+impl TraceSink for StreamStats {
+    #[inline]
+    fn access(&mut self, ev: TraceEvent) {
+        match ev.kind {
+            AccessKind::Load => {
+                self.loads += 1;
+                self.load_bytes += u64::from(ev.size);
+            }
+            AccessKind::Store => {
+                self.stores += 1;
+                self.store_bytes += u64::from(ev.size);
+            }
+        }
+        self.min_addr = self.min_addr.min(ev.addr);
+        self.max_addr = self.max_addr.max(ev.end());
+        if let Some(last) = self.last_addr {
+            let d = ev.addr.abs_diff(last);
+            let bucket = if d <= 1 {
+                0
+            } else {
+                (63 - d.leading_zeros()) as usize
+            };
+            self.stride_pow2[bucket.min(47)] += 1;
+        }
+        self.last_addr = Some(ev.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = StreamStats::new();
+        assert_eq!(s.total_refs(), 0);
+        assert_eq!(s.touched_span(), 0);
+        assert_eq!(s.locality_below(64), 0.0);
+    }
+
+    #[test]
+    fn counts_and_range() {
+        let mut s = StreamStats::new();
+        s.access(TraceEvent::load(100, 8));
+        s.access(TraceEvent::store(200, 8));
+        s.access(TraceEvent::load(50, 4));
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.min_addr, 50);
+        assert_eq!(s.max_addr, 208);
+        assert_eq!(s.touched_span(), 158);
+    }
+
+    #[test]
+    fn sequential_stream_is_local() {
+        let mut s = StreamStats::new();
+        for i in 0..10_000u64 {
+            s.access(TraceEvent::load(i * 8, 8));
+        }
+        assert!(s.locality_below(64) > 0.99, "{}", s.locality_below(64));
+    }
+
+    #[test]
+    fn random_far_stream_is_not_local() {
+        let mut s = StreamStats::new();
+        // jump by 1 MiB every access
+        for i in 0..10_000u64 {
+            s.access(TraceEvent::load((i % 2) * (1 << 20) + i, 8));
+        }
+        assert!(s.locality_below(64) < 0.1);
+    }
+
+    #[test]
+    fn stride_buckets() {
+        let mut s = StreamStats::new();
+        s.access(TraceEvent::load(0, 8));
+        s.access(TraceEvent::load(8, 8)); // stride 8 -> bucket 3
+        s.access(TraceEvent::load(8, 8)); // stride 0 -> bucket 0
+        s.access(TraceEvent::load(1032, 8)); // stride 1024 -> bucket 10
+        assert_eq!(s.stride_pow2[3], 1);
+        assert_eq!(s.stride_pow2[0], 1);
+        assert_eq!(s.stride_pow2[10], 1);
+    }
+}

@@ -1,0 +1,394 @@
+//! CORAL AMG2013 stand-in: multigrid V-cycles on a 3-D Poisson problem.
+//!
+//! AMG2013 is an *algebraic* multigrid solver; its memory behaviour is a
+//! hierarchy of progressively coarser grids traversed by smoothing,
+//! restriction, and prolongation operators ("updating points of the grid
+//! according to a fixed pattern", as the paper puts it). This stand-in is
+//! a geometric multigrid V-cycle over the 7-point Laplacian: the same
+//! level-by-level sweep structure and inter-level transfers, with weighted-
+//! Jacobi smoothing, full-coarsening restriction, and nearest-neighbour
+//! prolongation.
+
+use crate::{Class, Workload};
+use memsim_trace::{AddressSpace, SimVec, TraceSink};
+
+/// AMG problem parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AmgParams {
+    /// Finest-grid extent per dimension (power of two recommended).
+    pub n: usize,
+    /// Number of V-cycles.
+    pub cycles: usize,
+    /// Pre- and post-smoothing sweeps per level.
+    pub smooth: usize,
+}
+
+impl AmgParams {
+    /// Preset for a size class.
+    pub fn class(class: Class) -> Self {
+        match class {
+            // ≈ 9 MiB across the level hierarchy
+            Class::Mini => Self {
+                n: 64,
+                cycles: 1,
+                smooth: 2,
+            },
+            // ≈ 74 MiB
+            Class::Demo => Self {
+                n: 128,
+                cycles: 1,
+                smooth: 2,
+            },
+            // ≈ 290 MiB
+            Class::Large => Self {
+                n: 200,
+                cycles: 1,
+                smooth: 2,
+            },
+        }
+    }
+}
+
+/// One grid level: solution, right-hand side, and residual fields.
+struct Level {
+    n: usize,
+    u: SimVec<f64>,
+    f: SimVec<f64>,
+    r: SimVec<f64>,
+}
+
+/// The AMG benchmark instance.
+pub struct Amg {
+    params: AmgParams,
+    space: AddressSpace,
+    levels: Vec<Level>,
+    initial_residual: Option<f64>,
+    final_residual: Option<f64>,
+}
+
+impl Amg {
+    /// Allocate the full grid hierarchy (untraced).
+    pub fn new(params: AmgParams) -> Self {
+        assert!(params.n >= 8, "finest grid too small");
+        let mut space = AddressSpace::new();
+        let mut levels = Vec::new();
+        let mut n = params.n;
+        let mut lvl = 0;
+        while n >= 4 {
+            let cells = n * n * n;
+            levels.push(Level {
+                n,
+                u: SimVec::<f64>::zeroed(&mut space, &format!("L{lvl}.u"), cells),
+                f: if lvl == 0 {
+                    SimVec::from_fn(&mut space, "L0.f", cells, |i| {
+                        ((i % 19) as f64 - 9.0) / 19.0
+                    })
+                } else {
+                    SimVec::<f64>::zeroed(&mut space, &format!("L{lvl}.f"), cells)
+                },
+                r: SimVec::<f64>::zeroed(&mut space, &format!("L{lvl}.r"), cells),
+            });
+            n /= 2;
+            lvl += 1;
+        }
+        Self {
+            params,
+            space,
+            levels,
+            initial_residual: None,
+            final_residual: None,
+        }
+    }
+
+    #[inline]
+    fn idx(n: usize, i: usize, j: usize, k: usize) -> usize {
+        (i * n + j) * n + k
+    }
+
+    /// Weighted-Jacobi smoothing sweeps on level `l` (traced).
+    fn smooth(&mut self, l: usize, sweeps: usize, sink: &mut dyn TraceSink) {
+        const W: f64 = 0.8; // weighted Jacobi damping
+        let n = self.levels[l].n;
+        for _ in 0..sweeps {
+            // read phase into r (Jacobi uses the old iterate throughout)
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        let c = Self::idx(n, i, j, k);
+                        let lvl = &self.levels[l];
+                        let mut nb = 0.0;
+                        if i > 0 {
+                            nb += lvl.u.ld(Self::idx(n, i - 1, j, k), sink);
+                        }
+                        if i + 1 < n {
+                            nb += lvl.u.ld(Self::idx(n, i + 1, j, k), sink);
+                        }
+                        if j > 0 {
+                            nb += lvl.u.ld(Self::idx(n, i, j - 1, k), sink);
+                        }
+                        if j + 1 < n {
+                            nb += lvl.u.ld(Self::idx(n, i, j + 1, k), sink);
+                        }
+                        if k > 0 {
+                            nb += lvl.u.ld(Self::idx(n, i, j, k - 1), sink);
+                        }
+                        if k + 1 < n {
+                            nb += lvl.u.ld(Self::idx(n, i, j, k + 1), sink);
+                        }
+                        let f = lvl.f.ld(c, sink);
+                        let u_old = lvl.u.ld(c, sink);
+                        let jac = (f + nb) / 6.0;
+                        let u_new = (1.0 - W) * u_old + W * jac;
+                        self.levels[l].r.st(c, u_new, sink);
+                    }
+                }
+            }
+            // write phase: u <- r
+            for c in 0..n * n * n {
+                let v = self.levels[l].r.ld(c, sink);
+                self.levels[l].u.st(c, v, sink);
+            }
+        }
+    }
+
+    /// Compute the residual `r = f - A u` on level `l` (traced).
+    fn compute_residual(&mut self, l: usize, sink: &mut dyn TraceSink) {
+        let n = self.levels[l].n;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let c = Self::idx(n, i, j, k);
+                    let lvl = &self.levels[l];
+                    let mut au = 6.0 * lvl.u.ld(c, sink);
+                    if i > 0 {
+                        au -= lvl.u.ld(Self::idx(n, i - 1, j, k), sink);
+                    }
+                    if i + 1 < n {
+                        au -= lvl.u.ld(Self::idx(n, i + 1, j, k), sink);
+                    }
+                    if j > 0 {
+                        au -= lvl.u.ld(Self::idx(n, i, j - 1, k), sink);
+                    }
+                    if j + 1 < n {
+                        au -= lvl.u.ld(Self::idx(n, i, j + 1, k), sink);
+                    }
+                    if k > 0 {
+                        au -= lvl.u.ld(Self::idx(n, i, j, k - 1), sink);
+                    }
+                    if k + 1 < n {
+                        au -= lvl.u.ld(Self::idx(n, i, j, k + 1), sink);
+                    }
+                    let f = lvl.f.ld(c, sink);
+                    self.levels[l].r.st(c, f - au, sink);
+                }
+            }
+        }
+    }
+
+    /// Restrict the residual of level `l` to the rhs of level `l+1` by
+    /// averaging each 2×2×2 block (traced), and clear the coarse iterate.
+    fn restrict(&mut self, l: usize, sink: &mut dyn TraceSink) {
+        let nf = self.levels[l].n;
+        let nc = self.levels[l + 1].n;
+        for i in 0..nc {
+            for j in 0..nc {
+                for k in 0..nc {
+                    let mut acc = 0.0;
+                    for (di, dj, dk) in [
+                        (0, 0, 0),
+                        (0, 0, 1),
+                        (0, 1, 0),
+                        (0, 1, 1),
+                        (1, 0, 0),
+                        (1, 0, 1),
+                        (1, 1, 0),
+                        (1, 1, 1),
+                    ] {
+                        let fi = (2 * i + di).min(nf - 1);
+                        let fj = (2 * j + dj).min(nf - 1);
+                        let fk = (2 * k + dk).min(nf - 1);
+                        acc += self.levels[l].r.ld(Self::idx(nf, fi, fj, fk), sink);
+                    }
+                    let c = Self::idx(nc, i, j, k);
+                    // average of the 8 fine cells × 4 (the h² operator scaling)
+                    self.levels[l + 1].f.st(c, acc * 0.5, sink);
+                    self.levels[l + 1].u.st(c, 0.0, sink);
+                }
+            }
+        }
+    }
+
+    /// Prolongate the coarse correction of level `l+1` into level `l`'s
+    /// iterate (nearest-neighbour interpolation, traced).
+    fn prolongate(&mut self, l: usize, sink: &mut dyn TraceSink) {
+        let nf = self.levels[l].n;
+        let nc = self.levels[l + 1].n;
+        for i in 0..nf {
+            for j in 0..nf {
+                for k in 0..nf {
+                    let cc = Self::idx(
+                        nc,
+                        (i / 2).min(nc - 1),
+                        (j / 2).min(nc - 1),
+                        (k / 2).min(nc - 1),
+                    );
+                    let corr = self.levels[l + 1].u.ld(cc, sink);
+                    let c = Self::idx(nf, i, j, k);
+                    let cur = self.levels[l].u.ld(c, sink);
+                    self.levels[l].u.st(c, cur + corr, sink);
+                }
+            }
+        }
+    }
+
+    fn vcycle(&mut self, l: usize, sink: &mut dyn TraceSink) {
+        let last = self.levels.len() - 1;
+        self.smooth(l, self.params.smooth, sink);
+        if l < last {
+            self.compute_residual(l, sink);
+            self.restrict(l, sink);
+            self.vcycle(l + 1, sink);
+            self.prolongate(l, sink);
+        }
+        self.smooth(l, self.params.smooth, sink);
+    }
+
+    /// Untraced fine-grid residual norm.
+    fn residual_norm(&self) -> f64 {
+        let lvl = &self.levels[0];
+        let n = lvl.n;
+        let u = lvl.u.as_slice();
+        let f = lvl.f.as_slice();
+        let mut acc = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let c = Self::idx(n, i, j, k);
+                    let mut au = 6.0 * u[c];
+                    if i > 0 {
+                        au -= u[Self::idx(n, i - 1, j, k)];
+                    }
+                    if i + 1 < n {
+                        au -= u[Self::idx(n, i + 1, j, k)];
+                    }
+                    if j > 0 {
+                        au -= u[Self::idx(n, i, j - 1, k)];
+                    }
+                    if j + 1 < n {
+                        au -= u[Self::idx(n, i, j + 1, k)];
+                    }
+                    if k > 0 {
+                        au -= u[Self::idx(n, i, j, k - 1)];
+                    }
+                    if k + 1 < n {
+                        au -= u[Self::idx(n, i, j, k + 1)];
+                    }
+                    acc += (f[c] - au) * (f[c] - au);
+                }
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Number of grid levels in the hierarchy.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+impl Workload for Amg {
+    fn name(&self) -> &'static str {
+        "AMG2013"
+    }
+
+    fn run(&mut self, sink: &mut dyn TraceSink) {
+        self.initial_residual = Some(self.residual_norm());
+        for _ in 0..self.params.cycles {
+            self.vcycle(0, sink);
+        }
+        sink.flush();
+        self.final_residual = Some(self.residual_norm());
+    }
+
+    fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        let (init, fin) = match (self.initial_residual, self.final_residual) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err("AMG has not run".into()),
+        };
+        if !fin.is_finite() {
+            return Err("residual diverged".into());
+        }
+        // one V-cycle of MG must beat plain smoothing decisively
+        if fin >= 0.5 * init {
+            return Err(format!(
+                "V-cycle did not contract the residual: {init} -> {fin}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_trace::sinks::CountingSink;
+
+    #[test]
+    fn hierarchy_depth() {
+        let amg = Amg::new(AmgParams {
+            n: 32,
+            cycles: 1,
+            smooth: 1,
+        });
+        // 32 -> 16 -> 8 -> 4
+        assert_eq!(amg.level_count(), 4);
+    }
+
+    #[test]
+    fn vcycle_contracts_residual() {
+        let mut amg = Amg::new(AmgParams {
+            n: 16,
+            cycles: 2,
+            smooth: 2,
+        });
+        let mut sink = CountingSink::new();
+        amg.run(&mut sink);
+        amg.verify().unwrap();
+        let init = amg.initial_residual.unwrap();
+        let fin = amg.final_residual.unwrap();
+        assert!(fin < 0.2 * init, "init={init} fin={fin}");
+    }
+
+    #[test]
+    fn verify_before_run_errors() {
+        assert!(Amg::new(AmgParams {
+            n: 16,
+            cycles: 1,
+            smooth: 1
+        })
+        .verify()
+        .is_err());
+    }
+
+    #[test]
+    fn coarse_levels_are_touched() {
+        use memsim_trace::sinks::RegionProfiler;
+        let mut amg = Amg::new(AmgParams {
+            n: 16,
+            cycles: 1,
+            smooth: 1,
+        });
+        let mut prof = RegionProfiler::new(amg.space());
+        amg.run(&mut prof);
+        // every level's u must receive traffic
+        for (i, r) in amg.space().regions().iter().enumerate() {
+            if r.name.ends_with(".u") {
+                assert!(prof.loads[i] + prof.stores[i] > 0, "{} untouched", r.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! NPB BT: block-tridiagonal ADI solver on a 3-D structured grid.
+//!
+//! Each ADI sweep solves, along every grid line of each direction, a block
+//! tridiagonal system with 5×5 blocks (the five conserved variables of the
+//! CFD formulation). The blocks are assembled from the current solution
+//! `u`, eliminated with the block Thomas algorithm (real 5×5 Gaussian
+//! elimination), and the solution is written back to `u`.
+//!
+//! Memory signature reproduced: unit-stride line sweeps in x, `5·nz`-stride
+//! in y, `5·ny·nz`-stride in z over the `u`/`rhs` arrays, plus a reused
+//! per-line scratch region for the eliminated coefficient blocks. Block
+//! loads/stores are emitted as block-granularity events (40 B and 200 B)
+//! which the hierarchy splits into line-sized references.
+
+use crate::{Class, Workload};
+use memsim_trace::{AddressSpace, SimVec, TraceEvent, TraceSink};
+
+/// Components per grid cell (the five CFD variables).
+const NC: usize = 5;
+
+/// 5×5 dense block helpers (row-major `[f64; 25]`), untraced register math.
+mod block5 {
+    use super::NC;
+
+    pub type Block = [f64; NC * NC];
+    pub type Vec5 = [f64; NC];
+
+    pub fn identity(scale: f64) -> Block {
+        let mut b = [0.0; NC * NC];
+        for i in 0..NC {
+            b[i * NC + i] = scale;
+        }
+        b
+    }
+
+    /// Fixed coupling pattern mixing the components (keeps blocks dense).
+    pub fn coupling(scale: f64) -> Block {
+        let mut b = [0.0; NC * NC];
+        for i in 0..NC {
+            for j in 0..NC {
+                if i != j {
+                    b[i * NC + j] = scale / (1.0 + (i as f64 - j as f64).abs());
+                }
+            }
+        }
+        b
+    }
+
+    pub fn add(a: &Block, b: &Block) -> Block {
+        let mut out = [0.0; NC * NC];
+        for i in 0..NC * NC {
+            out[i] = a[i] + b[i];
+        }
+        out
+    }
+
+    pub fn matmul(a: &Block, b: &Block) -> Block {
+        let mut out = [0.0; NC * NC];
+        for i in 0..NC {
+            for k in 0..NC {
+                let aik = a[i * NC + k];
+                for j in 0..NC {
+                    out[i * NC + j] += aik * b[k * NC + j];
+                }
+            }
+        }
+        out
+    }
+
+    pub fn sub(a: &Block, b: &Block) -> Block {
+        let mut out = [0.0; NC * NC];
+        for i in 0..NC * NC {
+            out[i] = a[i] - b[i];
+        }
+        out
+    }
+
+    pub fn matvec(a: &Block, x: &Vec5) -> Vec5 {
+        let mut out = [0.0; NC];
+        for i in 0..NC {
+            for j in 0..NC {
+                out[i] += a[i * NC + j] * x[j];
+            }
+        }
+        out
+    }
+
+    /// Solve `A X = B` for the 5×5 matrix `X` (Gauss with partial pivoting).
+    pub fn solve_mat(a: &Block, b: &Block) -> Block {
+        let mut m = *a;
+        let mut x = *b;
+        for col in 0..NC {
+            // pivot
+            let mut piv = col;
+            for r in col + 1..NC {
+                if m[r * NC + col].abs() > m[piv * NC + col].abs() {
+                    piv = r;
+                }
+            }
+            if piv != col {
+                for j in 0..NC {
+                    m.swap(col * NC + j, piv * NC + j);
+                    x.swap(col * NC + j, piv * NC + j);
+                }
+            }
+            let d = m[col * NC + col];
+            debug_assert!(d.abs() > 1e-12, "singular block");
+            for j in 0..NC {
+                m[col * NC + j] /= d;
+                x[col * NC + j] /= d;
+            }
+            for r in 0..NC {
+                if r == col {
+                    continue;
+                }
+                let f = m[r * NC + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..NC {
+                    m[r * NC + j] -= f * m[col * NC + j];
+                    x[r * NC + j] -= f * x[col * NC + j];
+                }
+            }
+        }
+        x
+    }
+
+    /// Solve `A x = b` for the 5-vector `x`.
+    pub fn solve_vec(a: &Block, b: &Vec5) -> Vec5 {
+        let mut bm = [0.0; NC * NC];
+        for i in 0..NC {
+            bm[i * NC] = b[i];
+        }
+        let xm = solve_mat(a, &bm);
+        let mut out = [0.0; NC];
+        for i in 0..NC {
+            out[i] = xm[i * NC];
+        }
+        out
+    }
+}
+
+use block5::{Block, Vec5};
+
+/// BT problem parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtParams {
+    /// Grid extent per dimension (cube grid).
+    pub n: usize,
+    /// ADI time steps (each sweeps x, y, z).
+    pub steps: usize,
+}
+
+impl BtParams {
+    /// Preset for a size class.
+    pub fn class(class: Class) -> Self {
+        match class {
+            // ≈ 5 MiB of grid state
+            Class::Mini => Self { n: 40, steps: 1 },
+            // ≈ 21 MiB
+            Class::Demo => Self { n: 64, steps: 1 },
+            // ≈ 80 MiB
+            Class::Large => Self { n: 100, steps: 1 },
+        }
+    }
+}
+
+/// The BT benchmark instance.
+pub struct Bt {
+    params: BtParams,
+    space: AddressSpace,
+    /// Cell state, `n³ × 5` doubles, layout `((i·n + j)·n + k)·5 + c`.
+    u: SimVec<f64>,
+    /// Right-hand side, same layout.
+    rhs: SimVec<f64>,
+    /// Per-line scratch: eliminated upper blocks `C'`, `n × 25` doubles.
+    cprime: SimVec<f64>,
+    /// Saved copy of the verification line (blocks + rhs) for `verify`.
+    check: Option<LineCheck>,
+    ran: bool,
+}
+
+struct LineCheck {
+    a: Vec<Block>,
+    b: Vec<Block>,
+    c: Vec<Block>,
+    d: Vec<Vec5>,
+    x: Vec<Vec5>,
+}
+
+impl Bt {
+    /// Allocate and initialize (untraced) a BT instance.
+    pub fn new(params: BtParams) -> Self {
+        let n = params.n;
+        assert!(n >= 4, "grid too small");
+        let mut space = AddressSpace::new();
+        let cells = n * n * n;
+        let u = SimVec::from_fn(&mut space, "u", cells * NC, |i| {
+            // smooth nontrivial initial field
+            0.5 + 0.3 * ((i % 97) as f64 / 97.0) + 0.2 * ((i % 13) as f64 / 13.0)
+        });
+        let rhs = SimVec::from_fn(&mut space, "rhs", cells * NC, |i| {
+            ((i % 29) as f64 - 14.0) / 29.0
+        });
+        let cprime = SimVec::<f64>::zeroed(&mut space, "lhs_scratch", n * NC * NC);
+        Self {
+            params,
+            space,
+            u,
+            rhs,
+            cprime,
+            check: None,
+            ran: false,
+        }
+    }
+
+    #[inline]
+    fn cell(&self, n: usize, i: usize, j: usize, k: usize) -> usize {
+        ((i * n + j) * n + k) * NC
+    }
+
+    /// Traced block read of the 5 components at flat element index `base`.
+    #[inline]
+    fn ld_block5(v: &SimVec<f64>, base: usize, sink: &mut dyn TraceSink) -> Vec5 {
+        sink.access(TraceEvent::load(v.addr_of(base), (NC * 8) as u32));
+        let s = v.as_slice();
+        [s[base], s[base + 1], s[base + 2], s[base + 3], s[base + 4]]
+    }
+
+    /// Traced block write of the 5 components at flat element index `base`.
+    #[inline]
+    fn st_block5(v: &mut SimVec<f64>, base: usize, val: &Vec5, sink: &mut dyn TraceSink) {
+        sink.access(TraceEvent::store(v.addr_of(base), (NC * 8) as u32));
+        let s = v.as_mut_slice();
+        s[base..base + NC].copy_from_slice(val);
+    }
+
+    /// Traced 25-double block write into the scratch region.
+    #[inline]
+    fn st_block25(v: &mut SimVec<f64>, idx: usize, val: &Block, sink: &mut dyn TraceSink) {
+        let base = idx * NC * NC;
+        sink.access(TraceEvent::store(v.addr_of(base), (NC * NC * 8) as u32));
+        v.as_mut_slice()[base..base + NC * NC].copy_from_slice(val);
+    }
+
+    /// Traced 25-double block read from the scratch region.
+    #[inline]
+    fn ld_block25(v: &SimVec<f64>, idx: usize, sink: &mut dyn TraceSink) -> Block {
+        let base = idx * NC * NC;
+        sink.access(TraceEvent::load(v.addr_of(base), (NC * NC * 8) as u32));
+        let mut out = [0.0; NC * NC];
+        out.copy_from_slice(&v.as_slice()[base..base + NC * NC]);
+        out
+    }
+
+    /// Assemble the tridiagonal blocks at line position `i` from the cell
+    /// state (diagonally dominant by construction).
+    fn assemble(u_here: &Vec5) -> (Block, Block, Block) {
+        let mean = u_here.iter().sum::<f64>() / NC as f64;
+        let diag = block5::add(&block5::identity(4.0 + 0.1 * mean), &block5::coupling(0.05));
+        let off = block5::add(&block5::identity(-1.0), &block5::coupling(0.02));
+        (off, diag, off)
+    }
+
+    /// Solve the block tridiagonal system along one line. `idx(i)` maps the
+    /// line position to the flat element index of the cell's first
+    /// component. `save` captures the system for verification.
+    fn solve_line(
+        u: &mut SimVec<f64>,
+        rhs: &mut SimVec<f64>,
+        cprime: &mut SimVec<f64>,
+        n: usize,
+        idx: impl Fn(usize) -> usize,
+        sink: &mut dyn TraceSink,
+        mut save: Option<&mut LineCheck>,
+    ) {
+        // forward elimination
+        let mut prev_c: Block = [0.0; NC * NC];
+        let mut prev_d: Vec5 = [0.0; NC];
+        for i in 0..n {
+            let base = idx(i);
+            let u_here = Self::ld_block5(u, base, sink);
+            let (a, b, c) = Self::assemble(&u_here);
+            let d = Self::ld_block5(rhs, base, sink);
+            if let Some(chk) = save.as_deref_mut() {
+                chk.a.push(a);
+                chk.b.push(b);
+                chk.c.push(c);
+                chk.d.push(d);
+            }
+            let (denom, rhs_i) = if i == 0 {
+                (b, d)
+            } else {
+                let bm = block5::sub(&b, &block5::matmul(&a, &prev_c));
+                let av = block5::matvec(&a, &prev_d);
+                let mut dv = d;
+                for t in 0..NC {
+                    dv[t] -= av[t];
+                }
+                (bm, dv)
+            };
+            let cp = block5::solve_mat(&denom, &c);
+            let dp = block5::solve_vec(&denom, &rhs_i);
+            Self::st_block25(cprime, i, &cp, sink);
+            Self::st_block5(rhs, base, &dp, sink);
+            prev_c = cp;
+            prev_d = dp;
+        }
+        // back substitution into u
+        let mut x_next: Vec5 = [0.0; NC];
+        for i in (0..n).rev() {
+            let base = idx(i);
+            let dp = Self::ld_block5(rhs, base, sink);
+            let mut x = dp;
+            if i + 1 < n {
+                let cp = Self::ld_block25(cprime, i, sink);
+                let cx = block5::matvec(&cp, &x_next);
+                for t in 0..NC {
+                    x[t] -= cx[t];
+                }
+            }
+            Self::st_block5(u, base, &x, sink);
+            if let Some(chk) = save.as_deref_mut() {
+                chk.x.push(x);
+            }
+            x_next = x;
+        }
+        if let Some(chk) = save {
+            chk.x.reverse();
+        }
+    }
+}
+
+impl Workload for Bt {
+    fn name(&self) -> &'static str {
+        "BT"
+    }
+
+    fn run(&mut self, sink: &mut dyn TraceSink) {
+        let n = self.params.n;
+        let mut check = LineCheck {
+            a: vec![],
+            b: vec![],
+            c: vec![],
+            d: vec![],
+            x: vec![],
+        };
+        for step in 0..self.params.steps {
+            // x-direction: innermost index k is the line axis (unit stride)
+            for i in 0..n {
+                for j in 0..n {
+                    let base = self.cell(n, i, j, 0);
+                    let save = (step == 0 && i == 1 && j == 1).then_some(&mut check);
+                    Self::solve_line(
+                        &mut self.u,
+                        &mut self.rhs,
+                        &mut self.cprime,
+                        n,
+                        |t| base + t * NC,
+                        sink,
+                        save,
+                    );
+                }
+            }
+            // y-direction: stride n·NC
+            for i in 0..n {
+                for k in 0..n {
+                    let base = self.cell(n, i, 0, k);
+                    Self::solve_line(
+                        &mut self.u,
+                        &mut self.rhs,
+                        &mut self.cprime,
+                        n,
+                        |t| base + t * n * NC,
+                        sink,
+                        None,
+                    );
+                }
+            }
+            // z-direction: stride n²·NC
+            for j in 0..n {
+                for k in 0..n {
+                    let base = self.cell(n, 0, j, k);
+                    Self::solve_line(
+                        &mut self.u,
+                        &mut self.rhs,
+                        &mut self.cprime,
+                        n,
+                        |t| base + t * n * n * NC,
+                        sink,
+                        None,
+                    );
+                }
+            }
+        }
+        sink.flush();
+        self.check = Some(check);
+        self.ran = true;
+    }
+
+    fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        if !self.ran {
+            return Err("BT has not run".into());
+        }
+        let chk = self.check.as_ref().unwrap();
+        let n = self.params.n;
+        if chk.x.len() != n {
+            return Err(format!(
+                "verification line has {} solutions, expected {n}",
+                chk.x.len()
+            ));
+        }
+        // residual of the saved block-tridiagonal system
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            let mut lhs = block5::matvec(&chk.b[i], &chk.x[i]);
+            if i > 0 {
+                let t = block5::matvec(&chk.a[i], &chk.x[i - 1]);
+                for (l, v) in lhs.iter_mut().zip(t) {
+                    *l += v;
+                }
+            }
+            if i + 1 < n {
+                let t = block5::matvec(&chk.c[i], &chk.x[i + 1]);
+                for (l, v) in lhs.iter_mut().zip(t) {
+                    *l += v;
+                }
+            }
+            for (l, d) in lhs.iter().zip(&chk.d[i]) {
+                worst = worst.max((l - d).abs());
+            }
+        }
+        if worst > 1e-8 {
+            return Err(format!("block tridiagonal residual too large: {worst}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_trace::sinks::{CountingSink, RecordingSink};
+
+    #[test]
+    fn block5_solve_roundtrip() {
+        let a = block5::add(&block5::identity(3.0), &block5::coupling(0.2));
+        let x = [1.0, -2.0, 0.5, 4.0, -1.0];
+        let b = block5::matvec(&a, &x);
+        let got = block5::solve_vec(&a, &b);
+        for i in 0..NC {
+            assert!((got[i] - x[i]).abs() < 1e-10, "{got:?} vs {x:?}");
+        }
+    }
+
+    #[test]
+    fn block5_solve_mat_roundtrip() {
+        let a = block5::add(&block5::identity(2.5), &block5::coupling(0.3));
+        let x = block5::coupling(1.7);
+        let b = block5::matmul(&a, &x);
+        let got = block5::solve_mat(&a, &b);
+        for i in 0..NC * NC {
+            assert!((got[i] - x[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn runs_and_verifies_small() {
+        let mut bt = Bt::new(BtParams { n: 8, steps: 1 });
+        let mut sink = CountingSink::new();
+        bt.run(&mut sink);
+        bt.verify().unwrap();
+        assert!(sink.loads > 1000);
+        assert!(sink.stores > 1000);
+    }
+
+    #[test]
+    fn verify_before_run_errors() {
+        let bt = Bt::new(BtParams { n: 8, steps: 1 });
+        assert!(bt.verify().is_err());
+    }
+
+    #[test]
+    fn directional_strides_present() {
+        let mut bt = Bt::new(BtParams { n: 8, steps: 1 });
+        let mut rec = RecordingSink::new();
+        bt.run(&mut rec);
+        // the u region must be touched at block stride 40 (x lines),
+        // 8·40 (y lines) and 64·40 (z lines)
+        let u0 = bt.u.addr_of(0);
+        let u_end = bt.u.addr_of(bt.u.len() - 1);
+        let mut strides = std::collections::HashSet::new();
+        let u_events: Vec<u64> = rec
+            .events
+            .iter()
+            .filter(|e| e.addr >= u0 && e.addr <= u_end && e.size == 40)
+            .map(|e| e.addr)
+            .collect();
+        for w in u_events.windows(2) {
+            strides.insert(w[1].abs_diff(w[0]));
+        }
+        assert!(strides.contains(&40), "unit-stride line sweeps missing");
+        assert!(strides.contains(&(8 * 40)), "y-stride sweeps missing");
+        assert!(strides.contains(&(64 * 40)), "z-stride sweeps missing");
+    }
+}

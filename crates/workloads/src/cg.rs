@@ -1,0 +1,292 @@
+//! NPB CG: conjugate gradient on a random sparse SPD matrix.
+//!
+//! The paper's description: "conjugate gradient solver with irregular
+//! memory access". The matrix is random-pattern symmetric positive
+//! definite (diagonally dominant), so the `x` gather in each SpMV is the
+//! irregular stream; the vector updates are the regular streams.
+
+use crate::sparse::CsrMatrix;
+use crate::{Class, Workload};
+use memsim_trace::{AddressSpace, SimVec, TraceSink};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// CG problem parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CgParams {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Random off-diagonal entries added per row (each is mirrored, so the
+    /// expected row degree is `1 + 2 × offdiag_per_row`).
+    pub offdiag_per_row: usize,
+    /// CG iterations to run.
+    pub iterations: usize,
+    /// RNG seed for the matrix pattern.
+    pub seed: u64,
+}
+
+impl CgParams {
+    /// Preset for a size class (see crate docs for footprint targets).
+    pub fn class(class: Class) -> Self {
+        match class {
+            // ≈ 6 MiB
+            Class::Mini => Self {
+                n: 22_000,
+                offdiag_per_row: 7,
+                iterations: 4,
+                seed: 0xC6,
+            },
+            // ≈ 48 MiB
+            Class::Demo => Self {
+                n: 190_000,
+                offdiag_per_row: 7,
+                iterations: 6,
+                seed: 0xC6,
+            },
+            // ≈ 190 MiB
+            Class::Large => Self {
+                n: 760_000,
+                offdiag_per_row: 7,
+                iterations: 8,
+                seed: 0xC6,
+            },
+        }
+    }
+}
+
+/// The CG benchmark instance.
+pub struct Cg {
+    params: CgParams,
+    space: AddressSpace,
+    a: CsrMatrix,
+    x: SimVec<f64>,
+    b: SimVec<f64>,
+    r: SimVec<f64>,
+    p: SimVec<f64>,
+    q: SimVec<f64>,
+    initial_residual: f64,
+    final_residual: Option<f64>,
+}
+
+impl Cg {
+    /// Allocate and initialize (untraced) a CG instance.
+    pub fn new(params: CgParams) -> Self {
+        let mut space = AddressSpace::new();
+        let n = params.n;
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+
+        // Random symmetric pattern with guaranteed diagonal dominance:
+        // A = D + B + Bᵀ where |D_ii| > Σ_j |A_ij|.
+        let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for _ in 0..params.offdiag_per_row {
+                let j = rng.random_range(0..n);
+                if j == i {
+                    continue;
+                }
+                let v = rng.random_range(-1.0..1.0);
+                rows[i].push((j as u32, v));
+                rows[j].push((i as u32, v));
+            }
+        }
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.sort_by_key(|&(c, _)| c);
+            // merge duplicate columns (rare collisions)
+            row.dedup_by(|a, b| {
+                if a.0 == b.0 {
+                    b.1 += a.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            let dominance: f64 = row.iter().map(|&(_, v)| v.abs()).sum::<f64>() + 1.0;
+            let pos = row.partition_point(|&(c, _)| c < i as u32);
+            row.insert(pos, (i as u32, dominance));
+        }
+        let a = CsrMatrix::from_rows(&mut space, "A", &rows);
+
+        let x = SimVec::<f64>::zeroed(&mut space, "x", n);
+        let b = SimVec::from_fn(&mut space, "b", n, |i| ((i % 17) as f64 - 8.0) / 8.0);
+        let mut r = SimVec::<f64>::zeroed(&mut space, "r", n);
+        let mut p = SimVec::<f64>::zeroed(&mut space, "p", n);
+        let q = SimVec::<f64>::zeroed(&mut space, "q", n);
+
+        // r = b - A·0 = b; p = r (untraced initialization)
+        let mut rho0 = 0.0;
+        for i in 0..n {
+            let bi = b.peek(i);
+            r.poke(i, bi);
+            p.poke(i, bi);
+            rho0 += bi * bi;
+        }
+
+        Self {
+            params,
+            space,
+            a,
+            x,
+            b,
+            r,
+            p,
+            q,
+            initial_residual: rho0.sqrt(),
+            final_residual: None,
+        }
+    }
+
+    /// The parameters this instance was built with.
+    pub fn params(&self) -> &CgParams {
+        &self.params
+    }
+
+    /// ‖r‖ after the run (None before).
+    pub fn final_residual(&self) -> Option<f64> {
+        self.final_residual
+    }
+}
+
+impl Workload for Cg {
+    fn name(&self) -> &'static str {
+        "CG"
+    }
+
+    fn run(&mut self, sink: &mut dyn TraceSink) {
+        let n = self.params.n;
+        // rho = rᵀr
+        let mut rho = 0.0;
+        for i in 0..n {
+            let ri = self.r.ld(i, sink);
+            rho += ri * ri;
+        }
+        for _ in 0..self.params.iterations {
+            // q = A p
+            self.a.spmv(&self.p, &mut self.q, sink);
+            // alpha = rho / pᵀq
+            let mut pq = 0.0;
+            for i in 0..n {
+                pq += self.p.ld(i, sink) * self.q.ld(i, sink);
+            }
+            let alpha = rho / pq;
+            // x += alpha p ; r -= alpha q
+            let mut rho_next = 0.0;
+            for i in 0..n {
+                let xi = self.x.ld(i, sink) + alpha * self.p.ld(i, sink);
+                self.x.st(i, xi, sink);
+                let ri = self.r.ld(i, sink) - alpha * self.q.ld(i, sink);
+                self.r.st(i, ri, sink);
+                rho_next += ri * ri;
+            }
+            let beta = rho_next / rho;
+            rho = rho_next;
+            // p = r + beta p
+            for i in 0..n {
+                let pi = self.r.ld(i, sink) + beta * self.p.ld(i, sink);
+                self.p.st(i, pi, sink);
+            }
+        }
+        sink.flush();
+        self.final_residual = Some(rho.sqrt());
+    }
+
+    fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        let rho = self.final_residual.ok_or("CG has not run")?;
+        // check the residual really dropped
+        if rho >= 0.5 * self.initial_residual {
+            return Err(format!(
+                "residual did not converge: initial {} final {rho}",
+                self.initial_residual
+            ));
+        }
+        // cross-check ‖b - A x‖ against the recurrence's residual
+        let n = self.params.n;
+        let mut ax = vec![0.0; n];
+        self.a.spmv_untraced(self.x.as_slice(), &mut ax);
+        let true_r: f64 = (0..n)
+            .map(|i| (self.b.peek(i) - ax[i]).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let err = (true_r - rho).abs() / self.initial_residual;
+        if err > 1e-6 {
+            return Err(format!(
+                "recurrence residual {rho} diverged from true residual {true_r}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_trace::sinks::{CountingSink, RegionProfiler};
+
+    fn tiny() -> CgParams {
+        CgParams {
+            n: 500,
+            offdiag_per_row: 5,
+            iterations: 8,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn converges_and_verifies() {
+        let mut cg = Cg::new(tiny());
+        let init = cg.initial_residual;
+        let mut sink = CountingSink::new();
+        cg.run(&mut sink);
+        cg.verify().unwrap();
+        assert!(cg.final_residual().unwrap() < 0.1 * init);
+    }
+
+    #[test]
+    fn emits_expected_stream_volume() {
+        let mut cg = Cg::new(tiny());
+        let mut sink = CountingSink::new();
+        cg.run(&mut sink);
+        // ~ (3 nnz + 8n) per iteration, very loosely bounded here
+        let nnz = cg.a.nnz() as u64;
+        let per_iter_min = 3 * nnz;
+        assert!(sink.total() > per_iter_min * cg.params.iterations as u64 / 2);
+        assert!(sink.stores > 0);
+    }
+
+    #[test]
+    fn matrix_gather_dominates_profile() {
+        let mut cg = Cg::new(tiny());
+        let mut prof = RegionProfiler::new(cg.space());
+        cg.run(&mut prof);
+        // the CSR arrays (rowptr+col+val) plus the x-gather should be the
+        // bulk of all references — this is what makes CG "irregular"
+        let hot = prof.hottest();
+        let total: u64 = prof.loads.iter().sum::<u64>() + prof.stores.iter().sum::<u64>();
+        let top3: u64 = hot.iter().take(3).map(|h| h.1).sum();
+        assert!(top3 * 2 > total, "top regions should dominate");
+        assert_eq!(
+            prof.unattributed, 0,
+            "all accesses inside registered regions"
+        );
+    }
+
+    #[test]
+    fn footprint_tracks_n() {
+        let small = Cg::new(CgParams {
+            n: 1000,
+            offdiag_per_row: 5,
+            iterations: 1,
+            seed: 1,
+        });
+        let big = Cg::new(CgParams {
+            n: 4000,
+            offdiag_per_row: 5,
+            iterations: 1,
+            seed: 1,
+        });
+        assert!(big.footprint_bytes() > 3 * small.footprint_bytes());
+    }
+}

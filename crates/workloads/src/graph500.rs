@@ -1,0 +1,342 @@
+//! CORAL Graph500 stand-in: BFS over a Kronecker (R-MAT) graph.
+//!
+//! The generator follows the Graph500 specification's R-MAT recursion
+//! (a=0.57, b=0.19, c=0.19, d=0.05) at a given scale and edge factor
+//! (the paper runs `-s 22 -e 4`); edges are symmetrized into CSR. The
+//! timed kernel is frontier-queue breadth-first search: sequential frontier
+//! and offset streams plus the irregular `parent` gather that makes BFS
+//! the canonical memory-latency-bound graph benchmark.
+
+use crate::{Class, Workload};
+use memsim_trace::{AddressSpace, SimVec, TraceSink};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Graph500 problem parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Graph500Params {
+    /// log2 of the vertex count (Graph500 "scale").
+    pub scale: u32,
+    /// Edges generated per vertex (Graph500 "edge factor").
+    pub edge_factor: u32,
+    /// Number of BFS roots to run.
+    pub roots: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Graph500Params {
+    /// Preset for a size class (the paper runs scale 22, edge factor 4).
+    pub fn class(class: Class) -> Self {
+        match class {
+            // ≈ 6 MiB
+            Class::Mini => Self {
+                scale: 16,
+                edge_factor: 4,
+                roots: 1,
+                seed: 0x6500,
+            },
+            // ≈ 90 MiB
+            Class::Demo => Self {
+                scale: 21,
+                edge_factor: 4,
+                roots: 1,
+                seed: 0x6500,
+            },
+            // ≈ 180 MiB
+            Class::Large => Self {
+                scale: 22,
+                edge_factor: 4,
+                roots: 2,
+                seed: 0x6500,
+            },
+        }
+    }
+}
+
+/// The Graph500 benchmark instance.
+pub struct Graph500 {
+    params: Graph500Params,
+    space: AddressSpace,
+    n: usize,
+    /// CSR offsets, length `n + 1`.
+    offsets: SimVec<u64>,
+    /// CSR adjacency, symmetrized arcs.
+    adj: SimVec<u32>,
+    /// BFS parent array (-1 = unvisited).
+    parent: SimVec<i64>,
+    /// Frontier queue.
+    queue: SimVec<u32>,
+    last_root: Option<u32>,
+    visited_last: u64,
+}
+
+impl Graph500 {
+    /// Generate the graph and allocate BFS state (untraced).
+    pub fn new(params: Graph500Params) -> Self {
+        let n = 1usize << params.scale;
+        let m = n * params.edge_factor as usize;
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+
+        // R-MAT edge generation
+        let mut src = Vec::with_capacity(m);
+        let mut dst = Vec::with_capacity(m);
+        for _ in 0..m {
+            let (mut u, mut v) = (0usize, 0usize);
+            for bit in (0..params.scale).rev() {
+                let r: f64 = rng.random();
+                // quadrant probabilities a/b/c/d
+                let (ub, vb) = if r < 0.57 {
+                    (0, 0)
+                } else if r < 0.76 {
+                    (0, 1)
+                } else if r < 0.95 {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                u |= ub << bit;
+                v |= vb << bit;
+            }
+            if u != v {
+                src.push(u as u32);
+                dst.push(v as u32);
+            }
+        }
+
+        // symmetrize and build CSR by counting sort (untraced)
+        let arcs = src.len() * 2;
+        let mut deg = vec![0u64; n + 1];
+        for i in 0..src.len() {
+            deg[src[i] as usize + 1] += 1;
+            deg[dst[i] as usize + 1] += 1;
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let offsets_raw = deg.clone();
+        let mut cursor = deg;
+        let mut adj_raw = vec![0u32; arcs];
+        for i in 0..src.len() {
+            let (a, b) = (src[i] as usize, dst[i] as usize);
+            adj_raw[cursor[a] as usize] = b as u32;
+            cursor[a] += 1;
+            adj_raw[cursor[b] as usize] = a as u32;
+            cursor[b] += 1;
+        }
+
+        let mut space = AddressSpace::new();
+        let offsets = SimVec::from_vec(&mut space, "csr.offsets", offsets_raw);
+        let adj = SimVec::from_vec(&mut space, "csr.adj", adj_raw);
+        let parent = SimVec::from_fn(&mut space, "parent", n, |_| -1i64);
+        let queue = SimVec::<u32>::zeroed(&mut space, "frontier", n);
+
+        Self {
+            params,
+            space,
+            n,
+            offsets,
+            adj,
+            parent,
+            queue,
+            last_root: None,
+            visited_last: 0,
+        }
+    }
+
+    /// Vertex count.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Symmetrized arc count.
+    pub fn arc_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Pick a root with nonzero degree, deterministically from `salt`.
+    fn pick_root(&self, salt: u64) -> u32 {
+        let mut rng = SmallRng::seed_from_u64(self.params.seed ^ salt.wrapping_mul(0x9E37_79B9));
+        loop {
+            let v = rng.random_range(0..self.n);
+            let lo = self.offsets.peek(v);
+            let hi = self.offsets.peek(v + 1);
+            if hi > lo {
+                return v as u32;
+            }
+        }
+    }
+
+    /// One traced BFS from `root`; returns visited count.
+    fn bfs(&mut self, root: u32, sink: &mut dyn TraceSink) -> u64 {
+        // reset parent (untraced: array initialization, not the timed kernel)
+        for i in 0..self.n {
+            self.parent.poke(i, -1);
+        }
+        self.parent.st(root as usize, i64::from(root), sink);
+        self.queue.st(0, root, sink);
+        let mut head = 0usize;
+        let mut tail = 1usize;
+        let mut visited = 1u64;
+        while head < tail {
+            let u = self.queue.ld(head, sink) as usize;
+            head += 1;
+            let lo = self.offsets.ld(u, sink) as usize;
+            let hi = self.offsets.ld(u + 1, sink) as usize;
+            for k in lo..hi {
+                let v = self.adj.ld(k, sink) as usize;
+                if self.parent.ld(v, sink) < 0 {
+                    self.parent.st(v, u as i64, sink);
+                    self.queue.st(tail, v as u32, sink);
+                    tail += 1;
+                    visited += 1;
+                }
+            }
+        }
+        visited
+    }
+}
+
+impl Workload for Graph500 {
+    fn name(&self) -> &'static str {
+        "Graph500"
+    }
+
+    fn run(&mut self, sink: &mut dyn TraceSink) {
+        for r in 0..self.params.roots {
+            let root = self.pick_root(u64::from(r));
+            self.visited_last = self.bfs(root, sink);
+            self.last_root = Some(root);
+        }
+        sink.flush();
+    }
+
+    fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        let root = self.last_root.ok_or("Graph500 has not run")? as usize;
+        // reference BFS levels, untraced
+        let offs = self.offsets.as_slice();
+        let adj = self.adj.as_slice();
+        let mut level = vec![-1i64; self.n];
+        level[root] = 0;
+        let mut q = std::collections::VecDeque::from([root]);
+        let mut reach = 1u64;
+        while let Some(u) = q.pop_front() {
+            for &a in &adj[offs[u] as usize..offs[u + 1] as usize] {
+                let v = a as usize;
+                if level[v] < 0 {
+                    level[v] = level[u] + 1;
+                    reach += 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        if reach != self.visited_last {
+            return Err(format!(
+                "BFS visited {} vertices, reference reaches {reach}",
+                self.visited_last
+            ));
+        }
+        if reach < 2 {
+            return Err("degenerate BFS: root has no reachable neighbours".into());
+        }
+        // every discovered parent edge must connect adjacent levels
+        for v in 0..self.n {
+            let p = self.parent.peek(v);
+            if v == root {
+                if p != root as i64 {
+                    return Err("root parent must be itself".into());
+                }
+                continue;
+            }
+            if p >= 0 {
+                if level[v] < 0 {
+                    return Err(format!("vertex {v} visited but unreachable in reference"));
+                }
+                if level[v] != level[p as usize] + 1 {
+                    return Err(format!(
+                        "parent edge {p}->{v} spans levels {} -> {}",
+                        level[p as usize], level[v]
+                    ));
+                }
+            } else if level[v] >= 0 {
+                return Err(format!("vertex {v} reachable but not visited"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_trace::sinks::CountingSink;
+
+    fn tiny() -> Graph500Params {
+        Graph500Params {
+            scale: 10,
+            edge_factor: 8,
+            roots: 2,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generator_shape() {
+        let g = Graph500::new(tiny());
+        assert_eq!(g.vertex_count(), 1024);
+        // m edges minus self-loops, ×2 for symmetrization
+        assert!(
+            g.arc_count() > 12_000 && g.arc_count() <= 16_384,
+            "{}",
+            g.arc_count()
+        );
+    }
+
+    #[test]
+    fn bfs_visits_and_verifies() {
+        let mut g = Graph500::new(tiny());
+        let mut sink = CountingSink::new();
+        g.run(&mut sink);
+        g.verify().unwrap();
+        // Kronecker graphs have a giant component
+        assert!(g.visited_last > 100, "visited only {}", g.visited_last);
+        assert!(sink.loads > sink.stores, "BFS is load-dominated");
+    }
+
+    #[test]
+    fn rmat_degrees_are_skewed() {
+        let g = Graph500::new(Graph500Params {
+            scale: 12,
+            edge_factor: 8,
+            roots: 1,
+            seed: 7,
+        });
+        let offs = g.offsets.as_slice();
+        let max_deg = (0..g.vertex_count())
+            .map(|v| offs[v + 1] - offs[v])
+            .max()
+            .unwrap();
+        let mean_deg = g.arc_count() as u64 / g.vertex_count() as u64;
+        assert!(
+            max_deg > 10 * mean_deg,
+            "R-MAT must be skewed: max {max_deg}, mean {mean_deg}"
+        );
+    }
+
+    #[test]
+    fn verify_before_run_errors() {
+        assert!(Graph500::new(tiny()).verify().is_err());
+    }
+
+    #[test]
+    fn deterministic_graph() {
+        let a = Graph500::new(tiny());
+        let b = Graph500::new(tiny());
+        assert_eq!(a.arc_count(), b.arc_count());
+        assert_eq!(a.adj.as_slice(), b.adj.as_slice());
+    }
+}

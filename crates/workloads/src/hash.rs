@@ -1,0 +1,283 @@
+//! CORAL Hash stand-in: open-addressing hash table build and probe.
+//!
+//! The CORAL data-centric HASH benchmark measures integer hashing over a
+//! large table ("-m 30M -n 50K" in the paper). The kernel here inserts `m`
+//! random 64-bit keys into a linear-probing table and then issues point
+//! lookups for a mix of present and absent keys — a pure random-access
+//! pattern with almost no spatial locality, the adversarial case for every
+//! page-granularity design in the study.
+
+use crate::{Class, Workload};
+use memsim_trace::{AddressSpace, SimVec, TraceSink};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Hash benchmark parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HashParams {
+    /// log2 of the table slot count.
+    pub log2_slots: u32,
+    /// Fraction of slots filled by the build phase (0, 1).
+    pub load_factor: f64,
+    /// Number of probe-phase lookups.
+    pub lookups: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HashParams {
+    /// Preset for a size class.
+    pub fn class(class: Class) -> Self {
+        match class {
+            // 16 MiB table; the probe phase matches the build phase in
+            // operation count, as in the benchmark's long steady state
+            Class::Mini => Self {
+                log2_slots: 21,
+                load_factor: 0.6,
+                lookups: 1_200_000,
+                seed: 0x4a54,
+            },
+            // 128 MiB table
+            Class::Demo => Self {
+                log2_slots: 24,
+                load_factor: 0.6,
+                lookups: 10_000_000,
+                seed: 0x4a54,
+            },
+            // 512 MiB table
+            Class::Large => Self {
+                log2_slots: 26,
+                load_factor: 0.6,
+                lookups: 40_000_000,
+                seed: 0x4a54,
+            },
+        }
+    }
+}
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The Hash benchmark instance.
+pub struct Hash {
+    params: HashParams,
+    space: AddressSpace,
+    /// The table: 0 = empty slot, otherwise the stored key.
+    table: SimVec<u64>,
+    /// Keys to insert (streamed sequentially during the build phase).
+    keys: SimVec<u64>,
+    mask: usize,
+    inserted_distinct: u64,
+    found: u64,
+    absent_found: u64,
+    ran: bool,
+}
+
+impl Hash {
+    /// Allocate the table and generate keys (untraced).
+    pub fn new(params: HashParams) -> Self {
+        let slots = 1usize << params.log2_slots;
+        let m = (slots as f64 * params.load_factor) as usize;
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let mut space = AddressSpace::new();
+        let table = SimVec::<u64>::zeroed(&mut space, "table", slots);
+        // nonzero random keys
+        let keys = SimVec::from_fn(&mut space, "keys", m, |_| rng.random::<u64>() | 1);
+        Self {
+            params,
+            space,
+            table,
+            keys,
+            mask: slots - 1,
+            inserted_distinct: 0,
+            found: 0,
+            absent_found: 0,
+            ran: false,
+        }
+    }
+
+    /// Traced insert; returns true if the key was new.
+    fn insert(&mut self, key: u64, sink: &mut dyn TraceSink) -> bool {
+        let mut slot = splitmix64(key) as usize & self.mask;
+        loop {
+            let cur = self.table.ld(slot, sink);
+            if cur == 0 {
+                self.table.st(slot, key, sink);
+                return true;
+            }
+            if cur == key {
+                return false;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Traced lookup.
+    fn contains(&self, key: u64, sink: &mut dyn TraceSink) -> bool {
+        let mut slot = splitmix64(key) as usize & self.mask;
+        loop {
+            let cur = self.table.ld(slot, sink);
+            if cur == 0 {
+                return false;
+            }
+            if cur == key {
+                return true;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Distinct keys inserted by the build phase.
+    pub fn inserted_distinct(&self) -> u64 {
+        self.inserted_distinct
+    }
+}
+
+impl Workload for Hash {
+    fn name(&self) -> &'static str {
+        "Hash"
+    }
+
+    fn run(&mut self, sink: &mut dyn TraceSink) {
+        // build phase
+        for i in 0..self.keys.len() {
+            let k = self.keys.ld(i, sink);
+            if self.insert(k, sink) {
+                self.inserted_distinct += 1;
+            }
+        }
+        // probe phase: alternate present and (almost surely) absent keys
+        let mut rng = SmallRng::seed_from_u64(self.params.seed ^ 0xdead);
+        let m = self.keys.len();
+        for p in 0..self.params.lookups {
+            if p % 2 == 0 {
+                let k = self.keys.ld(rng.random_range(0..m), sink);
+                if self.contains(k, sink) {
+                    self.found += 1;
+                }
+            } else {
+                // random key: present with probability ~ m / 2^63 ≈ 0
+                let k = rng.random::<u64>() | 1;
+                if self.contains(k, sink) {
+                    self.absent_found += 1;
+                }
+            }
+        }
+        sink.flush();
+        self.ran = true;
+    }
+
+    fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        if !self.ran {
+            return Err("Hash has not run".into());
+        }
+        // ground truth from an untraced set
+        let truth: std::collections::HashSet<u64> = self.keys.as_slice().iter().copied().collect();
+        if self.inserted_distinct != truth.len() as u64 {
+            return Err(format!(
+                "insert phase found {} distinct keys, ground truth {}",
+                self.inserted_distinct,
+                truth.len()
+            ));
+        }
+        // occupancy must match
+        let occupied = self.table.as_slice().iter().filter(|&&s| s != 0).count() as u64;
+        if occupied != self.inserted_distinct {
+            return Err(format!(
+                "table holds {occupied} keys, expected {}",
+                self.inserted_distinct
+            ));
+        }
+        // every present probe must have hit; absent probes can only hit by
+        // an astronomically unlikely collision
+        let present_probes = self.params.lookups.div_ceil(2) as u64;
+        if self.found != present_probes {
+            return Err(format!(
+                "{} of {present_probes} present lookups found",
+                self.found
+            ));
+        }
+        if self.absent_found > 2 {
+            return Err(format!(
+                "{} absent lookups unexpectedly found",
+                self.absent_found
+            ));
+        }
+        // every stored key must verify against the truth set
+        for &s in self.table.as_slice() {
+            if s != 0 && !truth.contains(&s) {
+                return Err(format!("table contains alien key {s:#x}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_trace::sinks::CountingSink;
+
+    fn tiny() -> HashParams {
+        HashParams {
+            log2_slots: 12,
+            load_factor: 0.6,
+            lookups: 2000,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn builds_probes_verifies() {
+        let mut h = Hash::new(tiny());
+        let mut sink = CountingSink::new();
+        h.run(&mut sink);
+        h.verify().unwrap();
+        assert!(h.inserted_distinct() > 2000);
+        assert!(sink.loads > sink.stores, "probing is load-heavy");
+    }
+
+    #[test]
+    fn verify_before_run_errors() {
+        assert!(Hash::new(tiny()).verify().is_err());
+    }
+
+    #[test]
+    fn probe_volume_grows_with_load_factor() {
+        let events = |lf: f64| {
+            let mut h = Hash::new(HashParams {
+                log2_slots: 12,
+                load_factor: lf,
+                lookups: 4000,
+                seed: 5,
+            });
+            let mut sink = CountingSink::new();
+            h.run(&mut sink);
+            // average probes per lookup rises with load factor
+            sink.loads as f64
+        };
+        assert!(events(0.8) > events(0.2));
+    }
+
+    #[test]
+    fn accesses_hit_table_region() {
+        use memsim_trace::sinks::RegionProfiler;
+        let mut h = Hash::new(tiny());
+        let mut prof = RegionProfiler::new(h.space());
+        h.run(&mut prof);
+        let table_idx = h.space().region_by_name("table").unwrap().id.index();
+        let total: u64 = prof.loads.iter().sum::<u64>() + prof.stores.iter().sum::<u64>();
+        let table_traffic = prof.loads[table_idx] + prof.stores[table_idx];
+        assert!(table_traffic * 2 > total, "table traffic must dominate");
+        assert_eq!(prof.unattributed, 0);
+    }
+}

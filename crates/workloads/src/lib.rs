@@ -1,0 +1,294 @@
+//! HPC and data-intensive workload kernels emitting memory address streams.
+//!
+//! The paper drives its simulator with PEBIL-instrumented runs of NPB
+//! (BT, SP, LU, CG), CORAL (AMG2013, Graph500, Hash), and the Velvet
+//! assembler. Here each benchmark is re-implemented as the *same algorithm*
+//! at a scaled problem size, running on the instrumented containers of
+//! `memsim-trace`, so that the emitted address stream has the access
+//! pattern of the real code: CSR SpMV gather for CG, structured-grid line
+//! sweeps for BT/SP/LU, V-cycle grid traversals for AMG, frontier-driven
+//! neighbour gathers for Graph500, random probing for Hash, and k-mer
+//! hashing plus graph walking for Velvet.
+//!
+//! Every kernel verifies its own numerical/algorithmic result after the
+//! run ([`Workload::verify`]), so a bug that would silently distort the
+//! address stream fails loudly instead.
+//!
+//! # Problem classes
+//!
+//! [`Class`] scales each benchmark's footprint from the paper's 0.8–4
+//! GB/core down to simulation-friendly sizes with the same structure
+//! (see `DESIGN.md` §5 for the capacity-ratio argument):
+//!
+//! | class | footprint target | intended use |
+//! |-------|------------------|--------------|
+//! | `Mini`  | ≈ paper / 256 (3–16 MiB)  | unit tests, Criterion benches |
+//! | `Demo`  | ≈ paper / 32 (25–128 MiB) | figure regeneration |
+//! | `Large` | ≈ paper / 8 (100–512 MiB) | slow, closer-to-paper runs |
+//!
+//! # Example
+//!
+//! ```
+//! use memsim_workloads::{Class, WorkloadKind};
+//! use memsim_trace::sinks::CountingSink;
+//!
+//! let mut w = WorkloadKind::Cg.build(Class::Mini);
+//! let mut sink = CountingSink::new();
+//! w.run(&mut sink);
+//! w.verify().unwrap();
+//! assert!(sink.total() > 100_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod amg;
+mod bt;
+mod cg;
+mod graph500;
+mod hash;
+mod lu;
+mod sp;
+mod sparse;
+pub mod synthetic;
+mod velvet;
+
+pub use amg::{Amg, AmgParams};
+pub use bt::{Bt, BtParams};
+pub use cg::{Cg, CgParams};
+pub use graph500::{Graph500, Graph500Params};
+pub use hash::{Hash, HashParams};
+pub use lu::{Lu, LuParams};
+pub use sp::{Sp, SpParams};
+pub use sparse::CsrMatrix;
+pub use synthetic::{Pattern, Synthetic, SyntheticParams};
+pub use velvet::{Velvet, VelvetParams};
+
+use memsim_trace::{AddressSpace, TraceSink};
+
+/// Problem-size class (see the crate docs for the scaling rationale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// ≈ paper footprint / 256: unit tests and Criterion benches.
+    Mini,
+    /// ≈ paper footprint / 32: figure regeneration (the default).
+    Demo,
+    /// ≈ paper footprint / 8: slow high-fidelity runs.
+    Large,
+}
+
+impl Class {
+    /// All classes.
+    pub const ALL: [Class; 3] = [Class::Mini, Class::Demo, Class::Large];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::Mini => "mini",
+            Class::Demo => "demo",
+            Class::Large => "large",
+        }
+    }
+
+    /// Parse a class name.
+    pub fn parse(s: &str) -> Option<Class> {
+        match s.to_ascii_lowercase().as_str() {
+            "mini" => Some(Class::Mini),
+            "demo" => Some(Class::Demo),
+            "large" => Some(Class::Large),
+            _ => None,
+        }
+    }
+}
+
+/// A benchmark that can replay its memory behaviour into a sink.
+pub trait Workload {
+    /// Benchmark name as the paper spells it (e.g. `"Graph500"`).
+    fn name(&self) -> &'static str;
+
+    /// Run the timed kernel, streaming every memory reference into `sink`.
+    /// May be called once per instance.
+    fn run(&mut self, sink: &mut dyn TraceSink);
+
+    /// The simulated address space holding the benchmark's data regions.
+    fn space(&self) -> &AddressSpace;
+
+    /// Check the algorithmic result of the run (residual dropped, BFS tree
+    /// valid, all keys found, …). Call after [`Workload::run`].
+    fn verify(&self) -> Result<(), String>;
+
+    /// Memory footprint in bytes (sum of all allocated regions).
+    fn footprint_bytes(&self) -> u64 {
+        self.space().footprint_bytes()
+    }
+}
+
+/// The benchmark suite of the paper (Table 4 plus SP, which appears in the
+/// NDM results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// NPB BT: block-tridiagonal ADI solver (structured grid).
+    Bt,
+    /// NPB SP: scalar pentadiagonal ADI solver (structured grid).
+    Sp,
+    /// NPB LU: SSOR solver (structured grid, wavefront-ordered sweeps).
+    Lu,
+    /// NPB CG: conjugate gradient with irregular CSR gathers.
+    Cg,
+    /// CORAL AMG2013: algebraic multigrid (geometric V-cycle stand-in).
+    Amg,
+    /// CORAL Graph500: BFS over a Kronecker graph.
+    Graph500,
+    /// CORAL Hash: open-addressing hash build + probe.
+    Hash,
+    /// Velvet: de Bruijn graph assembly of synthetic reads.
+    Velvet,
+}
+
+impl WorkloadKind {
+    /// The seven benchmarks of Table 4 — the set every figure averages over.
+    pub const PAPER_SET: [WorkloadKind; 7] = [
+        WorkloadKind::Bt,
+        WorkloadKind::Lu,
+        WorkloadKind::Graph500,
+        WorkloadKind::Hash,
+        WorkloadKind::Amg,
+        WorkloadKind::Cg,
+        WorkloadKind::Velvet,
+    ];
+
+    /// Every implemented benchmark (the paper set plus SP).
+    pub const ALL: [WorkloadKind; 8] = [
+        WorkloadKind::Bt,
+        WorkloadKind::Sp,
+        WorkloadKind::Lu,
+        WorkloadKind::Cg,
+        WorkloadKind::Amg,
+        WorkloadKind::Graph500,
+        WorkloadKind::Hash,
+        WorkloadKind::Velvet,
+    ];
+
+    /// Benchmark name as the paper spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Bt => "BT",
+            WorkloadKind::Sp => "SP",
+            WorkloadKind::Lu => "LU",
+            WorkloadKind::Cg => "CG",
+            WorkloadKind::Amg => "AMG2013",
+            WorkloadKind::Graph500 => "Graph500",
+            WorkloadKind::Hash => "Hash",
+            WorkloadKind::Velvet => "Velvet",
+        }
+    }
+
+    /// Case-insensitive parse of a benchmark name.
+    pub fn parse(s: &str) -> Option<WorkloadKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "bt" => Some(WorkloadKind::Bt),
+            "sp" => Some(WorkloadKind::Sp),
+            "lu" => Some(WorkloadKind::Lu),
+            "cg" => Some(WorkloadKind::Cg),
+            "amg" | "amg2013" => Some(WorkloadKind::Amg),
+            "graph500" | "g500" | "bfs" => Some(WorkloadKind::Graph500),
+            "hash" | "hashing" | "hashing-2" => Some(WorkloadKind::Hash),
+            "velvet" => Some(WorkloadKind::Velvet),
+            _ => None,
+        }
+    }
+
+    /// Instantiate the benchmark at `class` size (allocates and initializes
+    /// its data untraced; call [`Workload::run`] to stream the kernel).
+    pub fn build(self, class: Class) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::Bt => Box::new(Bt::new(BtParams::class(class))),
+            WorkloadKind::Sp => Box::new(Sp::new(SpParams::class(class))),
+            WorkloadKind::Lu => Box::new(Lu::new(LuParams::class(class))),
+            WorkloadKind::Cg => Box::new(Cg::new(CgParams::class(class))),
+            WorkloadKind::Amg => Box::new(Amg::new(AmgParams::class(class))),
+            WorkloadKind::Graph500 => Box::new(Graph500::new(Graph500Params::class(class))),
+            WorkloadKind::Hash => Box::new(Hash::new(HashParams::class(class))),
+            WorkloadKind::Velvet => Box::new(Velvet::new(VelvetParams::class(class))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_trace::sinks::CountingSink;
+
+    #[test]
+    fn names_roundtrip() {
+        for k in WorkloadKind::ALL {
+            assert_eq!(WorkloadKind::parse(k.name()), Some(k), "{k:?}");
+        }
+        assert_eq!(WorkloadKind::parse("nope"), None);
+        for c in Class::ALL {
+            assert_eq!(Class::parse(c.name()), Some(c));
+        }
+    }
+
+    #[test]
+    fn paper_set_is_table4() {
+        assert_eq!(WorkloadKind::PAPER_SET.len(), 7);
+        assert!(!WorkloadKind::PAPER_SET.contains(&WorkloadKind::Sp));
+    }
+
+    /// Every benchmark at Mini size runs, emits a nontrivial stream with
+    /// both loads and stores, stays inside its registered regions, and
+    /// passes its own verification.
+    #[test]
+    fn all_workloads_run_and_verify_mini() {
+        for kind in WorkloadKind::ALL {
+            let mut w = kind.build(Class::Mini);
+            let mut sink = CountingSink::new();
+            w.run(&mut sink);
+            assert!(
+                sink.loads > 10_000,
+                "{}: only {} loads",
+                w.name(),
+                sink.loads
+            );
+            assert!(
+                sink.stores > 1_000,
+                "{}: only {} stores",
+                w.name(),
+                sink.stores
+            );
+            w.verify()
+                .unwrap_or_else(|e| panic!("{} failed verification: {e}", w.name()));
+            assert!(
+                w.footprint_bytes() > 1 << 20,
+                "{}: footprint too small",
+                w.name()
+            );
+        }
+    }
+
+    /// Address streams are deterministic: two builds of the same workload
+    /// produce identical reference counts.
+    #[test]
+    fn workloads_are_deterministic() {
+        for kind in WorkloadKind::ALL {
+            let count = |k: WorkloadKind| {
+                let mut w = k.build(Class::Mini);
+                let mut sink = CountingSink::new();
+                w.run(&mut sink);
+                (sink.loads, sink.stores, sink.load_bytes, sink.store_bytes)
+            };
+            assert_eq!(count(kind), count(kind), "{kind:?} not deterministic");
+        }
+    }
+
+    /// Footprints grow with class (Mini < Demo), for a fast-to-build subset.
+    #[test]
+    fn class_scaling_increases_footprint() {
+        for kind in [WorkloadKind::Cg, WorkloadKind::Hash, WorkloadKind::Lu] {
+            let mini = kind.build(Class::Mini).footprint_bytes();
+            let demo = kind.build(Class::Demo).footprint_bytes();
+            assert!(demo > 2 * mini, "{kind:?}: mini={mini} demo={demo}");
+        }
+    }
+}

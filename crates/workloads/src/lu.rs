@@ -1,0 +1,296 @@
+//! NPB LU: SSOR relaxation sweeps on a 3-D structured grid.
+//!
+//! LU's kernel is symmetric successive over-relaxation: a forward
+//! (lexicographic) Gauss–Seidel sweep followed by a backward sweep, here
+//! applied to the 7-point Laplacian with five independent components per
+//! cell. The wavefront-ordered dependence means every cell update reads
+//! already-updated upstream neighbours and not-yet-updated downstream
+//! ones — the memory pattern the benchmark exists to exercise.
+
+use crate::{Class, Workload};
+use memsim_trace::{AddressSpace, SimVec, TraceEvent, TraceSink};
+
+const NC: usize = 5;
+type Vec5 = [f64; NC];
+
+/// LU problem parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LuParams {
+    /// Grid extent per dimension.
+    pub n: usize,
+    /// SSOR iterations (forward + backward sweep each).
+    pub iterations: usize,
+    /// Over-relaxation factor.
+    pub omega: f64,
+}
+
+impl LuParams {
+    /// Preset for a size class.
+    pub fn class(class: Class) -> Self {
+        match class {
+            // ≈ 5 MiB
+            Class::Mini => Self {
+                n: 40,
+                iterations: 1,
+                omega: 1.2,
+            },
+            // ≈ 24 MiB
+            Class::Demo => Self {
+                n: 68,
+                iterations: 1,
+                omega: 1.2,
+            },
+            // ≈ 100 MiB
+            Class::Large => Self {
+                n: 110,
+                iterations: 1,
+                omega: 1.2,
+            },
+        }
+    }
+}
+
+/// The LU benchmark instance.
+pub struct Lu {
+    params: LuParams,
+    space: AddressSpace,
+    /// Solution field, `n³ × 5`.
+    u: SimVec<f64>,
+    /// Right-hand side, `n³ × 5`.
+    f: SimVec<f64>,
+    initial_residual: Option<f64>,
+    final_residual: Option<f64>,
+}
+
+impl Lu {
+    /// Allocate and initialize (untraced) an LU instance.
+    pub fn new(params: LuParams) -> Self {
+        let n = params.n;
+        assert!(n >= 4);
+        let mut space = AddressSpace::new();
+        let cells = n * n * n;
+        let u = SimVec::<f64>::zeroed(&mut space, "u", cells * NC);
+        let f = SimVec::from_fn(&mut space, "f", cells * NC, |i| {
+            ((i % 23) as f64 - 11.0) / 23.0
+        });
+        Self {
+            params,
+            space,
+            u,
+            f,
+            initial_residual: None,
+            final_residual: None,
+        }
+    }
+
+    #[inline]
+    fn cell(n: usize, i: usize, j: usize, k: usize) -> usize {
+        ((i * n + j) * n + k) * NC
+    }
+
+    #[inline]
+    fn ld5(v: &SimVec<f64>, base: usize, sink: &mut dyn TraceSink) -> Vec5 {
+        sink.access(TraceEvent::load(v.addr_of(base), (NC * 8) as u32));
+        let s = v.as_slice();
+        [s[base], s[base + 1], s[base + 2], s[base + 3], s[base + 4]]
+    }
+
+    #[inline]
+    fn st5(v: &mut SimVec<f64>, base: usize, val: &Vec5, sink: &mut dyn TraceSink) {
+        sink.access(TraceEvent::store(v.addr_of(base), (NC * 8) as u32));
+        v.as_mut_slice()[base..base + NC].copy_from_slice(val);
+    }
+
+    /// ‖f − A u‖₂ over all components (untraced; A = 7-point Laplacian with
+    /// Dirichlet zero beyond the boundary).
+    fn residual_norm(&self) -> f64 {
+        let n = self.params.n;
+        let u = self.u.as_slice();
+        let f = self.f.as_slice();
+        let mut acc = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let b = Self::cell(n, i, j, k);
+                    for c in 0..NC {
+                        let mut au = 6.0 * u[b + c];
+                        if i > 0 {
+                            au -= u[Self::cell(n, i - 1, j, k) + c];
+                        }
+                        if i + 1 < n {
+                            au -= u[Self::cell(n, i + 1, j, k) + c];
+                        }
+                        if j > 0 {
+                            au -= u[Self::cell(n, i, j - 1, k) + c];
+                        }
+                        if j + 1 < n {
+                            au -= u[Self::cell(n, i, j + 1, k) + c];
+                        }
+                        if k > 0 {
+                            au -= u[Self::cell(n, i, j, k - 1) + c];
+                        }
+                        if k + 1 < n {
+                            au -= u[Self::cell(n, i, j, k + 1) + c];
+                        }
+                        acc += (f[b + c] - au) * (f[b + c] - au);
+                    }
+                }
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// One relaxation update of cell `(i, j, k)`, traced.
+    #[inline]
+    fn relax_cell(&mut self, i: usize, j: usize, k: usize, sink: &mut dyn TraceSink) {
+        let n = self.params.n;
+        let omega = self.params.omega;
+        let b = Self::cell(n, i, j, k);
+        let fv = Self::ld5(&self.f, b, sink);
+        let uv = Self::ld5(&self.u, b, sink);
+        let mut nb_sum: Vec5 = [0.0; NC];
+        let add = |slot: usize, s: &mut dyn TraceSink, u: &SimVec<f64>, sum: &mut Vec5| {
+            let v = Self::ld5(u, slot, s);
+            for c in 0..NC {
+                sum[c] += v[c];
+            }
+        };
+        if i > 0 {
+            add(Self::cell(n, i - 1, j, k), sink, &self.u, &mut nb_sum);
+        }
+        if i + 1 < n {
+            add(Self::cell(n, i + 1, j, k), sink, &self.u, &mut nb_sum);
+        }
+        if j > 0 {
+            add(Self::cell(n, i, j - 1, k), sink, &self.u, &mut nb_sum);
+        }
+        if j + 1 < n {
+            add(Self::cell(n, i, j + 1, k), sink, &self.u, &mut nb_sum);
+        }
+        if k > 0 {
+            add(Self::cell(n, i, j, k - 1), sink, &self.u, &mut nb_sum);
+        }
+        if k + 1 < n {
+            add(Self::cell(n, i, j, k + 1), sink, &self.u, &mut nb_sum);
+        }
+        let mut out: Vec5 = [0.0; NC];
+        for c in 0..NC {
+            let gs = (fv[c] + nb_sum[c]) / 6.0;
+            out[c] = (1.0 - omega) * uv[c] + omega * gs;
+        }
+        Self::st5(&mut self.u, b, &out, sink);
+    }
+}
+
+impl Workload for Lu {
+    fn name(&self) -> &'static str {
+        "LU"
+    }
+
+    fn run(&mut self, sink: &mut dyn TraceSink) {
+        let n = self.params.n;
+        self.initial_residual = Some(self.residual_norm());
+        for _ in 0..self.params.iterations {
+            // forward lexicographic sweep
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        self.relax_cell(i, j, k, sink);
+                    }
+                }
+            }
+            // backward sweep
+            for i in (0..n).rev() {
+                for j in (0..n).rev() {
+                    for k in (0..n).rev() {
+                        self.relax_cell(i, j, k, sink);
+                    }
+                }
+            }
+        }
+        sink.flush();
+        self.final_residual = Some(self.residual_norm());
+    }
+
+    fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        let (init, fin) = match (self.initial_residual, self.final_residual) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err("LU has not run".into()),
+        };
+        if !fin.is_finite() {
+            return Err("residual diverged".into());
+        }
+        if fin >= 0.8 * init {
+            return Err(format!("SSOR did not reduce the residual: {init} -> {fin}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_trace::sinks::CountingSink;
+
+    #[test]
+    fn reduces_residual_and_verifies() {
+        let mut lu = Lu::new(LuParams {
+            n: 12,
+            iterations: 2,
+            omega: 1.2,
+        });
+        let mut sink = CountingSink::new();
+        lu.run(&mut sink);
+        lu.verify().unwrap();
+        let init = lu.initial_residual.unwrap();
+        let fin = lu.final_residual.unwrap();
+        assert!(fin < 0.5 * init, "init={init} fin={fin}");
+    }
+
+    #[test]
+    fn verify_before_run_errors() {
+        assert!(Lu::new(LuParams {
+            n: 8,
+            iterations: 1,
+            omega: 1.2
+        })
+        .verify()
+        .is_err());
+    }
+
+    #[test]
+    fn interior_cell_touches_seven_points_plus_rhs() {
+        let mut lu = Lu::new(LuParams {
+            n: 8,
+            iterations: 1,
+            omega: 1.0,
+        });
+        let mut sink = CountingSink::new();
+        lu.run(&mut sink);
+        // per cell per sweep: f + u + up-to-6 neighbours loads, 1 store
+        let cells = 8u64 * 8 * 8;
+        let sweeps = 2;
+        assert_eq!(sink.stores, cells * sweeps);
+        assert!(
+            sink.loads >= cells * sweeps * 5,
+            "boundary cells load fewer neighbours"
+        );
+        assert!(sink.loads <= cells * sweeps * 8);
+    }
+
+    #[test]
+    fn omega_one_is_plain_gauss_seidel_and_converges() {
+        let mut lu = Lu::new(LuParams {
+            n: 10,
+            iterations: 3,
+            omega: 1.0,
+        });
+        let mut sink = CountingSink::new();
+        lu.run(&mut sink);
+        lu.verify().unwrap();
+    }
+}

@@ -1,0 +1,375 @@
+//! NPB SP: scalar pentadiagonal ADI solver on a 3-D structured grid.
+//!
+//! Like BT, SP sweeps the three grid directions each time step, but the
+//! per-line systems are five *independent scalar* pentadiagonal systems
+//! (one per solution component) instead of one block-tridiagonal system.
+//! The elimination keeps two superdiagonal coefficient arrays per line,
+//! which is exactly the scratch traffic the real code generates.
+
+use crate::{Class, Workload};
+use memsim_trace::{AddressSpace, SimVec, TraceEvent, TraceSink};
+
+/// Components per grid cell.
+const NC: usize = 5;
+
+/// SP problem parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpParams {
+    /// Grid extent per dimension (cube grid).
+    pub n: usize,
+    /// ADI time steps.
+    pub steps: usize,
+}
+
+impl SpParams {
+    /// Preset for a size class.
+    pub fn class(class: Class) -> Self {
+        match class {
+            // ≈ 7 MiB
+            Class::Mini => Self { n: 44, steps: 1 },
+            // ≈ 41 MiB
+            Class::Demo => Self { n: 80, steps: 1 },
+            // ≈ 137 MiB
+            Class::Large => Self { n: 120, steps: 1 },
+        }
+    }
+}
+
+/// Saved scalar pentadiagonal system (component 0 of one line).
+struct LineCheck {
+    // full bands, indexed by line position
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+    d: Vec<f64>,
+    e: Vec<f64>,
+    f: Vec<f64>,
+    x: Vec<f64>,
+}
+
+/// The SP benchmark instance.
+pub struct Sp {
+    params: SpParams,
+    space: AddressSpace,
+    /// Cell state, `n³ × 5` doubles.
+    u: SimVec<f64>,
+    /// Right-hand side, same layout; holds the normalized `F` during solves.
+    rhs: SimVec<f64>,
+    /// Per-line scratch: normalized first superdiagonal `D`, `n × 5`.
+    dcoef: SimVec<f64>,
+    /// Per-line scratch: normalized second superdiagonal `E`, `n × 5`.
+    ecoef: SimVec<f64>,
+    check: Option<LineCheck>,
+    ran: bool,
+}
+
+type Vec5 = [f64; NC];
+
+impl Sp {
+    /// Allocate and initialize (untraced) an SP instance.
+    pub fn new(params: SpParams) -> Self {
+        let n = params.n;
+        assert!(n >= 5, "grid too small");
+        let mut space = AddressSpace::new();
+        let cells = n * n * n;
+        let u = SimVec::from_fn(&mut space, "u", cells * NC, |i| {
+            1.0 + 0.4 * ((i % 89) as f64 / 89.0) - 0.2 * ((i % 7) as f64 / 7.0)
+        });
+        let rhs = SimVec::from_fn(&mut space, "rhs", cells * NC, |i| {
+            ((i % 31) as f64 - 15.0) / 31.0
+        });
+        let dcoef = SimVec::<f64>::zeroed(&mut space, "dcoef", n * NC);
+        let ecoef = SimVec::<f64>::zeroed(&mut space, "ecoef", n * NC);
+        Self {
+            params,
+            space,
+            u,
+            rhs,
+            dcoef,
+            ecoef,
+            check: None,
+            ran: false,
+        }
+    }
+
+    #[inline]
+    fn cell(n: usize, i: usize, j: usize, k: usize) -> usize {
+        ((i * n + j) * n + k) * NC
+    }
+
+    #[inline]
+    fn ld5(v: &SimVec<f64>, base: usize, sink: &mut dyn TraceSink) -> Vec5 {
+        sink.access(TraceEvent::load(v.addr_of(base), (NC * 8) as u32));
+        let s = v.as_slice();
+        [s[base], s[base + 1], s[base + 2], s[base + 3], s[base + 4]]
+    }
+
+    #[inline]
+    fn st5(v: &mut SimVec<f64>, base: usize, val: &Vec5, sink: &mut dyn TraceSink) {
+        sink.access(TraceEvent::store(v.addr_of(base), (NC * 8) as u32));
+        v.as_mut_slice()[base..base + NC].copy_from_slice(val);
+    }
+
+    /// Pentadiagonal bands at a cell, per component, from the cell state.
+    /// Strongly diagonally dominant: |c| > |a|+|b|+|d|+|e|.
+    #[inline]
+    fn bands(u_here: &Vec5, comp: usize) -> (f64, f64, f64, f64, f64) {
+        let v = u_here[comp];
+        (-0.5, -1.0, 6.0 + 0.2 * v, -1.0, -0.5)
+    }
+
+    /// Solve the five scalar pentadiagonal systems along one line.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_line(
+        u: &mut SimVec<f64>,
+        rhs: &mut SimVec<f64>,
+        dcoef: &mut SimVec<f64>,
+        ecoef: &mut SimVec<f64>,
+        n: usize,
+        idx: impl Fn(usize) -> usize,
+        sink: &mut dyn TraceSink,
+        mut save: Option<&mut LineCheck>,
+    ) {
+        // per-component rolling state: (D, E, F) for rows i-1 and i-2
+        let mut dm1: Vec5 = [0.0; NC];
+        let mut em1: Vec5 = [0.0; NC];
+        let mut fm1: Vec5 = [0.0; NC];
+        let mut dm2: Vec5 = [0.0; NC];
+        let mut em2: Vec5 = [0.0; NC];
+        let mut fm2: Vec5 = [0.0; NC];
+
+        for i in 0..n {
+            let base = idx(i);
+            let u_here = Self::ld5(u, base, sink);
+            let f_in = Self::ld5(rhs, base, sink);
+            let mut dn: Vec5 = [0.0; NC];
+            let mut en: Vec5 = [0.0; NC];
+            let mut fn_: Vec5 = [0.0; NC];
+            for c in 0..NC {
+                let (mut a, mut b, mut cc, mut d, e) = Self::bands(&u_here, c);
+                // boundary rows lose their out-of-range bands
+                if i < 2 {
+                    a = 0.0;
+                }
+                if i < 1 {
+                    b = 0.0;
+                }
+                let (d_band, e_band) = (d, e);
+                if let Some(chk) = save.as_deref_mut() {
+                    if c == 0 {
+                        chk.a.push(a);
+                        chk.b.push(b);
+                        chk.c.push(cc);
+                        chk.d.push(if i + 1 < n { d_band } else { 0.0 });
+                        chk.e.push(if i + 2 < n { e_band } else { 0.0 });
+                        chk.f.push(f_in[c]);
+                    }
+                }
+                let mut f = f_in[c];
+                // eliminate x_{i-2} via row i-2's normalized relation
+                if a != 0.0 {
+                    b -= a * dm2[c];
+                    cc -= a * em2[c];
+                    f -= a * fm2[c];
+                }
+                // eliminate x_{i-1} via row i-1's normalized relation
+                if b != 0.0 {
+                    cc -= b * dm1[c];
+                    d -= b * em1[c];
+                    f -= b * fm1[c];
+                }
+                debug_assert!(cc.abs() > 1e-10, "pentadiagonal pivot vanished");
+                dn[c] = if i + 1 < n { d / cc } else { 0.0 };
+                en[c] = if i + 2 < n { e / cc } else { 0.0 };
+                fn_[c] = f / cc;
+            }
+            Self::st5(dcoef, i * NC, &dn, sink);
+            Self::st5(ecoef, i * NC, &en, sink);
+            Self::st5(rhs, base, &fn_, sink);
+            dm2 = dm1;
+            em2 = em1;
+            fm2 = fm1;
+            dm1 = dn;
+            em1 = en;
+            fm1 = fn_;
+        }
+
+        // back substitution: x_i = F_i - D_i x_{i+1} - E_i x_{i+2}
+        let mut xp1: Vec5 = [0.0; NC];
+        let mut xp2: Vec5 = [0.0; NC];
+        for i in (0..n).rev() {
+            let base = idx(i);
+            let f = Self::ld5(rhs, base, sink);
+            let d = Self::ld5(dcoef, i * NC, sink);
+            let e = Self::ld5(ecoef, i * NC, sink);
+            let mut x: Vec5 = [0.0; NC];
+            for c in 0..NC {
+                x[c] = f[c] - d[c] * xp1[c] - e[c] * xp2[c];
+            }
+            Self::st5(u, base, &x, sink);
+            if let Some(chk) = save.as_deref_mut() {
+                chk.x.push(x[0]);
+            }
+            xp2 = xp1;
+            xp1 = x;
+        }
+        if let Some(chk) = save {
+            chk.x.reverse();
+        }
+    }
+}
+
+impl Workload for Sp {
+    fn name(&self) -> &'static str {
+        "SP"
+    }
+
+    fn run(&mut self, sink: &mut dyn TraceSink) {
+        let n = self.params.n;
+        let mut check = LineCheck {
+            a: vec![],
+            b: vec![],
+            c: vec![],
+            d: vec![],
+            e: vec![],
+            f: vec![],
+            x: vec![],
+        };
+        for step in 0..self.params.steps {
+            for i in 0..n {
+                for j in 0..n {
+                    let base = Self::cell(n, i, j, 0);
+                    let save = (step == 0 && i == 1 && j == 1).then_some(&mut check);
+                    Self::solve_line(
+                        &mut self.u,
+                        &mut self.rhs,
+                        &mut self.dcoef,
+                        &mut self.ecoef,
+                        n,
+                        |t| base + t * NC,
+                        sink,
+                        save,
+                    );
+                }
+            }
+            for i in 0..n {
+                for k in 0..n {
+                    let base = Self::cell(n, i, 0, k);
+                    Self::solve_line(
+                        &mut self.u,
+                        &mut self.rhs,
+                        &mut self.dcoef,
+                        &mut self.ecoef,
+                        n,
+                        |t| base + t * n * NC,
+                        sink,
+                        None,
+                    );
+                }
+            }
+            for j in 0..n {
+                for k in 0..n {
+                    let base = Self::cell(n, 0, j, k);
+                    Self::solve_line(
+                        &mut self.u,
+                        &mut self.rhs,
+                        &mut self.dcoef,
+                        &mut self.ecoef,
+                        n,
+                        |t| base + t * n * n * NC,
+                        sink,
+                        None,
+                    );
+                }
+            }
+        }
+        sink.flush();
+        self.check = Some(check);
+        self.ran = true;
+    }
+
+    fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        if !self.ran {
+            return Err("SP has not run".into());
+        }
+        let chk = self.check.as_ref().unwrap();
+        let n = self.params.n;
+        if chk.x.len() != n {
+            return Err(format!(
+                "verification line has {} solutions, expected {n}",
+                chk.x.len()
+            ));
+        }
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            let mut lhs = chk.c[i] * chk.x[i];
+            if i >= 2 {
+                lhs += chk.a[i] * chk.x[i - 2];
+            }
+            if i >= 1 {
+                lhs += chk.b[i] * chk.x[i - 1];
+            }
+            if i + 1 < n {
+                lhs += chk.d[i] * chk.x[i + 1];
+            }
+            if i + 2 < n {
+                lhs += chk.e[i] * chk.x[i + 2];
+            }
+            worst = worst.max((lhs - chk.f[i]).abs());
+        }
+        if worst > 1e-8 {
+            return Err(format!("pentadiagonal residual too large: {worst}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_trace::sinks::CountingSink;
+
+    #[test]
+    fn runs_and_verifies_small() {
+        let mut sp = Sp::new(SpParams { n: 10, steps: 1 });
+        let mut sink = CountingSink::new();
+        sp.run(&mut sink);
+        sp.verify().unwrap();
+        assert!(sink.loads > 1000);
+        assert!(sink.stores > 1000);
+    }
+
+    #[test]
+    fn verify_before_run_errors() {
+        assert!(Sp::new(SpParams { n: 8, steps: 1 }).verify().is_err());
+    }
+
+    #[test]
+    fn multiple_steps_verify_too() {
+        let mut sp = Sp::new(SpParams { n: 8, steps: 2 });
+        let mut sink = CountingSink::new();
+        sp.run(&mut sink);
+        sp.verify().unwrap();
+    }
+
+    #[test]
+    fn stream_volume_scales_with_grid() {
+        let count = |n: usize| {
+            let mut sp = Sp::new(SpParams { n, steps: 1 });
+            let mut sink = CountingSink::new();
+            sp.run(&mut sink);
+            sink.total()
+        };
+        let small = count(8);
+        let big = count(16);
+        // 8× the cells → ≈ 8× the references
+        assert!(
+            big > 6 * small && big < 10 * small,
+            "small={small} big={big}"
+        );
+    }
+}

@@ -1,0 +1,378 @@
+//! Velvet stand-in: de Bruijn graph construction from synthetic reads.
+//!
+//! Velvet assembles genomes by hashing every k-mer of every read into a
+//! table and then walking unique-extension chains to emit contigs. The
+//! memory behaviour is a sequential scan over the read set interleaved
+//! with random-access table probes, followed by a pointer-chase-like
+//! extension walk — reproduced here over a synthetic genome with exact
+//! (error-free) tiled reads so the result is checkable.
+
+use crate::{Class, Workload};
+use memsim_trace::{AddressSpace, SimVec, TraceSink};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Velvet benchmark parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VelvetParams {
+    /// Genome length in bases.
+    pub genome_len: usize,
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Distance between consecutive read start positions (controls
+    /// coverage: ≈ `read_len / step`).
+    pub step: usize,
+    /// k-mer size (≤ 31 so a k-mer packs into 62 bits).
+    pub k: usize,
+    /// log2 of the k-mer table slot count.
+    pub log2_slots: u32,
+    /// Number of contig walks to perform.
+    pub walks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl VelvetParams {
+    /// Preset for a size class.
+    pub fn class(class: Class) -> Self {
+        match class {
+            // ≈ 13 MiB (table 2^20 × 12 B + reads)
+            Class::Mini => Self {
+                genome_len: 400_000,
+                read_len: 100,
+                step: 50,
+                k: 31,
+                log2_slots: 20,
+                walks: 50,
+                seed: 0x7e1,
+            },
+            // ≈ 108 MiB
+            Class::Demo => Self {
+                genome_len: 3_200_000,
+                read_len: 100,
+                step: 40,
+                k: 31,
+                log2_slots: 23,
+                walks: 200,
+                seed: 0x7e1,
+            },
+            // ≈ 430 MiB
+            Class::Large => Self {
+                genome_len: 12_000_000,
+                read_len: 100,
+                step: 40,
+                k: 31,
+                log2_slots: 25,
+                walks: 400,
+                seed: 0x7e1,
+            },
+        }
+    }
+}
+
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x = (x ^ (x >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+/// The Velvet benchmark instance.
+pub struct Velvet {
+    params: VelvetParams,
+    space: AddressSpace,
+    /// Concatenated reads, 1 byte per base (values 0–3).
+    reads: SimVec<u8>,
+    /// k-mer table keys: 0 = empty, otherwise `kmer | OCCUPIED`.
+    keys: SimVec<u64>,
+    /// k-mer occurrence counts, parallel to `keys`.
+    counts: SimVec<u32>,
+    /// The genome, untraced ground truth.
+    genome: Vec<u8>,
+    mask_slots: usize,
+    kmer_mask: u64,
+    distinct: u64,
+    total_walk_len: u64,
+    ran: bool,
+}
+
+/// High bit marks an occupied slot (k-mer 0 is valid).
+const OCCUPIED: u64 = 1 << 63;
+
+impl Velvet {
+    /// Generate genome + reads and allocate the table (untraced).
+    pub fn new(params: VelvetParams) -> Self {
+        assert!(params.k <= 31 && params.k >= 8);
+        assert!(params.read_len > params.k);
+        assert!(
+            params.step <= params.read_len - params.k + 1,
+            "reads must overlap by at least k-1"
+        );
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let genome: Vec<u8> = (0..params.genome_len)
+            .map(|_| rng.random_range(0..4u8))
+            .collect();
+
+        // tile exact reads across the genome
+        let mut read_bytes = Vec::new();
+        let mut pos = 0;
+        while pos + params.read_len <= params.genome_len {
+            read_bytes.extend_from_slice(&genome[pos..pos + params.read_len]);
+            pos += params.step;
+        }
+
+        let slots = 1usize << params.log2_slots;
+        let mut space = AddressSpace::new();
+        let reads = SimVec::from_vec(&mut space, "reads", read_bytes);
+        let keys = SimVec::<u64>::zeroed(&mut space, "kmer.keys", slots);
+        let counts = SimVec::<u32>::zeroed(&mut space, "kmer.counts", slots);
+
+        Self {
+            params,
+            space,
+            reads,
+            keys,
+            counts,
+            genome,
+            mask_slots: slots - 1,
+            kmer_mask: (1u64 << (2 * params.k)) - 1,
+            distinct: 0,
+            total_walk_len: 0,
+            ran: false,
+        }
+    }
+
+    /// Traced insert-or-increment of a k-mer; returns true if new.
+    fn upsert(&mut self, kmer: u64, sink: &mut dyn TraceSink) -> bool {
+        let tagged = kmer | OCCUPIED;
+        let mut slot = mix(kmer) as usize & self.mask_slots;
+        loop {
+            let cur = self.keys.ld(slot, sink);
+            if cur == 0 {
+                self.keys.st(slot, tagged, sink);
+                self.counts.st(slot, 1, sink);
+                return true;
+            }
+            if cur == tagged {
+                self.counts.update(slot, |c| c + 1, sink);
+                return false;
+            }
+            slot = (slot + 1) & self.mask_slots;
+        }
+    }
+
+    /// Traced membership probe.
+    fn lookup(&self, kmer: u64, sink: &mut dyn TraceSink) -> bool {
+        let tagged = kmer | OCCUPIED;
+        let mut slot = mix(kmer) as usize & self.mask_slots;
+        loop {
+            let cur = self.keys.ld(slot, sink);
+            if cur == 0 {
+                return false;
+            }
+            if cur == tagged {
+                return true;
+            }
+            slot = (slot + 1) & self.mask_slots;
+        }
+    }
+
+    /// Untraced membership probe for verification.
+    fn lookup_untraced(&self, kmer: u64) -> bool {
+        let tagged = kmer | OCCUPIED;
+        let mut slot = mix(kmer) as usize & self.mask_slots;
+        let keys = self.keys.as_slice();
+        loop {
+            let cur = keys[slot];
+            if cur == 0 {
+                return false;
+            }
+            if cur == tagged {
+                return true;
+            }
+            slot = (slot + 1) & self.mask_slots;
+        }
+    }
+
+    /// k-mer of the genome starting at `pos` (untraced helper).
+    fn genome_kmer(&self, pos: usize) -> u64 {
+        let mut km = 0u64;
+        for &b in &self.genome[pos..pos + self.params.k] {
+            km = (km << 2) | u64::from(b);
+        }
+        km
+    }
+
+    /// Distinct k-mers inserted.
+    pub fn distinct_kmers(&self) -> u64 {
+        self.distinct
+    }
+
+    /// Total bases covered by the contig walks.
+    pub fn total_walk_len(&self) -> u64 {
+        self.total_walk_len
+    }
+}
+
+impl Workload for Velvet {
+    fn name(&self) -> &'static str {
+        "Velvet"
+    }
+
+    fn run(&mut self, sink: &mut dyn TraceSink) {
+        let k = self.params.k;
+        let rl = self.params.read_len;
+        let n_reads = self.reads.len() / rl;
+
+        // phase 1: k-mer extraction and table build
+        for r in 0..n_reads {
+            let base = r * rl;
+            let mut km = 0u64;
+            for i in 0..rl {
+                let b = self.reads.ld(base + i, sink);
+                km = ((km << 2) | u64::from(b)) & self.kmer_mask;
+                if i + 1 >= k {
+                    self.upsert(km, sink);
+                }
+            }
+        }
+        self.distinct = self.keys.as_slice().iter().filter(|&&s| s != 0).count() as u64;
+
+        // phase 2: contig walks — follow unique extensions through the table
+        let mut rng = SmallRng::seed_from_u64(self.params.seed ^ 0xbeef);
+        let max_steps = 4 * self.params.genome_len / self.params.walks.max(1) + 64;
+        for _ in 0..self.params.walks {
+            let start = rng.random_range(0..self.genome.len() - k);
+            let mut km = self.genome_kmer(start);
+            let mut len = k as u64;
+            for _ in 0..max_steps {
+                // try the four possible extensions
+                let mut next = None;
+                let mut branches = 0;
+                for b in 0..4u64 {
+                    let cand = ((km << 2) | b) & self.kmer_mask;
+                    if self.lookup(cand, sink) {
+                        branches += 1;
+                        next = Some(cand);
+                    }
+                }
+                if branches != 1 {
+                    break; // dead end or ambiguous branch: contig ends
+                }
+                km = next.unwrap();
+                len += 1;
+            }
+            self.total_walk_len += len;
+        }
+        sink.flush();
+        self.ran = true;
+    }
+
+    fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        if !self.ran {
+            return Err("Velvet has not run".into());
+        }
+        // ground truth: distinct k-mers of the genome actually covered by reads
+        let k = self.params.k;
+        let mut truth = std::collections::HashSet::new();
+        let mut pos = 0;
+        while pos + self.params.read_len <= self.params.genome_len {
+            for i in pos..pos + self.params.read_len - k + 1 {
+                truth.insert(self.genome_kmer(i));
+            }
+            pos += self.params.step;
+        }
+        if self.distinct != truth.len() as u64 {
+            return Err(format!(
+                "table holds {} distinct k-mers, reads contain {}",
+                self.distinct,
+                truth.len()
+            ));
+        }
+        // sampled membership: covered genome k-mers present, random absent
+        let mut rng = SmallRng::seed_from_u64(self.params.seed ^ 0xfeed);
+        for _ in 0..2000 {
+            let p = rng.random_range(0..self.params.genome_len - self.params.read_len);
+            if !self.lookup_untraced(self.genome_kmer(p)) {
+                return Err(format!("covered genome k-mer at {p} missing from table"));
+            }
+        }
+        for _ in 0..2000 {
+            let km = rng.random::<u64>() & self.kmer_mask;
+            if !truth.contains(&km) && self.lookup_untraced(km) {
+                return Err("random absent k-mer found in table".into());
+            }
+        }
+        if self.total_walk_len < (self.params.walks as u64) * k as u64 {
+            return Err("contig walks shorter than k each".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_trace::sinks::CountingSink;
+
+    fn tiny() -> VelvetParams {
+        VelvetParams {
+            genome_len: 20_000,
+            read_len: 100,
+            step: 50,
+            k: 21,
+            log2_slots: 16,
+            walks: 10,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn builds_walks_verifies() {
+        let mut v = Velvet::new(tiny());
+        let mut sink = CountingSink::new();
+        v.run(&mut sink);
+        v.verify().unwrap();
+        assert!(v.distinct_kmers() > 15_000);
+        assert!(v.total_walk_len() > 10 * 21);
+    }
+
+    #[test]
+    fn verify_before_run_errors() {
+        assert!(Velvet::new(tiny()).verify().is_err());
+    }
+
+    #[test]
+    fn contig_walks_extend_beyond_k() {
+        // with exact overlapping reads the de Bruijn chain is mostly
+        // unambiguous, so walks should extend well past a single k-mer
+        let mut v = Velvet::new(tiny());
+        let mut sink = CountingSink::new();
+        v.run(&mut sink);
+        let avg = v.total_walk_len() as f64 / 10.0;
+        assert!(avg > 2.0 * 21.0, "average contig walk {avg} too short");
+    }
+
+    #[test]
+    fn overlapping_reads_cover_all_genome_kmers() {
+        let p = tiny();
+        let v = {
+            let mut v = Velvet::new(p);
+            let mut sink = CountingSink::new();
+            v.run(&mut sink);
+            v
+        };
+        // step ≤ read_len - k + 1 ⇒ every genome k-mer in the tiled range
+        // appears in some read; spot-check the first thousand positions
+        for pos in 0..1000 {
+            assert!(
+                v.lookup_untraced(v.genome_kmer(pos)),
+                "k-mer at {pos} missing"
+            );
+        }
+    }
+}

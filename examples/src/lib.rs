@@ -1,0 +1,50 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each file under `examples/` is a standalone binary:
+//!
+//! ```text
+//! cargo run --release -p memsim-examples --example quickstart
+//! cargo run --release -p memsim-examples --example capacity_planning
+//! cargo run --release -p memsim-examples --example nvm_shootout
+//! cargo run --release -p memsim-examples --example hybrid_partitioning
+//! cargo run --release -p memsim-examples --example wear_leveling
+//! ```
+
+/// Format a byte count in human units.
+pub fn human_bytes(b: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = b as f64;
+    if b >= KIB * KIB * KIB {
+        format!("{:.1} GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.1} MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.1} KiB", b / KIB)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+/// Format a ratio as a signed percentage ("-12.3%" = 12.3% savings).
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(3 << 20), "3.0 MiB");
+        assert_eq!(human_bytes(5 << 30), "5.0 GiB");
+    }
+
+    #[test]
+    fn pct_signs() {
+        assert_eq!(pct(1.05), "+5.0%");
+        assert_eq!(pct(0.79), "-21.0%");
+    }
+}

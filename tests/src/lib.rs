@@ -1,0 +1,17 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use memsim_core::Scale;
+
+/// The scale every integration test runs at (smallest footprints).
+pub fn test_scale() -> Scale {
+    Scale::mini()
+}
+
+/// A fast two-workload subset exercising both a regular (CG) and an
+/// irregular (Hash) access pattern.
+pub fn fast_workloads() -> [memsim_workloads::WorkloadKind; 2] {
+    [
+        memsim_workloads::WorkloadKind::Cg,
+        memsim_workloads::WorkloadKind::Hash,
+    ]
+}

@@ -1,0 +1,115 @@
+//! Cross-validation of the cache simulator against an independent oracle:
+//! the exact stack-distance analysis in `memsim-trace::reuse`.
+//!
+//! For any address stream, a fully associative LRU cache of capacity `C`
+//! blocks hits exactly the references whose LRU stack distance is `< C`.
+//! The analyzer and the simulator share no code on their hot paths, so
+//! agreement on real workload streams pins both.
+
+use memsim_cache::{Cache, CacheConfig, CountingMemory, Hierarchy};
+use memsim_trace::{ReuseDistance, TraceEvent, TraceSink};
+use memsim_workloads::{Cg, CgParams, Hash, HashParams, Workload};
+
+/// Feed one stream into both the simulator and the analyzer.
+struct Both {
+    sim: Hierarchy<CountingMemory>,
+    oracle: ReuseDistance,
+}
+
+impl TraceSink for Both {
+    fn access(&mut self, ev: TraceEvent) {
+        self.sim.access(ev);
+        self.oracle.access(ev);
+    }
+
+    fn flush(&mut self) {
+        self.sim.flush();
+    }
+}
+
+fn validate(workload: &mut dyn Workload, block_bytes: u32, capacity_blocks: u64) {
+    let cache = Cache::new(CacheConfig::fully_associative(
+        "FA",
+        capacity_blocks * u64::from(block_bytes),
+        block_bytes,
+    ));
+    let mut both = Both {
+        sim: Hierarchy::new(vec![cache], CountingMemory::default()),
+        oracle: ReuseDistance::new(u64::from(block_bytes)),
+    };
+    workload.run(&mut both);
+    let simulated_hits = both.sim.levels()[0].stats().hits();
+    let predicted_hits = both.oracle.predicted_lru_hits(capacity_blocks);
+    assert_eq!(
+        simulated_hits,
+        predicted_hits,
+        "{}: simulator and stack-distance oracle disagree at C={capacity_blocks}×{block_bytes}B",
+        workload.name()
+    );
+    // both saw the same reference count
+    assert_eq!(both.sim.total_refs(), both.oracle.total_refs());
+}
+
+#[test]
+fn cg_agrees_with_stack_distance_oracle_at_line_granularity() {
+    let mut cg = Cg::new(CgParams {
+        n: 4000,
+        offdiag_per_row: 5,
+        iterations: 2,
+        seed: 7,
+    });
+    validate(&mut cg, 64, 256);
+}
+
+#[test]
+fn cg_agrees_at_page_granularity() {
+    let mut cg = Cg::new(CgParams {
+        n: 4000,
+        offdiag_per_row: 5,
+        iterations: 2,
+        seed: 7,
+    });
+    validate(&mut cg, 4096, 64);
+}
+
+#[test]
+fn hash_agrees_with_stack_distance_oracle() {
+    let mut h = Hash::new(HashParams {
+        log2_slots: 14,
+        load_factor: 0.5,
+        lookups: 20_000,
+        seed: 3,
+    });
+    validate(&mut h, 64, 128);
+}
+
+/// The analyzer's miss-ratio curve brackets the set-associative cache:
+/// a real 8-way cache cannot beat fully associative LRU by much, and
+/// cannot be worse than a cache 8× smaller (loose sanity envelope).
+#[test]
+fn miss_curve_brackets_set_associative_cache() {
+    let mut cg = Cg::new(CgParams {
+        n: 4000,
+        offdiag_per_row: 5,
+        iterations: 2,
+        seed: 7,
+    });
+    let capacity_blocks = 512u64;
+    let cache = Cache::new(CacheConfig::new("L", capacity_blocks * 64, 64, 8));
+    let mut both = Both {
+        sim: Hierarchy::new(vec![cache], CountingMemory::default()),
+        oracle: ReuseDistance::new(64),
+    };
+    cg.run(&mut both);
+    let sim_hits = both.sim.levels()[0].stats().hits();
+    let fa_same = both.oracle.predicted_lru_hits(capacity_blocks);
+    let fa_eighth = both.oracle.predicted_lru_hits(capacity_blocks / 8);
+    assert!(
+        sim_hits <= fa_same + fa_same / 20,
+        "8-way ({sim_hits}) cannot beat fully associative ({fa_same}) by >5%"
+    );
+    assert!(
+        sim_hits >= fa_eighth,
+        "8-way ({sim_hits}) cannot be worse than a 1/8-capacity FA cache ({fa_eighth})"
+    );
+}

@@ -1,0 +1,120 @@
+//! Calibration checks: streams with *known* locality structure must
+//! produce analytically predictable hierarchy behaviour.
+
+use memsim_cache::{Cache, CacheConfig, CountingMemory, Hierarchy};
+use memsim_workloads::{Pattern, Synthetic, SyntheticParams, Workload};
+
+fn hierarchy(l4_capacity: u64, page: u32) -> Hierarchy<CountingMemory> {
+    let caches = vec![
+        Cache::new(CacheConfig::new("L1", 32 << 10, 64, 8)),
+        Cache::new(CacheConfig::new("L2", 128 << 10, 64, 8)),
+        Cache::new(CacheConfig::new("L3", 320 << 10, 64, 20)),
+        Cache::new(CacheConfig::new("L4", l4_capacity, page, 16).with_sectors(64)),
+    ];
+    Hierarchy::new(caches, CountingMemory::default())
+}
+
+/// A sequential read sweep misses each page exactly once: memory loads ==
+/// touched bytes / page size (footprint exceeds every cache).
+#[test]
+fn sequential_sweep_misses_once_per_page() {
+    let elements = 1 << 21; // 16 MiB buffer
+    let mut w = Synthetic::new(SyntheticParams {
+        pattern: Pattern::Sequential,
+        elements,
+        accesses: elements, // one full pass
+        store_fraction: 0.0,
+        seed: 1,
+    });
+    let mut h = hierarchy(2 << 20, 1024);
+    w.run(&mut h);
+    h.drain();
+    w.verify().unwrap();
+    let expected_pages = (elements as u64 * 8) / 1024;
+    assert_eq!(h.memory().loads, expected_pages);
+    assert_eq!(h.memory().stores, 0, "read-only sweep writes nothing back");
+}
+
+/// A uniform random stream over footprint F with an L4 of capacity C has
+/// an L4 hit rate near C/F once warm (within a generous tolerance).
+#[test]
+fn uniform_random_hit_rate_tracks_capacity_ratio() {
+    let elements = 1 << 21; // 16 MiB buffer
+    let l4 = 4 << 20; // 4 MiB cache → expected hit ratio ≈ 0.25
+    let mut w = Synthetic::new(SyntheticParams {
+        pattern: Pattern::UniformRandom,
+        elements,
+        accesses: 3 << 20,
+        store_fraction: 0.0,
+        seed: 2,
+    });
+    let mut h = hierarchy(l4, 64); // 64 B pages: no spatial prefetch effect
+    w.run(&mut h);
+    h.drain();
+    let l4_stats = h.levels()[3].stats();
+    let hit = l4_stats.hit_rate();
+    assert!(
+        (0.15..0.35).contains(&hit),
+        "uniform random hit rate {hit} should sit near capacity ratio 0.25"
+    );
+}
+
+/// A pointer chase gains nothing from larger pages: memory loads stay
+/// ~one per access when the working set exceeds every cache, regardless
+/// of page size — while the sequential sweep's memory loads shrink
+/// linearly with page size. This is the mechanism behind the paper's
+/// page-size sensitivity results.
+#[test]
+fn page_size_helps_streams_not_pointer_chases() {
+    let run = |pattern: Pattern, page: u32| {
+        let elements = 1 << 21;
+        let mut w = Synthetic::new(SyntheticParams {
+            pattern,
+            elements,
+            accesses: 1 << 20,
+            store_fraction: 0.0,
+            seed: 3,
+        });
+        let mut h = hierarchy(1 << 20, page);
+        w.run(&mut h);
+        h.drain();
+        h.memory().loads
+    };
+    let seq_small = run(Pattern::Sequential, 64);
+    let seq_big = run(Pattern::Sequential, 2048);
+    assert!(
+        (seq_small as f64 / seq_big as f64) > 20.0,
+        "2 KiB pages must cut a sequential stream's memory fetches ~32x: {seq_small} vs {seq_big}"
+    );
+    let chase_small = run(Pattern::PointerChase, 64);
+    let chase_big = run(Pattern::PointerChase, 2048);
+    assert!(
+        (chase_small as f64 / chase_big as f64) < 2.0,
+        "pointer chase must not benefit much from big pages: {chase_small} vs {chase_big}"
+    );
+}
+
+/// Zipf skew turns capacity into hit rate much faster than uniform
+/// access: with the same cache, the Zipf stream must hit more.
+#[test]
+fn zipf_hits_more_than_uniform() {
+    let run = |pattern: Pattern| {
+        let mut w = Synthetic::new(SyntheticParams {
+            pattern,
+            elements: 1 << 21,
+            accesses: 2 << 20,
+            store_fraction: 0.0,
+            seed: 4,
+        });
+        let mut h = hierarchy(1 << 20, 64);
+        w.run(&mut h);
+        h.drain();
+        h.levels()[3].stats().hit_rate()
+    };
+    let zipf = run(Pattern::Zipf(1.1));
+    let uniform = run(Pattern::UniformRandom);
+    assert!(
+        zipf > uniform + 0.1,
+        "zipf {zipf} should clearly beat uniform {uniform}"
+    );
+}
