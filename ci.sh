@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Offline lint gate: formatting + clippy with warnings denied.
+# Mirrors what CI runs; everything resolves from the vendored deps, so no
+# network access is needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "ci.sh: all checks passed"

@@ -16,11 +16,18 @@ use memsim_workloads::WorkloadKind;
 use std::hint::black_box;
 
 /// Recost one NMM evaluation with a bandwidth cap on the memory level.
-fn recost(result: &memsim_core::EvalResult, scale: &memsim_core::Scale, gbps: Option<f64>) -> Metrics {
+fn recost(
+    result: &memsim_core::EvalResult,
+    scale: &memsim_core::Scale,
+    gbps: Option<f64>,
+) -> Metrics {
     let design = result.design;
     let mut costs = design.costing(scale, &result.run);
     if let (Some(bw), Some(mem)) = (gbps, costs.last_mut()) {
-        *mem = LevelCost { gb_per_s: Some(bw), ..mem.clone() };
+        *mem = LevelCost {
+            gb_per_s: Some(bw),
+            ..mem.clone()
+        };
     }
     let stats = result.run.all_levels();
     let pairs: Vec<_> = stats.into_iter().zip(costs.iter()).collect();
@@ -31,12 +38,27 @@ fn bench(c: &mut Criterion) {
     let scale = bench_scale();
     let cache = SimCache::new();
     println!("\n========== ablation: NVM interface bandwidth (NMM + PCM) ==========");
-    for (cfg_name, kind) in [("N3", WorkloadKind::Hash), ("N6", WorkloadKind::Hash), ("N3", WorkloadKind::Cg)] {
+    for (cfg_name, kind) in [
+        ("N3", WorkloadKind::Hash),
+        ("N6", WorkloadKind::Hash),
+        ("N3", WorkloadKind::Cg),
+    ] {
         let config = n_by_name(cfg_name).unwrap();
-        let design = Design::Nmm { nvm: Technology::Pcm, config };
+        let design = Design::Nmm {
+            nvm: Technology::Pcm,
+            config,
+        };
         let r = evaluate_cached(kind, &scale, &design, &cache);
-        println!("\n{} @ {} ({} B pages):", kind.name(), cfg_name, config.page_bytes);
-        println!("{:>14} {:>12} {:>14}", "bandwidth", "time (ms)", "vs unlimited");
+        println!(
+            "\n{} @ {} ({} B pages):",
+            kind.name(),
+            cfg_name,
+            config.page_bytes
+        );
+        println!(
+            "{:>14} {:>12} {:>14}",
+            "bandwidth", "time (ms)", "vs unlimited"
+        );
         let unlimited = recost(&r, &scale, None);
         for bw in [3.2, 6.4, 12.8, 25.6] {
             let m = recost(&r, &scale, Some(bw));
@@ -47,7 +69,12 @@ fn bench(c: &mut Criterion) {
                 m.time_s / unlimited.time_s
             );
         }
-        println!("{:>14} {:>12.3} {:>14}", "unlimited", unlimited.time_s * 1e3, "1.00x");
+        println!(
+            "{:>14} {:>12.3} {:>14}",
+            "unlimited",
+            unlimited.time_s * 1e3,
+            "1.00x"
+        );
     }
     println!("(large pages amplify the cap: every miss moves a whole page)");
     println!("====================================================================\n");
@@ -56,7 +83,10 @@ fn bench(c: &mut Criterion) {
     let r = evaluate_cached(
         WorkloadKind::Cg,
         &scale,
-        &Design::Nmm { nvm: Technology::Pcm, config },
+        &Design::Nmm {
+            nvm: Technology::Pcm,
+            config,
+        },
         &cache,
     );
     c.bench_function("ablation_bandwidth/recost", |b| {

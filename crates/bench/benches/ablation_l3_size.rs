@@ -35,7 +35,7 @@ fn run_l3(scale: &memsim_core::Scale, kind: WorkloadKind, l3_bytes: u64) -> Poin
 
     // self-consistent costing: the varied L3 uses the analytical model and
     // represents a paper-scale array (capacity × divisor)
-    let costs = vec![
+    let costs = [
         LevelCost::from_tech("L1", &sram_cache_params(1), scale.l1_bytes),
         LevelCost::from_tech("L2", &sram_cache_params(2), scale.l2_bytes),
         LevelCost::from_tech(
@@ -51,14 +51,18 @@ fn run_l3(scale: &memsim_core::Scale, kind: WorkloadKind, l3_bytes: u64) -> Poin
     ];
     let refs = h.total_refs();
     let l3_hit = h.levels()[2].stats().hit_rate();
-    let mut stats: Vec<_> = h.levels().iter().map(|c| c.stats().clone()).collect();
+    let mut stats: Vec<_> = h.levels().iter().map(|c| c.stats()).collect();
     let mut mem = h.memory().stats().clone();
     mem.name = "DRAM".into();
     stats.push(mem);
     let pairs: Vec<_> = stats.iter().zip(costs.iter()).collect();
     let m = Metrics::compute(&pairs, refs);
     let _ = breakdown(&pairs);
-    Point { amat_ns: m.amat_ns, energy_mj: m.energy_j() * 1e3, l3_hit }
+    Point {
+        amat_ns: m.amat_ns,
+        energy_mj: m.energy_j() * 1e3,
+        l3_hit,
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -66,7 +70,10 @@ fn bench(c: &mut Criterion) {
     println!("\n========== ablation: L3 size with CACTI-lite co-varying parameters ==========");
     for kind in [WorkloadKind::Cg, WorkloadKind::Hash] {
         println!("\n{} (baseline hierarchy, DRAM main memory):", kind.name());
-        println!("{:>10} {:>10} {:>12} {:>10}", "L3", "AMAT (ns)", "energy (mJ)", "L3 hit%");
+        println!(
+            "{:>10} {:>10} {:>12} {:>10}",
+            "L3", "AMAT (ns)", "energy (mJ)", "L3 hit%"
+        );
         for shift in 0..5 {
             let l3 = (scale.l3_bytes / 4) << shift; // ¼× … 4× the scale's L3
             let p = run_l3(&scale, kind, l3);

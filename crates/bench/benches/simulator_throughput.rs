@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use memsim_bench::bench_scale;
 use memsim_cache::{Cache, CacheConfig, CountingMemory, Hierarchy};
-use memsim_trace::{TraceEvent, TraceSink};
+use memsim_trace::{ChunkBuffer, TraceEvent, TraceSink};
 use memsim_workloads::WorkloadKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -83,6 +83,25 @@ fn bench(c: &mut Criterion) {
                     TraceEvent::load(addr, 8)
                 };
                 h.access(ev);
+            }
+            black_box(h.total_refs())
+        })
+    });
+    // the streaming sweep again, but emitted the way workloads do it:
+    // buffered into fixed chunks and delivered through `&mut dyn TraceSink`
+    // — one virtual `access_chunk` call per chunk instead of one per event
+    g.bench_function("chunked_stream", |b| {
+        let mut h = full_hierarchy(&scale);
+        let mut pos = 0u64;
+        b.iter(|| {
+            {
+                let sink: &mut dyn TraceSink = &mut h;
+                let mut buf = ChunkBuffer::new(sink);
+                for _ in 0..N {
+                    buf.access(TraceEvent::load(pos % (256 << 20), 8));
+                    pos += 8;
+                }
+                buf.drain();
             }
             black_box(h.total_refs())
         })

@@ -5,8 +5,8 @@ use crate::policy::PolicyState;
 use crate::stats::LevelStats;
 use memsim_trace::AccessKind;
 
-const FLAG_VALID: u8 = 0b01;
-const FLAG_DIRTY: u8 = 0b10;
+const FLAG_VALID: u64 = 0b01;
+const FLAG_DIRTY: u64 = 0b10;
 
 /// Outcome of a demand access (load or store).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +38,22 @@ pub enum WritebackOutcome {
     },
 }
 
+/// Live counters on the per-reference path. Totals that are pure sums
+/// (`loads = load_hits + load_misses`, likewise `stores`) are derived when
+/// [`Cache::stats`] materializes a [`LevelStats`], so each request pays for
+/// one hit-or-miss counter and one byte counter instead of three.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    load_hits: u64,
+    load_misses: u64,
+    store_hits: u64,
+    store_misses: u64,
+    writebacks_out: u64,
+    fills: u64,
+    bytes_loaded: u64,
+    bytes_stored: u64,
+}
+
 /// A simulated cache level. Holds tags and line state only (no data — the
 /// simulator tracks movement, not contents).
 #[derive(Debug, Clone)]
@@ -46,13 +62,16 @@ pub struct Cache {
     sets: usize,
     ways: usize,
     block_shift: u32,
+    /// `log2(sets)`, precomputed so the per-access path never recomputes it.
+    set_shift: u32,
     set_mask: u64,
-    /// `sets × ways` tags (block number >> set bits).
-    tags: Vec<u64>,
-    /// `sets × ways` VALID/DIRTY flags.
-    flags: Vec<u8>,
+    /// `sets × ways` packed line words: `tag << 2 | DIRTY | VALID`. One
+    /// probe is a single load + compare, and a set's ways are contiguous.
+    lines: Vec<u64>,
+    /// Per-set most-recently-hit/installed way, probed before the scan.
+    mru: Vec<u32>,
     policy: PolicyState,
-    stats: LevelStats,
+    counters: Counters,
     /// Per-line dirty-sector bitmasks (empty when unsectored).
     sector_masks: Vec<u64>,
     sector_bytes: u32,
@@ -69,15 +88,24 @@ impl Cache {
         let sets = cfg.sets() as usize;
         let ways = cfg.resolved_ways() as usize;
         let sector_bytes = cfg.sector_bytes.unwrap_or(cfg.block_bytes);
+        let block_shift = cfg.block_bytes.trailing_zeros();
+        let set_shift = sets.trailing_zeros();
+        // Tags live in the top 62 bits of a line word; the two bits shifted
+        // out are address bits the block and set fields must cover.
+        assert!(
+            block_shift + set_shift >= 2,
+            "cache must span at least 4 bytes across block × sets"
+        );
         Self {
             sets,
             ways,
-            block_shift: cfg.block_bytes.trailing_zeros(),
+            block_shift,
+            set_shift,
             set_mask: sets as u64 - 1,
-            tags: vec![0; sets * ways],
-            flags: vec![0; sets * ways],
+            lines: vec![0; sets * ways],
+            mru: vec![0; sets],
             policy: PolicyState::new(cfg.policy, sets, ways),
-            stats: LevelStats::new(&cfg.name),
+            counters: Counters::default(),
             sector_masks: if cfg.sector_bytes.is_some() {
                 vec![0; sets * ways]
             } else {
@@ -101,9 +129,38 @@ impl Cache {
         self.cfg.block_bytes
     }
 
-    /// Statistics collected so far.
-    pub fn stats(&self) -> &LevelStats {
-        &self.stats
+    /// Statistics collected so far, materialized from the live counters
+    /// (request totals are the sums of their hit and miss counts).
+    pub fn stats(&self) -> LevelStats {
+        let c = &self.counters;
+        LevelStats {
+            name: self.cfg.name.clone(),
+            loads: c.load_hits + c.load_misses,
+            stores: c.store_hits + c.store_misses,
+            load_hits: c.load_hits,
+            load_misses: c.load_misses,
+            store_hits: c.store_hits,
+            store_misses: c.store_misses,
+            writebacks_out: c.writebacks_out,
+            fills: c.fills,
+            bytes_loaded: c.bytes_loaded,
+            bytes_stored: c.bytes_stored,
+        }
+    }
+
+    /// Total requests that have arrived at this level. The hierarchy derives
+    /// its demand-reference count from L1's, so the per-event path does not
+    /// maintain a separate one.
+    #[inline]
+    pub(crate) fn demand_refs(&self) -> u64 {
+        let c = &self.counters;
+        c.load_hits + c.load_misses + c.store_hits + c.store_misses
+    }
+
+    /// Total bytes moved by requests at this level.
+    #[inline]
+    pub(crate) fn demand_bytes(&self) -> u64 {
+        self.counters.bytes_loaded + self.counters.bytes_stored
     }
 
     /// Align an address down to this cache's block base.
@@ -116,22 +173,68 @@ impl Cache {
     fn locate(&self, addr: u64) -> (usize, u64) {
         let block = addr >> self.block_shift;
         let set = (block & self.set_mask) as usize;
-        let tag = block >> self.sets.trailing_zeros();
+        let tag = block >> self.set_shift;
         (set, tag)
     }
 
+    /// MRU-guided way search: probe the way *after* the set's most-recent
+    /// one first — the hierarchy's line buffer already short-circuits
+    /// same-block repeats, so by the time `find` runs the block has
+    /// changed, and LRU fills and revisits a set's ways in ring order
+    /// (sweeping and cyclic streams hit the ring successor). Then probe the
+    /// MRU way itself, then fall back to a linear scan of the set's
+    /// contiguous line words.
     #[inline]
     fn find(&self, set: usize, tag: u64) -> Option<usize> {
         let base = set * self.ways;
-        (0..self.ways)
-            .find(|&w| self.flags[base + w] & FLAG_VALID != 0 && self.tags[base + w] == tag)
+        let want = (tag << 2) | FLAG_VALID;
+        let set_lines = &self.lines[base..base + self.ways];
+        // `mru` is always in range; `min` (a cmov) lets the compiler drop
+        // the probes' bounds checks.
+        let mru = (self.mru[set] as usize).min(self.ways - 1);
+        let next = if mru + 1 == self.ways { 0 } else { mru + 1 };
+        if set_lines[next] & !FLAG_DIRTY == want {
+            return Some(next);
+        }
+        if set_lines[mru] & !FLAG_DIRTY == want {
+            return Some(mru);
+        }
+        set_lines.iter().position(|&w| w & !FLAG_DIRTY == want)
+    }
+
+    /// [`Cache::find`] fused with the victim pre-scan: on a miss, also
+    /// report the first invalid way (if any) from the same pass over the
+    /// set's line words, so the fill does not rescan them.
+    #[inline]
+    fn probe(&self, set: usize, tag: u64) -> Result<usize, Option<usize>> {
+        let base = set * self.ways;
+        let want = (tag << 2) | FLAG_VALID;
+        let set_lines = &self.lines[base..base + self.ways];
+        let mru = (self.mru[set] as usize).min(self.ways - 1);
+        let next = if mru + 1 == self.ways { 0 } else { mru + 1 };
+        if set_lines[next] & !FLAG_DIRTY == want {
+            return Ok(next);
+        }
+        if set_lines[mru] & !FLAG_DIRTY == want {
+            return Ok(mru);
+        }
+        let mut invalid = None;
+        for (w, &word) in set_lines.iter().enumerate() {
+            if word & !FLAG_DIRTY == want {
+                return Ok(w);
+            }
+            if word & FLAG_VALID == 0 && invalid.is_none() {
+                invalid = Some(w);
+            }
+        }
+        Err(invalid)
     }
 
     /// Reconstruct the base address of the block held in `(set, way)`.
     #[inline]
     fn resident_addr(&self, set: usize, way: usize) -> u64 {
-        let tag = self.tags[set * self.ways + way];
-        ((tag << self.sets.trailing_zeros()) | set as u64) << self.block_shift
+        let tag = self.lines[set * self.ways + way] >> 2;
+        ((tag << self.set_shift) | set as u64) << self.block_shift
     }
 
     /// Pick a victim way: an invalid way if one exists, else ask the policy.
@@ -139,7 +242,7 @@ impl Cache {
     fn pick_victim(&mut self, set: usize) -> usize {
         let base = set * self.ways;
         for w in 0..self.ways {
-            if self.flags[base + w] & FLAG_VALID == 0 {
+            if self.lines[base + w] & FLAG_VALID == 0 {
                 return w;
             }
         }
@@ -182,7 +285,7 @@ impl Cache {
     #[inline]
     fn install(&mut self, set: usize, way: usize, tag: u64, dirty: bool) -> Option<u64> {
         let idx = set * self.ways + way;
-        let evicted = (self.flags[idx] & (FLAG_VALID | FLAG_DIRTY) == (FLAG_VALID | FLAG_DIRTY))
+        let evicted = (self.lines[idx] & (FLAG_VALID | FLAG_DIRTY) == (FLAG_VALID | FLAG_DIRTY))
             .then(|| self.resident_addr(set, way));
         if evicted.is_some() && self.sectored() {
             self.pending_eviction_mask = self.sector_masks[idx];
@@ -190,10 +293,10 @@ impl Cache {
         if self.sectored() {
             self.sector_masks[idx] = 0;
         }
-        self.tags[idx] = tag;
-        self.flags[idx] = FLAG_VALID | if dirty { FLAG_DIRTY } else { 0 };
+        self.lines[idx] = (tag << 2) | FLAG_VALID | if dirty { FLAG_DIRTY } else { 0 };
+        self.mru[set] = way as u32;
         self.policy.on_install(set, way);
-        self.stats.fills += 1;
+        self.counters.fills += 1;
         evicted
     }
 
@@ -215,60 +318,98 @@ impl Cache {
 
     /// Process a demand access. Counts the request (with `req_bytes` moved)
     /// and returns what the caller must do next.
+    #[inline]
     pub fn access(&mut self, addr: u64, kind: AccessKind, req_bytes: u32) -> AccessOutcome {
         let (set, tag) = self.locate(addr);
-        match kind {
-            AccessKind::Load => {
-                self.stats.loads += 1;
-                self.stats.bytes_loaded += u64::from(req_bytes);
-            }
-            AccessKind::Store => {
-                self.stats.stores += 1;
-                self.stats.bytes_stored += u64::from(req_bytes);
-            }
-        }
-        if let Some(way) = self.find(set, tag) {
+        let probed = self.probe(set, tag);
+        if let Ok(way) = probed {
             match kind {
-                AccessKind::Load => self.stats.load_hits += 1,
+                AccessKind::Load => {
+                    self.counters.load_hits += 1;
+                    self.counters.bytes_loaded += u64::from(req_bytes);
+                }
                 AccessKind::Store => {
-                    self.stats.store_hits += 1;
-                    self.flags[set * self.ways + way] |= FLAG_DIRTY;
+                    self.counters.store_hits += 1;
+                    self.counters.bytes_stored += u64::from(req_bytes);
+                    self.lines[set * self.ways + way] |= FLAG_DIRTY;
                     self.mark_dirty_sectors(set * self.ways + way, addr, req_bytes);
                 }
             }
+            self.mru[set] = way as u32;
             self.policy.on_hit(set, way);
             AccessOutcome::Hit
         } else {
             match kind {
-                AccessKind::Load => self.stats.load_misses += 1,
-                AccessKind::Store => self.stats.store_misses += 1,
+                AccessKind::Load => {
+                    self.counters.load_misses += 1;
+                    self.counters.bytes_loaded += u64::from(req_bytes);
+                }
+                AccessKind::Store => {
+                    self.counters.store_misses += 1;
+                    self.counters.bytes_stored += u64::from(req_bytes);
+                }
             }
-            let way = self.pick_victim(set);
+            let way = match probed {
+                Err(Some(invalid)) => invalid,
+                _ => self.policy.victim(set),
+            };
             let evicted_dirty = self.install(set, way, tag, kind.is_store());
             if kind.is_store() {
                 self.mark_dirty_sectors(set * self.ways + way, addr, req_bytes);
             }
             if evicted_dirty.is_some() {
-                self.stats.writebacks_out += 1;
+                self.counters.writebacks_out += 1;
             }
             AccessOutcome::Miss { evicted_dirty }
         }
+    }
+
+    /// Fast re-hit for the hierarchy's L1 line buffer: the caller guarantees
+    /// the block containing `addr` is resident at this set's MRU way (true
+    /// after any demand access to the block, since both the hit and the fill
+    /// paths leave it most-recent). Performs exactly the hit-path bookkeeping
+    /// of [`Cache::access`] — stats, dirty flag, sector mask, and policy
+    /// promotion (an SRRIP re-hit must still reset the RRPV) — without the
+    /// tag search.
+    #[inline]
+    pub(crate) fn rehit(&mut self, addr: u64, kind: AccessKind, req_bytes: u32) {
+        let set = ((addr >> self.block_shift) & self.set_mask) as usize;
+        let way = self.mru[set] as usize;
+        let idx = set * self.ways + way;
+        debug_assert_eq!(
+            self.lines[idx] | FLAG_DIRTY,
+            (addr >> (self.block_shift + self.set_shift) << 2) | FLAG_VALID | FLAG_DIRTY,
+            "line buffer pointed at a non-resident block"
+        );
+        match kind {
+            AccessKind::Load => {
+                self.counters.load_hits += 1;
+                self.counters.bytes_loaded += u64::from(req_bytes);
+            }
+            AccessKind::Store => {
+                self.counters.store_hits += 1;
+                self.counters.bytes_stored += u64::from(req_bytes);
+                self.lines[idx] |= FLAG_DIRTY;
+                self.mark_dirty_sectors(idx, addr, req_bytes);
+            }
+        }
+        self.policy.on_hit(set, way);
     }
 
     /// Process a writeback arriving from the level above. Counts a store of
     /// `req_bytes` and applies the configured [`WritebackMissPolicy`].
     pub fn writeback(&mut self, addr: u64, req_bytes: u32) -> WritebackOutcome {
         let (set, tag) = self.locate(addr);
-        self.stats.stores += 1;
-        self.stats.bytes_stored += u64::from(req_bytes);
+        self.counters.bytes_stored += u64::from(req_bytes);
         if let Some(way) = self.find(set, tag) {
-            self.stats.store_hits += 1;
-            self.flags[set * self.ways + way] |= FLAG_DIRTY;
+            self.counters.store_hits += 1;
+            self.lines[set * self.ways + way] |= FLAG_DIRTY;
             self.mark_dirty_sectors(set * self.ways + way, addr, req_bytes);
+            self.mru[set] = way as u32;
             self.policy.on_hit(set, way);
             return WritebackOutcome::HitMarkedDirty;
         }
-        self.stats.store_misses += 1;
+        self.counters.store_misses += 1;
         match self.cfg.writeback_miss {
             WritebackMissPolicy::Bypass => WritebackOutcome::MissBypass,
             WritebackMissPolicy::Allocate => {
@@ -276,7 +417,7 @@ impl Cache {
                 let evicted_dirty = self.install(set, way, tag, true);
                 self.mark_dirty_sectors(set * self.ways + way, addr, req_bytes);
                 if evicted_dirty.is_some() {
-                    self.stats.writebacks_out += 1;
+                    self.counters.writebacks_out += 1;
                 }
                 WritebackOutcome::MissAllocated { evicted_dirty }
             }
@@ -293,13 +434,13 @@ impl Cache {
     pub fn is_dirty(&self, addr: u64) -> bool {
         let (set, tag) = self.locate(addr);
         self.find(set, tag)
-            .map(|w| self.flags[set * self.ways + w] & FLAG_DIRTY != 0)
+            .map(|w| self.lines[set * self.ways + w] & FLAG_DIRTY != 0)
             .unwrap_or(false)
     }
 
     /// Number of valid blocks currently resident.
     pub fn resident_blocks(&self) -> u64 {
-        self.flags.iter().filter(|f| **f & FLAG_VALID != 0).count() as u64
+        self.lines.iter().filter(|w| **w & FLAG_VALID != 0).count() as u64
     }
 
     /// Invalidate every line, returning `(addr, bytes)` writeback
@@ -312,7 +453,7 @@ impl Cache {
         for set in 0..self.sets {
             for way in 0..self.ways {
                 let idx = set * self.ways + way;
-                if self.flags[idx] & (FLAG_VALID | FLAG_DIRTY) == (FLAG_VALID | FLAG_DIRTY) {
+                if self.lines[idx] & (FLAG_VALID | FLAG_DIRTY) == (FLAG_VALID | FLAG_DIRTY) {
                     let base = self.resident_addr(set, way);
                     let bytes = if self.sectored() {
                         self.sector_masks[idx].count_ones() * self.sector_bytes
@@ -320,12 +461,12 @@ impl Cache {
                         self.cfg.block_bytes
                     };
                     dirty.push((base, bytes));
-                    self.stats.writebacks_out += 1;
+                    self.counters.writebacks_out += 1;
                 }
                 if self.sectored() {
                     self.sector_masks[idx] = 0;
                 }
-                self.flags[idx] = 0;
+                self.lines[idx] = 0;
             }
         }
         dirty
@@ -652,6 +793,47 @@ mod tests {
                 }
             }
             prop_assert!(c.stats().is_consistent());
+        }
+
+        /// A sectored cache whose sector size equals its block size is
+        /// observably identical to an unsectored one: same access and
+        /// writeback outcomes, same eviction payloads, same final stats
+        /// and drain transactions, on arbitrary mixed sequences.
+        #[test]
+        fn whole_block_sectors_match_unsectored(
+            ops in proptest::collection::vec(
+                (0u64..8192, proptest::bool::ANY, proptest::bool::ANY),
+                1..400,
+            ),
+        ) {
+            let base = CacheConfig::new("eq", 8 * 2 * 64, 64, 2);
+            let mut plain = Cache::new(base.clone());
+            let mut sect = Cache::new(base.with_sectors(64));
+            for (addr, is_store, is_writeback) in ops {
+                if is_writeback {
+                    // writebacks arrive block-aligned (they carry victim
+                    // block addresses), per the hierarchy's contract
+                    let a = plain.writeback(addr & !63, 64);
+                    let b = sect.writeback(addr & !63, 64);
+                    prop_assert_eq!(a, b);
+                } else {
+                    // demand references are pre-split to a single block
+                    let addr = addr & !7;
+                    let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+                    let a = plain.access(addr, kind, 8);
+                    let b = sect.access(addr, kind, 8);
+                    prop_assert_eq!(a, b);
+                    if matches!(a, AccessOutcome::Miss { evicted_dirty: Some(_) }) {
+                        prop_assert_eq!(
+                            plain.take_eviction_bytes(),
+                            sect.take_eviction_bytes(),
+                            "dirty whole-block eviction payloads must agree"
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(plain.stats(), sect.stats());
+            prop_assert_eq!(plain.drain_dirty(), sect.drain_dirty());
         }
 
         /// Occupancy never exceeds capacity, for any policy.

@@ -59,23 +59,46 @@ impl MainMemory for CountingMemory {
 pub struct Hierarchy<M: MainMemory> {
     levels: Vec<Cache>,
     memory: M,
-    /// Demand references consumed (after line splitting).
-    refs: u64,
-    /// Size in bytes of a CPU demand reference as seen by L1 (the element
-    /// size of each event is used; this tracks the total for reporting).
-    demand_bytes: u64,
+    /// Demand references consumed (after line splitting) when there are no
+    /// cache levels. With caches present the count is derived from L1's
+    /// counters instead — every post-split reference reaches L1 exactly
+    /// once and writebacks never do — so the per-event path carries no
+    /// separate counter.
+    uncached_refs: u64,
+    /// Demand bytes moved when there are no cache levels (see above).
+    uncached_bytes: u64,
     drained: bool,
+    /// `log2` of L1's block size, for shift/mask splitting (0 if no caches).
+    l1_shift: u32,
+    /// L1 block id of the most recent demand reference — the one-entry
+    /// "line buffer". A consecutive reference to the same block is a
+    /// guaranteed L1 hit at the set's MRU way and skips the walk entirely.
+    lb_block: u64,
+    /// Line buffer armed: at least one cache with a block of ≥ 2 bytes
+    /// (so a real block id can never equal the `u64::MAX` sentinel).
+    lb_enabled: bool,
 }
 
 impl<M: MainMemory> Hierarchy<M> {
     /// Build a hierarchy; `levels[0]` is closest to the CPU.
     pub fn new(levels: Vec<Cache>, memory: M) -> Self {
+        let l1_shift = levels
+            .first()
+            .map(|c| c.block_bytes().trailing_zeros())
+            .unwrap_or(0);
+        let lb_enabled = levels
+            .first()
+            .map(|c| c.block_bytes() >= 2)
+            .unwrap_or(false);
         Self {
             levels,
             memory,
-            refs: 0,
-            demand_bytes: 0,
+            uncached_refs: 0,
+            uncached_bytes: 0,
             drained: false,
+            l1_shift,
+            lb_block: u64::MAX,
+            lb_enabled,
         }
     }
 
@@ -97,7 +120,18 @@ impl<M: MainMemory> Hierarchy<M> {
     /// Total demand references consumed (the paper's "Total Number of
     /// References" denominator in Equation 2).
     pub fn total_refs(&self) -> u64 {
-        self.refs
+        match self.levels.first() {
+            Some(l1) => l1.demand_refs(),
+            None => self.uncached_refs,
+        }
+    }
+
+    /// Total demand bytes moved by the CPU reference stream.
+    pub fn demand_bytes(&self) -> u64 {
+        match self.levels.first() {
+            Some(l1) => l1.demand_bytes(),
+            None => self.uncached_bytes,
+        }
     }
 
     /// Consume the hierarchy, returning the terminal memory.
@@ -106,35 +140,46 @@ impl<M: MainMemory> Hierarchy<M> {
     }
 
     /// Process one demand reference already confined to a single L1 block.
+    /// Callers guarantee at least one cache level. The L1 lookup is
+    /// inlined; the multi-level miss walk lives out of line so the
+    /// (dominant) hit path stays small.
+    #[inline]
     fn demand(&mut self, addr: u64, kind: AccessKind, size: u32) {
-        self.refs += 1;
-        self.demand_bytes += u64::from(size);
+        if let AccessOutcome::Miss { evicted_dirty } = self.levels[0].access(addr, kind, size) {
+            self.demand_miss(addr, evicted_dirty);
+        }
+    }
+
+    /// Demand path of a cache-less hierarchy: forward straight to memory.
+    fn demand_uncached(&mut self, addr: u64, kind: AccessKind, size: u32) {
+        self.uncached_refs += 1;
+        self.uncached_bytes += u64::from(size);
+        match kind {
+            AccessKind::Load => self.memory.load(addr, size),
+            AccessKind::Store => self.memory.store(addr, size),
+        }
+    }
+
+    /// Continue a demand reference that missed L1: walk down until a hit
+    /// or the terminal memory. Writebacks from evictions are handled after
+    /// the fill, per level; fetches from below are always reads.
+    #[inline(never)]
+    fn demand_miss(&mut self, addr: u64, l1_evicted: Option<u64>) {
         let mut level = 0;
-        let mut req_bytes = size;
-        let mut req_kind = kind;
-        // Walk down until a hit or the terminal memory. Writebacks from
-        // evictions are handled after the fill, per level.
+        let mut evicted_dirty = l1_evicted;
         loop {
+            let block = self.levels[level].block_bytes();
+            if let Some(victim) = evicted_dirty {
+                self.writeback_parts(level, victim);
+            }
+            level += 1;
             if level == self.levels.len() {
-                match req_kind {
-                    AccessKind::Load => self.memory.load(addr, req_bytes),
-                    AccessKind::Store => self.memory.store(addr, req_bytes),
-                }
+                self.memory.load(addr, block);
                 return;
             }
-            let outcome = self.levels[level].access(addr, req_kind, req_bytes);
-            match outcome {
+            match self.levels[level].access(addr, AccessKind::Load, block) {
                 AccessOutcome::Hit => return,
-                AccessOutcome::Miss { evicted_dirty } => {
-                    let block = self.levels[level].block_bytes();
-                    if let Some(victim) = evicted_dirty {
-                        self.writeback_parts(level, victim);
-                    }
-                    // fetch our block from below: always a read
-                    req_kind = AccessKind::Load;
-                    req_bytes = block;
-                    level += 1;
-                }
+                AccessOutcome::Miss { evicted_dirty: e } => evicted_dirty = e,
             }
         }
     }
@@ -165,12 +210,63 @@ impl<M: MainMemory> Hierarchy<M> {
         }
     }
 
+    /// Process one demand event: line-buffer fast path for a repeat of the
+    /// previous L1 block, split-and-walk otherwise.
+    #[inline]
+    fn process_event(&mut self, ev: TraceEvent) {
+        debug_assert!(!self.drained, "stream continued after flush()");
+        if self.levels.is_empty() {
+            self.demand_uncached(ev.addr, ev.kind, ev.size);
+            return;
+        }
+        let shift = self.l1_shift;
+        let first = ev.addr >> shift;
+        let last = ev.end().saturating_sub(1) >> shift;
+        if first == last {
+            if self.lb_enabled && first == self.lb_block {
+                // Consecutive reference to the same L1 block: it is
+                // resident (write-allocate installs on every miss) and
+                // most-recent in its set, so apply the hit bookkeeping
+                // directly without walking the level.
+                self.levels[0].rehit(ev.addr, ev.kind, ev.size);
+                return;
+            }
+            self.demand(ev.addr, ev.kind, ev.size);
+        } else {
+            self.demand_split(ev);
+        }
+        // A size-0 event must not arm the buffer: when it sits at a block
+        // boundary the split loop touches nothing, so `last` (the block
+        // *before* the address) was not necessarily referenced.
+        if ev.size > 0 {
+            self.lb_block = last;
+        }
+    }
+
+    /// Split a reference that straddles an L1 block boundary (rare: the
+    /// instrumented containers align all regions, but synthetic streams
+    /// may not) into per-block demand references.
+    #[cold]
+    fn demand_split(&mut self, ev: TraceEvent) {
+        let block = 1u64 << self.l1_shift;
+        let mask = block - 1;
+        let mut addr = ev.addr;
+        let mut remaining = u64::from(ev.size);
+        while remaining > 0 {
+            let in_block = (block - (addr & mask)).min(remaining);
+            self.demand(addr, ev.kind, in_block as u32);
+            addr += in_block;
+            remaining -= in_block;
+        }
+    }
+
     /// Drain all resident dirty blocks to memory, top-down. Idempotent.
     pub fn drain(&mut self) {
         if self.drained {
             return;
         }
         self.drained = true;
+        self.lb_block = u64::MAX;
         for level in 0..self.levels.len() {
             for (addr, bytes) in self.levels[level].drain_dirty() {
                 self.writeback(level + 1, addr, bytes);
@@ -194,28 +290,13 @@ impl<M: MainMemory> Hierarchy<M> {
 impl<M: MainMemory> TraceSink for Hierarchy<M> {
     #[inline]
     fn access(&mut self, ev: TraceEvent) {
-        debug_assert!(!self.drained, "stream continued after flush()");
-        // Split references that straddle an L1 block boundary (rare: the
-        // instrumented containers align all regions, but synthetic streams
-        // may not).
-        let block = self
-            .levels
-            .first()
-            .map(|c| u64::from(c.block_bytes()))
-            .unwrap_or(u64::MAX);
-        let first = ev.addr / block;
-        let last = (ev.end().saturating_sub(1)) / block;
-        if first == last {
-            self.demand(ev.addr, ev.kind, ev.size);
-        } else {
-            let mut addr = ev.addr;
-            let mut remaining = u64::from(ev.size);
-            while remaining > 0 {
-                let in_block = (block - addr % block).min(remaining);
-                self.demand(addr, ev.kind, in_block as u32);
-                addr += in_block;
-                remaining -= in_block;
-            }
+        self.process_event(ev);
+    }
+
+    /// Batched delivery: one virtual call, then a tight monomorphic loop.
+    fn access_chunk(&mut self, events: &[TraceEvent]) {
+        for &ev in events {
+            self.process_event(ev);
         }
     }
 
@@ -427,6 +508,30 @@ mod property_tests {
                 let _ = drained;
                 prop_assert_eq!(c.resident_blocks(), 0, "{} not fully drained", c.config().name);
             }
+        }
+
+        /// `flush` is idempotent: once the hierarchy has drained, flushing
+        /// again must not move another byte or bump any counter.
+        #[test]
+        fn flush_after_drain_changes_nothing(
+            ops in proptest::collection::vec((0u64..(1 << 14), proptest::bool::ANY), 1..300),
+        ) {
+            let l1 = Cache::new(CacheConfig::new("L1", 4 * 64, 64, 1));
+            let l2 = Cache::new(CacheConfig::new("L2", 16 * 64, 64, 2).with_sectors(64));
+            let mut h = Hierarchy::new(vec![l1, l2], CountingMemory::default());
+            for &(addr, is_store) in &ops {
+                let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+                h.access(TraceEvent { addr: addr & !7, size: 8, kind });
+            }
+            h.flush();
+            let level_stats: Vec<_> = h.levels().iter().map(|c| c.stats()).collect();
+            let memory = *h.memory();
+            let refs = h.total_refs();
+            h.flush();
+            let again: Vec<_> = h.levels().iter().map(|c| c.stats()).collect();
+            prop_assert_eq!(level_stats, again);
+            prop_assert_eq!(memory, *h.memory());
+            prop_assert_eq!(refs, h.total_refs());
         }
     }
 }

@@ -62,11 +62,7 @@ pub fn simulate_epochs(kind: WorkloadKind, scale: &Scale, epoch_requests: u64) -
         .unwrap_or_else(|e| panic!("{} failed self-verification: {e}", workload.name()));
 
     let total_refs = hierarchy.total_refs();
-    let cache_stats: Vec<LevelStats> = hierarchy
-        .levels()
-        .iter()
-        .map(|c| c.stats().clone())
-        .collect();
+    let cache_stats: Vec<LevelStats> = hierarchy.levels().iter().map(|c| c.stats()).collect();
     let profiler = hierarchy.into_memory();
     let epochs = profiler.epochs().to_vec();
     let per_region = profiler.aggregate();

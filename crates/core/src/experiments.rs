@@ -469,13 +469,22 @@ mod tests {
         let cache = SimCache::new();
         let ctx = ExperimentCtx::new(Scale::mini(), &cache).with_workloads(&[WorkloadKind::Cg]);
         let designs = vec![
-            Design::Nmm { nvm: Technology::Pcm, config: n_configs()[0] },
-            Design::Ndm { nvm: Technology::Pcm },
+            Design::Nmm {
+                nvm: Technology::Pcm,
+                config: n_configs()[0],
+            },
+            Design::Ndm {
+                nvm: Technology::Pcm,
+            },
         ];
         let grid = norm_grid(&ctx, &designs);
         assert_eq!(grid.len(), 2);
         for d in &designs {
-            assert!(grid.contains_key(&(WorkloadKind::Cg, d.label())), "{}", d.label());
+            assert!(
+                grid.contains_key(&(WorkloadKind::Cg, d.label())),
+                "{}",
+                d.label()
+            );
         }
     }
 

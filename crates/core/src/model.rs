@@ -335,7 +335,10 @@ mod tests {
         let m0 = Metrics::compute(&[(&s, &lat_only)], 100);
         let m1 = Metrics::compute(&[(&s, &bw)], 100);
         assert!((m0.time_s - 1000.0e-9).abs() < 1e-18);
-        assert!((m1.time_s - 2000.0e-9).abs() < 1e-18, "latency 1000 ns + transfer 1000 ns");
+        assert!(
+            (m1.time_s - 2000.0e-9).abs() < 1e-18,
+            "latency 1000 ns + transfer 1000 ns"
+        );
         // unlimited bandwidth reproduces the paper's model exactly
         let wide = lat_only.clone().with_bandwidth(1e12);
         let m2 = Metrics::compute(&[(&s, &wide)], 100);

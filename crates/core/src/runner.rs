@@ -15,9 +15,8 @@ use memsim_cache::{Cache, CacheConfig, Hierarchy, LevelStats};
 use memsim_memory::{PartitionedMemory, RegionTraffic};
 use memsim_tech::Technology;
 use memsim_workloads::WorkloadKind;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The raw output of one workload × structure simulation.
 #[derive(Debug, Clone)]
@@ -117,11 +116,7 @@ pub fn simulate_structure(kind: WorkloadKind, scale: &Scale, structure: &Structu
         .unwrap_or_else(|e| panic!("{} failed self-verification: {e}", workload.name()));
 
     let total_refs = hierarchy.total_refs();
-    let cache_stats: Vec<LevelStats> = hierarchy
-        .levels()
-        .iter()
-        .map(|c| c.stats().clone())
-        .collect();
+    let cache_stats: Vec<LevelStats> = hierarchy.levels().iter().map(|c| c.stats()).collect();
     let mem_part = hierarchy.into_memory();
     let mut mem = mem_part.dram_stats().clone();
     mem.name = MEM_NAME.to_string();
@@ -139,9 +134,16 @@ pub fn simulate_structure(kind: WorkloadKind, scale: &Scale, structure: &Structu
 }
 
 /// A concurrency-safe memo of structure simulations.
+///
+/// Each key owns a `OnceLock` cell created under the map lock, so concurrent
+/// workers requesting the same key race only for the cell; `get_or_init` then
+/// runs the simulation exactly once while later arrivals block on the cell
+/// instead of re-simulating. Distinct keys still simulate in parallel because
+/// the map lock is never held across a simulation.
 #[derive(Default)]
 pub struct SimCache {
-    map: Mutex<HashMap<(WorkloadKind, Scale, Structure), Arc<RawRun>>>,
+    #[allow(clippy::type_complexity)]
+    map: Mutex<HashMap<(WorkloadKind, Scale, Structure), Arc<OnceLock<Arc<RawRun>>>>>,
 }
 
 impl SimCache {
@@ -153,22 +155,16 @@ impl SimCache {
     /// Fetch or simulate.
     pub fn get(&self, kind: WorkloadKind, scale: &Scale, structure: &Structure) -> Arc<RawRun> {
         let key = (kind, *scale, *structure);
-        if let Some(hit) = self.map.lock().get(&key) {
-            return Arc::clone(hit);
-        }
-        // simulate outside the lock so independent structures can proceed
-        // in parallel; a duplicate race costs one redundant simulation
-        let run = Arc::new(simulate_structure(kind, scale, structure));
-        self.map
-            .lock()
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&run))
-            .clone()
+        let cell = {
+            let mut map = self.map.lock().expect("sim cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| Arc::new(simulate_structure(kind, scale, structure))))
     }
 
-    /// Number of memoized runs.
+    /// Number of memoized runs (including any still simulating).
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.map.lock().expect("sim cache poisoned").len()
     }
 
     /// Whether the memo is empty.
@@ -249,25 +245,27 @@ pub fn evaluate_grid(
         })
         .clamp(1, points.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<EvalResult>>> = Mutex::new(vec![None; points.len()]);
-    crossbeam::scope(|s| {
+    // Each point gets its own result slot: workers claim disjoint indices
+    // from the `next` counter, so publishing a result is a lock-free
+    // single-writer `OnceLock::set` instead of a contended mutex around
+    // the whole vector.
+    let slots: Vec<OnceLock<EvalResult>> = (0..points.len()).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= points.len() {
                     break;
                 }
                 let (kind, design) = points[i];
                 let r = evaluate_cached(kind, scale, &design, cache);
-                results.lock()[i] = Some(r);
+                slots[i].set(r).expect("result slot written twice");
             });
         }
-    })
-    .expect("worker thread panicked");
-    results
-        .into_inner()
+    });
+    slots
         .into_iter()
-        .map(|r| r.expect("missing result"))
+        .map(|slot| slot.into_inner().expect("missing result"))
         .collect()
 }
 

@@ -55,10 +55,18 @@ mod tests {
         // L2 256 KiB and L3 20 MiB: within 20 % of the CACTI-class points
         let l2 = sram_model(256 << 10);
         let l2_fixed = sram_cache_params(2);
-        assert!((l2.read_ns / l2_fixed.read_ns - 1.0).abs() < 0.2, "{}", l2.read_ns);
+        assert!(
+            (l2.read_ns / l2_fixed.read_ns - 1.0).abs() < 0.2,
+            "{}",
+            l2.read_ns
+        );
         let l3 = sram_model(20 << 20);
         let l3_fixed = sram_cache_params(3);
-        assert!((l3.read_ns / l3_fixed.read_ns - 1.0).abs() < 0.2, "{}", l3.read_ns);
+        assert!(
+            (l3.read_ns / l3_fixed.read_ns - 1.0).abs() < 0.2,
+            "{}",
+            l3.read_ns
+        );
         assert!((l3.read_pj_per_bit / l3_fixed.read_pj_per_bit - 1.0).abs() < 0.25);
     }
 
@@ -68,8 +76,14 @@ mod tests {
         for w in caps.windows(2) {
             let small = sram_model(w[0]);
             let big = sram_model(w[1]);
-            assert!(big.read_ns >= small.read_ns, "latency must grow with capacity");
-            assert!(big.read_pj_per_bit >= small.read_pj_per_bit, "energy must grow");
+            assert!(
+                big.read_ns >= small.read_ns,
+                "latency must grow with capacity"
+            );
+            assert!(
+                big.read_pj_per_bit >= small.read_pj_per_bit,
+                "energy must grow"
+            );
             assert!(
                 big.static_mw_per_mib <= small.static_mw_per_mib,
                 "leakage density must not grow"

@@ -75,6 +75,18 @@ pub trait TraceSink {
     /// Consume one memory reference.
     fn access(&mut self, ev: TraceEvent);
 
+    /// Consume a batch of references. Equivalent to calling
+    /// [`TraceSink::access`] on each event in order — and the default does
+    /// exactly that — but a sink with a hot per-event path (the cache
+    /// hierarchy) overrides it to pay one virtual dispatch per batch
+    /// instead of per event. Implementors must preserve per-event
+    /// semantics: same events, same order, no batch-boundary effects.
+    fn access_chunk(&mut self, events: &[TraceEvent]) {
+        for &ev in events {
+            self.access(ev);
+        }
+    }
+
     /// Signal the end of the stream. Sinks that buffer (e.g. sampling
     /// aggregators) finalize here. The default does nothing.
     fn flush(&mut self) {}
@@ -96,6 +108,10 @@ impl TraceSink for Box<dyn TraceSink + '_> {
     #[inline]
     fn access(&mut self, ev: TraceEvent) {
         (**self).access(ev)
+    }
+
+    fn access_chunk(&mut self, events: &[TraceEvent]) {
+        (**self).access_chunk(events)
     }
 
     fn flush(&mut self) {

@@ -48,4 +48,5 @@ pub mod stats;
 pub use containers::{SimMatrix2, SimMatrix3, SimVec};
 pub use event::{AccessKind, FnSink, TraceEvent, TraceSink};
 pub use reuse::ReuseDistance;
+pub use sinks::{ChunkBuffer, CountingSink, CHUNK_EVENTS};
 pub use space::{AddressSpace, Region, RegionId, DEFAULT_BASE_ADDR, REGION_ALIGN};

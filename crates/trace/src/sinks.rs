@@ -17,6 +17,77 @@ pub struct NullSink;
 impl TraceSink for NullSink {
     #[inline]
     fn access(&mut self, _: TraceEvent) {}
+
+    #[inline]
+    fn access_chunk(&mut self, _: &[TraceEvent]) {}
+}
+
+/// Number of events [`ChunkBuffer`] accumulates before delivering a batch.
+pub const CHUNK_EVENTS: usize = 64;
+
+/// Batches events into a small fixed array and delivers them to the wrapped
+/// sink through [`TraceSink::access_chunk`], amortizing virtual dispatch
+/// over `CHUNK_EVENTS` events. Wrap a kernel's output sink in one of these:
+///
+/// ```
+/// # use memsim_trace::{ChunkBuffer, CountingSink, TraceEvent, TraceSink};
+/// # let mut counter = CountingSink::new();
+/// # let sink: &mut dyn TraceSink = &mut counter;
+/// let mut buffered = ChunkBuffer::new(sink);
+/// let sink = &mut buffered;
+/// sink.access(TraceEvent::load(0x40, 8));
+/// sink.flush(); // delivers the partial batch, then flushes the inner sink
+/// ```
+///
+/// `flush` drains the buffer before forwarding, so a kernel's trailing
+/// `sink.flush()` keeps its exact semantics. Events are delivered in order
+/// with no batch-boundary effects — observationally identical to unbuffered
+/// per-event delivery.
+pub struct ChunkBuffer<'a> {
+    inner: &'a mut dyn TraceSink,
+    buf: [TraceEvent; CHUNK_EVENTS],
+    len: usize,
+}
+
+impl<'a> ChunkBuffer<'a> {
+    /// Wrap `inner`, buffering up to [`CHUNK_EVENTS`] events per delivery.
+    pub fn new(inner: &'a mut dyn TraceSink) -> Self {
+        Self {
+            inner,
+            buf: [TraceEvent::load(0, 0); CHUNK_EVENTS],
+            len: 0,
+        }
+    }
+
+    /// Deliver any buffered events now (without flushing the inner sink).
+    pub fn drain(&mut self) {
+        if self.len > 0 {
+            self.inner.access_chunk(&self.buf[..self.len]);
+            self.len = 0;
+        }
+    }
+}
+
+impl TraceSink for ChunkBuffer<'_> {
+    #[inline]
+    fn access(&mut self, ev: TraceEvent) {
+        self.buf[self.len] = ev;
+        self.len += 1;
+        if self.len == CHUNK_EVENTS {
+            self.inner.access_chunk(&self.buf);
+            self.len = 0;
+        }
+    }
+
+    fn access_chunk(&mut self, events: &[TraceEvent]) {
+        self.drain();
+        self.inner.access_chunk(events);
+    }
+
+    fn flush(&mut self) {
+        self.drain();
+        self.inner.flush();
+    }
 }
 
 /// Counts loads, stores, and bytes.
@@ -99,6 +170,11 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
     fn access(&mut self, ev: TraceEvent) {
         self.0.access(ev);
         self.1.access(ev);
+    }
+
+    fn access_chunk(&mut self, events: &[TraceEvent]) {
+        self.0.access_chunk(events);
+        self.1.access_chunk(events);
     }
 
     fn flush(&mut self) {

@@ -10,7 +10,7 @@
 //! prolongation.
 
 use crate::{Class, Workload};
-use memsim_trace::{AddressSpace, SimVec, TraceSink};
+use memsim_trace::{AddressSpace, ChunkBuffer, SimVec, TraceSink};
 
 /// AMG problem parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -302,6 +302,8 @@ impl Workload for Amg {
     }
 
     fn run(&mut self, sink: &mut dyn TraceSink) {
+        let mut sink = ChunkBuffer::new(sink);
+        let sink = &mut sink;
         self.initial_residual = Some(self.residual_norm());
         for _ in 0..self.params.cycles {
             self.vcycle(0, sink);

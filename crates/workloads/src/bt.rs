@@ -13,7 +13,7 @@
 //! which the hierarchy splits into line-sized references.
 
 use crate::{Class, Workload};
-use memsim_trace::{AddressSpace, SimVec, TraceEvent, TraceSink};
+use memsim_trace::{AddressSpace, ChunkBuffer, SimVec, TraceEvent, TraceSink};
 
 /// Components per grid cell (the five CFD variables).
 const NC: usize = 5;
@@ -338,6 +338,8 @@ impl Workload for Bt {
     }
 
     fn run(&mut self, sink: &mut dyn TraceSink) {
+        let mut sink = ChunkBuffer::new(sink);
+        let sink = &mut sink;
         let n = self.params.n;
         let mut check = LineCheck {
             a: vec![],

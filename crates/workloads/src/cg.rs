@@ -7,7 +7,7 @@
 
 use crate::sparse::CsrMatrix;
 use crate::{Class, Workload};
-use memsim_trace::{AddressSpace, SimVec, TraceSink};
+use memsim_trace::{AddressSpace, ChunkBuffer, SimVec, TraceSink};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -152,6 +152,8 @@ impl Workload for Cg {
     }
 
     fn run(&mut self, sink: &mut dyn TraceSink) {
+        let mut sink = ChunkBuffer::new(sink);
+        let sink = &mut sink;
         let n = self.params.n;
         // rho = rᵀr
         let mut rho = 0.0;

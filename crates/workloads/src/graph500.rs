@@ -8,7 +8,7 @@
 //! the canonical memory-latency-bound graph benchmark.
 
 use crate::{Class, Workload};
-use memsim_trace::{AddressSpace, SimVec, TraceSink};
+use memsim_trace::{AddressSpace, ChunkBuffer, SimVec, TraceSink};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -203,6 +203,8 @@ impl Workload for Graph500 {
     }
 
     fn run(&mut self, sink: &mut dyn TraceSink) {
+        let mut sink = ChunkBuffer::new(sink);
+        let sink = &mut sink;
         for r in 0..self.params.roots {
             let root = self.pick_root(u64::from(r));
             self.visited_last = self.bfs(root, sink);

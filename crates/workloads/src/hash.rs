@@ -8,7 +8,7 @@
 //! page-granularity design in the study.
 
 use crate::{Class, Workload};
-use memsim_trace::{AddressSpace, SimVec, TraceSink};
+use memsim_trace::{AddressSpace, ChunkBuffer, SimVec, TraceSink};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -144,6 +144,8 @@ impl Workload for Hash {
     }
 
     fn run(&mut self, sink: &mut dyn TraceSink) {
+        let mut sink = ChunkBuffer::new(sink);
+        let sink = &mut sink;
         // build phase
         for i in 0..self.keys.len() {
             let k = self.keys.ld(i, sink);

@@ -8,7 +8,7 @@
 //! ones — the memory pattern the benchmark exists to exercise.
 
 use crate::{Class, Workload};
-use memsim_trace::{AddressSpace, SimVec, TraceEvent, TraceSink};
+use memsim_trace::{AddressSpace, ChunkBuffer, SimVec, TraceEvent, TraceSink};
 
 const NC: usize = 5;
 type Vec5 = [f64; NC];
@@ -188,6 +188,8 @@ impl Workload for Lu {
     }
 
     fn run(&mut self, sink: &mut dyn TraceSink) {
+        let mut sink = ChunkBuffer::new(sink);
+        let sink = &mut sink;
         let n = self.params.n;
         self.initial_residual = Some(self.residual_norm());
         for _ in 0..self.params.iterations {

@@ -7,7 +7,7 @@
 //! which is exactly the scratch traffic the real code generates.
 
 use crate::{Class, Workload};
-use memsim_trace::{AddressSpace, SimVec, TraceEvent, TraceSink};
+use memsim_trace::{AddressSpace, ChunkBuffer, SimVec, TraceEvent, TraceSink};
 
 /// Components per grid cell.
 const NC: usize = 5;
@@ -225,6 +225,8 @@ impl Workload for Sp {
     }
 
     fn run(&mut self, sink: &mut dyn TraceSink) {
+        let mut sink = ChunkBuffer::new(sink);
+        let sink = &mut sink;
         let n = self.params.n;
         let mut check = LineCheck {
             a: vec![],

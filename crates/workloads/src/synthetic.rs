@@ -8,7 +8,7 @@
 //! as the real benchmarks, with a checksum as the verifiable result.
 
 use crate::{Class, Workload};
-use memsim_trace::{AddressSpace, SimVec, TraceSink};
+use memsim_trace::{AddressSpace, ChunkBuffer, SimVec, TraceSink};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -145,6 +145,8 @@ impl Workload for Synthetic {
     }
 
     fn run(&mut self, sink: &mut dyn TraceSink) {
+        let mut sink = ChunkBuffer::new(sink);
+        let sink = &mut sink;
         let n = self.params.elements;
         let mut rng = SmallRng::seed_from_u64(self.params.seed);
         let mut shadow = 0u64; // untraced recomputation for verification

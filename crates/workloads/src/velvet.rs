@@ -8,7 +8,7 @@
 //! (error-free) tiled reads so the result is checkable.
 
 use crate::{Class, Workload};
-use memsim_trace::{AddressSpace, SimVec, TraceSink};
+use memsim_trace::{AddressSpace, ChunkBuffer, SimVec, TraceSink};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -220,6 +220,8 @@ impl Workload for Velvet {
     }
 
     fn run(&mut self, sink: &mut dyn TraceSink) {
+        let mut sink = ChunkBuffer::new(sink);
+        let sink = &mut sink;
         let k = self.params.k;
         let rl = self.params.read_len;
         let n_reads = self.reads.len() / rl;

@@ -1,0 +1,278 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! subset of the criterion API its benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with [`Throughput::Elements`], `Bencher::iter`,
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Behaviour matches the real harness where it matters to cargo:
+//! `cargo bench` passes `--bench` and gets a full warm-up + sampled
+//! measurement (median ns/iter plus derived throughput); `cargo test`
+//! runs each benchmark body exactly once as a smoke test. Any bare
+//! (non-`-`-prefixed) CLI argument acts as a substring filter on
+//! benchmark ids. Each measurement is also emitted as a single
+//! `BENCHLINE {...}` JSON object on stdout so scripts can scrape results
+//! without parsing the human-readable report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How many units of work one `iter` call represents, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// `iter` processes this many logical elements (reported as elem/s).
+    Elements(u64),
+    /// `iter` processes this many bytes (reported as B/s).
+    Bytes(u64),
+}
+
+/// The measurement harness: holds CLI mode/filter and sampling parameters.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    bench_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut bench_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--bench" {
+                bench_mode = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Self {
+            sample_size: 100,
+            bench_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a single benchmark under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, None, &mut f);
+        self
+    }
+
+    /// Open a named group; benchmark ids become `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            bench_mode: self.bench_mode,
+            sample_size: self.sample_size,
+            median_ns: None,
+        };
+        f(&mut bencher);
+        if !self.bench_mode {
+            println!("test {id} ... ok (smoke)");
+            return;
+        }
+        let median_ns = bencher
+            .median_ns
+            .expect("benchmark closure never called Bencher::iter");
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => (n as f64 * 1e9 / median_ns, "elem/s"),
+            Throughput::Bytes(n) => (n as f64 * 1e9 / median_ns, "B/s"),
+        });
+        match rate {
+            Some((per_sec, unit)) => {
+                println!("{id:<40} time: {median_ns:>12.1} ns/iter  thrpt: {per_sec:>14.0} {unit}");
+                println!(
+                    "BENCHLINE {{\"id\":\"{id}\",\"median_ns\":{median_ns:.1},\"rate\":{per_sec:.1},\"rate_unit\":\"{unit}\"}}"
+                );
+            }
+            None => {
+                println!("{id:<40} time: {median_ns:>12.1} ns/iter");
+                println!("BENCHLINE {{\"id\":\"{id}\",\"median_ns\":{median_ns:.1}}}");
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work per `iter` call for every following benchmark.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        let throughput = self.throughput;
+        self.criterion.run_one(&id, throughput, &mut f);
+        self
+    }
+
+    /// Close the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`. In test mode runs it once; in bench mode warms up,
+    /// then times `sample_size` samples and records the median ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.bench_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm-up: double the iteration count until a batch takes >= 25 ms,
+        // which also gives the per-iteration estimate for sample sizing.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(25) || iters >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 2;
+        };
+        // Aim for ~10 ms per sample, at least one iteration.
+        let iters_per_sample = ((10_000_000.0 / per_iter_ns).ceil() as u64).max(1);
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters_per_sample {
+                    std::hint::black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters_per_sample as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+        let mid = samples.len() / 2;
+        let median = if samples.len().is_multiple_of(2) {
+            (samples[mid - 1] + samples[mid]) / 2.0
+        } else {
+            samples[mid]
+        };
+        self.median_ns = Some(median);
+    }
+}
+
+/// Bundle benchmark functions into a named runner, optionally with a
+/// configured [`Criterion`] (mirrors the real crate's two macro forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the given [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_criterion() -> Criterion {
+        // Constructed directly so unit tests are independent of CLI args.
+        Criterion {
+            sample_size: 3,
+            bench_mode: true,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn measures_and_records_median() {
+        let mut c = test_criterion();
+        let mut ran = false;
+        c.bench_function("unit/spin", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_prefixes_and_filter() {
+        let mut c = Criterion {
+            filter: Some("never_matches".into()),
+            ..test_criterion()
+        };
+        let mut ran = false;
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("case", |_| ran = true);
+        g.finish();
+        assert!(!ran, "filtered benchmark must not run");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion {
+            bench_mode: false,
+            ..test_criterion()
+        };
+        let mut count = 0u32;
+        c.bench_function("unit/once", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+}
