@@ -11,4 +11,14 @@ cargo fmt --all --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== tracefile round-trip property tests"
+cargo test -p memsim-tracefile --offline -q
+
+echo "== record -> replay smoke (CLI)"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release --offline -q -p memsim-cli -- record hash -o "$smoke_dir/hash.trace" --scale mini
+cargo run --release --offline -q -p memsim-cli -- trace-info "$smoke_dir/hash.trace"
+cargo run --release --offline -q -p memsim-cli -- replay "$smoke_dir/hash.trace" --designs baseline,nmm
+
 echo "ci.sh: all checks passed"

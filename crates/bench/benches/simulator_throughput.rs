@@ -7,6 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use memsim_bench::bench_scale;
 use memsim_cache::{Cache, CacheConfig, CountingMemory, Hierarchy};
 use memsim_trace::{ChunkBuffer, TraceEvent, TraceSink};
+use memsim_tracefile::{replay_into, TraceHeader, TraceReader, TraceWriter};
 use memsim_workloads::WorkloadKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -118,6 +119,40 @@ fn bench(c: &mut Criterion) {
             black_box(h.total_refs())
         })
     });
+
+    // the same CG stream replayed from a recorded trace instead of
+    // regenerated: record once into memory, then measure pure decode and
+    // decode+simulate — the per-point cost when a config sweep replays one
+    // recording instead of re-running the workload at every grid point
+    let (trace_buf, trace_events) = {
+        let mut w = WorkloadKind::Cg.build(memsim_workloads::Class::Mini);
+        let header = TraceHeader::for_space(w.space(), "CG", "mini");
+        let mut writer = TraceWriter::new(Vec::new(), &header).expect("in-memory writer");
+        w.run(&mut writer);
+        writer.finish().expect("finish in-memory trace")
+    };
+    let mut g = c.benchmark_group("replay_throughput");
+    g.throughput(Throughput::Elements(trace_events));
+    g.bench_function("decode_only", |b| {
+        b.iter(|| {
+            let mut r = TraceReader::new(trace_buf.as_slice()).unwrap();
+            let mut n = 0u64;
+            while let Some(chunk) = r.next_chunk().unwrap() {
+                n += chunk.len() as u64;
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("cg_replay_into_hierarchy", |b| {
+        b.iter(|| {
+            let mut h = full_hierarchy(&scale);
+            let mut r = TraceReader::new(trace_buf.as_slice()).unwrap();
+            let n = replay_into(&mut r, &mut h).unwrap();
+            h.drain();
+            black_box(n)
+        })
+    });
+    g.finish();
 }
 
 criterion_group! {

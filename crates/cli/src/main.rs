@@ -6,6 +6,9 @@
 //! memsim figure fig1|fig2|...|fig10 [--scale S] [--workloads W] [--csv] [--threads N]
 //! memsim run --workload cg --design nmm --nvm pcm --config N5 [--scale S]
 //! memsim heatmap latency|energy [--scale S] [--workloads W] [--csv]
+//! memsim record cg -o cg.trace [--scale S]
+//! memsim replay cg.trace [--designs D,D] [--threads N]
+//! memsim trace-info cg.trace
 //! ```
 
 use memsim_core::configs::{eh_by_name, eh_configs, n_by_name, n_configs};
@@ -13,7 +16,9 @@ use memsim_core::experiments::{self, ExperimentCtx, Metric};
 use memsim_core::report::{heatmap_to_csv, heatmap_to_markdown};
 use memsim_core::{evaluate, Design, Scale, SimCache};
 use memsim_tech::Technology;
-use memsim_workloads::WorkloadKind;
+use memsim_tracefile::TraceReader;
+use memsim_workloads::{Class, WorkloadKind};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -30,7 +35,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [options]\n  memsim analyze --workload <W> [options]\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --csv                     CSV instead of markdown"
+    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [options]\n  memsim analyze --workload <W> [options]\n  memsim record <W> -o FILE [options]      record W's address stream to a trace file\n  memsim replay <FILE> [--designs a,b,c]   evaluate designs against a recorded trace\n  memsim trace-info <FILE>                 inspect a trace file\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --csv                     CSV instead of markdown"
 }
 
 /// Minimal flag parser: `--key value` pairs after the positional arguments.
@@ -59,6 +64,13 @@ impl Opts {
                     flags.push((key.to_string(), val.clone()));
                     i += 2;
                 }
+            } else if a == "-o" {
+                // short alias for --out
+                let val = args.get(i + 1).ok_or("-o needs a value")?;
+                flags.push(("out".to_string(), val.clone()));
+                i += 2;
+            } else if a.starts_with('-') && a.len() > 1 {
+                return Err(format!("unknown flag '{a}'"));
             } else {
                 positional.push(a.clone());
                 i += 1;
@@ -69,6 +81,22 @@ impl Opts {
             flags,
             switches,
         })
+    }
+
+    /// Reject flags and switches a command does not understand — a typo'd
+    /// option must fail loudly, not silently fall back to its default.
+    fn expect(&self, cmd: &str, flags: &[&str], switches: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.flags {
+            if !flags.contains(&k.as_str()) {
+                return Err(format!("unknown flag '--{k}' for '{cmd}'"));
+            }
+        }
+        for s in &self.switches {
+            if !switches.contains(&s.as_str()) {
+                return Err(format!("unknown flag '--{s}' for '{cmd}'"));
+            }
+        }
+        Ok(())
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -117,13 +145,50 @@ fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("no command given")?.clone();
     let opts = Opts::parse(&args[1..])?;
     match cmd.as_str() {
-        "list" => cmd_list(),
-        "table" => cmd_table(&opts),
-        "figure" => cmd_figure(&opts),
-        "run" => cmd_run(&opts),
-        "heatmap" => cmd_heatmap(&opts),
-        "reproduce" => cmd_reproduce(&opts),
-        "analyze" => cmd_analyze(&opts),
+        "list" => {
+            opts.expect("list", &[], &[])?;
+            cmd_list()
+        }
+        "table" => {
+            opts.expect("table", &["scale", "workloads", "threads"], &["csv"])?;
+            cmd_table(&opts)
+        }
+        "figure" => {
+            opts.expect("figure", &["scale", "workloads", "threads"], &["csv"])?;
+            cmd_figure(&opts)
+        }
+        "run" => {
+            opts.expect(
+                "run",
+                &["workload", "design", "llc", "nvm", "config", "scale"],
+                &[],
+            )?;
+            cmd_run(&opts)
+        }
+        "heatmap" => {
+            opts.expect("heatmap", &["scale", "workloads", "threads"], &["csv"])?;
+            cmd_heatmap(&opts)
+        }
+        "reproduce" => {
+            opts.expect("reproduce", &["out", "scale", "workloads", "threads"], &[])?;
+            cmd_reproduce(&opts)
+        }
+        "analyze" => {
+            opts.expect("analyze", &["workload", "scale"], &[])?;
+            cmd_analyze(&opts)
+        }
+        "record" => {
+            opts.expect("record", &["out", "scale"], &[])?;
+            cmd_record(&opts)
+        }
+        "replay" => {
+            opts.expect("replay", &["designs", "scale", "threads"], &[])?;
+            cmd_replay(&opts)
+        }
+        "trace-info" => {
+            opts.expect("trace-info", &[], &[])?;
+            cmd_trace_info(&opts)
+        }
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -544,6 +609,208 @@ fn cmd_reproduce(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The scale whose capacities the trace's recorded class corresponds to.
+fn scale_for_class(class: Class) -> Scale {
+    match class {
+        Class::Mini => Scale::mini(),
+        Class::Demo => Scale::demo(),
+        Class::Large => Scale::paper(),
+    }
+}
+
+fn cmd_record(opts: &Opts) -> Result<(), String> {
+    let wname = opts
+        .positional
+        .first()
+        .ok_or("record needs a workload name")?;
+    let kind = WorkloadKind::parse(wname).ok_or_else(|| format!("unknown workload '{wname}'"))?;
+    let out = opts.get("out").ok_or("record needs -o <file>")?;
+    let scale = opts.scale()?;
+    eprintln!(
+        "recording {} at {} scale to {out} ...",
+        kind.name(),
+        scale.class.name()
+    );
+    let s = memsim_core::record_workload(kind, scale.class, Path::new(out))?;
+    println!(
+        "recorded {} events in {} chunks ({:.1} MiB, {:.2} B/event, {:.1} MiB footprint)",
+        s.events,
+        s.chunks,
+        s.file_bytes as f64 / (1 << 20) as f64,
+        s.bytes_per_event(),
+        s.footprint_bytes as f64 / (1 << 20) as f64,
+    );
+    Ok(())
+}
+
+/// The design grid `replay` evaluates by default: one representative per
+/// architecture family, at the configs the paper highlights.
+fn default_replay_designs() -> Vec<(&'static str, Design)> {
+    vec![
+        ("baseline", Design::Baseline),
+        (
+            "4lc",
+            Design::FourLc {
+                llc: Technology::Edram,
+                config: eh_by_name("EH1").expect("EH1 exists"),
+            },
+        ),
+        (
+            "nmm",
+            Design::Nmm {
+                nvm: Technology::Pcm,
+                config: n_by_name("N6").expect("N6 exists"),
+            },
+        ),
+        (
+            "4lcnvm",
+            Design::FourLcNvm {
+                llc: Technology::Edram,
+                nvm: Technology::Pcm,
+                config: eh_by_name("EH1").expect("EH1 exists"),
+            },
+        ),
+        (
+            "ndm",
+            Design::Ndm {
+                nvm: Technology::Pcm,
+            },
+        ),
+    ]
+}
+
+fn cmd_replay(opts: &Opts) -> Result<(), String> {
+    let file = opts.positional.first().ok_or("replay needs a trace file")?;
+    let path = Path::new(file);
+
+    // scale defaults to the class the trace was recorded at
+    let header = TraceReader::open(path)
+        .map_err(|e| format!("{file}: {e}"))?
+        .header()
+        .clone();
+    let scale = match opts.get("scale") {
+        Some(_) => opts.scale()?,
+        None => scale_for_class(
+            Class::parse(&header.class)
+                .ok_or_else(|| format!("trace records unknown class '{}'", header.class))?,
+        ),
+    };
+    if scale.class.name() != header.class {
+        eprintln!(
+            "warning: trace was recorded at {} scale but is replayed against {} capacities",
+            header.class,
+            scale.class.name()
+        );
+    }
+
+    let all = default_replay_designs();
+    let designs: Vec<Design> = match opts.get("designs") {
+        None => all.iter().map(|(_, d)| *d).collect(),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                all.iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, d)| *d)
+                    .ok_or_else(|| format!("unknown design '{name}'"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    // Baseline anchors normalization even when not requested explicitly.
+    let mut grid = vec![Design::Baseline];
+    grid.extend(designs.iter().filter(|d| **d != Design::Baseline).copied());
+
+    let results = memsim_core::replay_grid(path, &grid, &scale, opts.threads()?)?;
+    let base = &results[0];
+
+    println!(
+        "# replay of {} ({} events, {} scale)",
+        header.workload, base.run.total_refs, header.class
+    );
+    println!();
+    println!(
+        "| design | AMAT (ns) | time (ms) | energy (mJ) | EDP (µJ·s) | time× | energy× | EDP× |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+    for (d, r) in grid.iter().zip(&results) {
+        if !designs.contains(d) {
+            continue;
+        }
+        let norm = r.metrics.normalized_to(&base.metrics);
+        println!(
+            "| {} | {:.3} | {:.3} | {:.3} | {:.4} | {:.4} | {:.4} | {:.4} |",
+            d.label(),
+            r.metrics.amat_ns,
+            r.metrics.time_s * 1e3,
+            r.metrics.energy_j() * 1e3,
+            r.metrics.edp() * 1e6,
+            norm.time,
+            norm.energy,
+            norm.edp,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace_info(opts: &Opts) -> Result<(), String> {
+    let file = opts
+        .positional
+        .first()
+        .ok_or("trace-info needs a trace file")?;
+    let path = Path::new(file);
+    let mut reader = TraceReader::open(path).map_err(|e| format!("{file}: {e}"))?;
+    let header = reader.header().clone();
+    let s = memsim_tracefile::summarize(&mut reader).map_err(|e| format!("{file}: {e}"))?;
+    let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+
+    println!("# {file}");
+    println!();
+    println!(
+        "workload: {} ({} scale)",
+        if header.workload.is_empty() {
+            "(anonymous)"
+        } else {
+            &header.workload
+        },
+        if header.class.is_empty() {
+            "unknown"
+        } else {
+            &header.class
+        },
+    );
+    println!("format: v{}", header.version);
+    println!(
+        "events: {} ({} loads, {} stores; store fraction {:.1}%)",
+        s.events,
+        s.loads,
+        s.stores,
+        100.0 * s.store_fraction()
+    );
+    println!(
+        "encoding: {} chunks, {:.2} payload B/event, {:.2} file B/event",
+        s.chunks,
+        s.payload_bytes_per_event(),
+        if s.events == 0 {
+            0.0
+        } else {
+            file_bytes as f64 / s.events as f64
+        },
+    );
+    println!(
+        "regions: {} ({:.1} MiB registered footprint, base {:#x})",
+        header.regions.len(),
+        header.footprint_bytes() as f64 / (1 << 20) as f64,
+        header.base_addr,
+    );
+    if s.events > 0 {
+        println!(
+            "touched: {} distinct 64 B lines, address span [{:#x}, {:#x}]",
+            s.touched_lines, s.min_addr, s.max_addr
+        );
+    }
+    Ok(())
+}
+
 fn cmd_heatmap(opts: &Opts) -> Result<(), String> {
     let axis = opts
         .positional
@@ -654,6 +921,74 @@ mod tests {
         assert!(run(&args(&["table", "tech"])).is_ok());
         assert!(run(&args(&["table", "eh-configs"])).is_ok());
         assert!(run(&args(&["table", "nmm-configs"])).is_ok());
+    }
+
+    #[test]
+    fn help_lists_every_subcommand() {
+        for cmd in [
+            "list",
+            "table",
+            "figure",
+            "run",
+            "heatmap",
+            "reproduce",
+            "analyze",
+            "record",
+            "replay",
+            "trace-info",
+        ] {
+            assert!(
+                usage().contains(&format!("memsim {cmd}")),
+                "usage() is missing '{cmd}'"
+            );
+        }
+        assert!(run(&args(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_per_command() {
+        assert!(run(&args(&["list", "--csv"])).is_err());
+        assert!(run(&args(&["figure", "fig1", "--bogus", "x"])).is_err());
+        assert!(run(&args(&["run", "--workloads", "cg"])).is_err()); // run takes --workload
+        assert!(run(&args(&["record", "cg", "--csv"])).is_err());
+        assert!(run(&args(&["replay", "x.trace", "--out", "y"])).is_err());
+        assert!(run(&args(&["trace-info", "x.trace", "--scale", "mini"])).is_err());
+        // short flags other than -o don't exist
+        assert!(Opts::parse(&args(&["-x"])).is_err());
+        assert!(Opts::parse(&args(&["-o"])).is_err()); // missing value
+    }
+
+    #[test]
+    fn short_out_flag_is_an_alias() {
+        let o = Opts::parse(&args(&["cg", "-o", "cg.trace"])).unwrap();
+        assert_eq!(o.positional, vec!["cg"]);
+        assert_eq!(o.get("out"), Some("cg.trace"));
+    }
+
+    #[test]
+    fn record_replay_trace_info_argument_errors() {
+        assert!(run(&args(&["record"])).is_err()); // no workload
+        assert!(run(&args(&["record", "nope", "-o", "x.trace"])).is_err());
+        assert!(run(&args(&["record", "cg"])).is_err()); // no -o
+        assert!(run(&args(&["replay"])).is_err());
+        assert!(run(&args(&["replay", "/nonexistent/never.trace"])).is_err());
+        assert!(run(&args(&["trace-info"])).is_err());
+        assert!(run(&args(&["trace-info", "/nonexistent/never.trace"])).is_err());
+    }
+
+    #[test]
+    fn record_then_replay_and_trace_info_succeed() {
+        let dir = std::env::temp_dir().join(format!("memsim-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("hash.trace").display().to_string();
+
+        run(&args(&["record", "hash", "-o", &trace, "--scale", "mini"])).unwrap();
+        run(&args(&["trace-info", &trace])).unwrap();
+        run(&args(&["replay", &trace, "--designs", "baseline,nmm"])).unwrap();
+        // unknown design name in the filter
+        assert!(run(&args(&["replay", &trace, "--designs", "warp"])).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

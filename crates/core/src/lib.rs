@@ -47,11 +47,13 @@ pub mod experiments;
 pub mod heatmap;
 pub mod model;
 pub mod partition;
+pub mod replay;
 pub mod report;
 pub mod runner;
 mod scale;
 
 pub use design::{Design, Structure};
 pub use model::{breakdown, LevelBreakdown, LevelCost, Metrics, NormMetrics};
+pub use replay::{record_workload, replay_grid, replay_structure, RecordSummary};
 pub use runner::{evaluate, simulate_structure, EvalResult, RawRun, SimCache};
 pub use scale::Scale;

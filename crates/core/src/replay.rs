@@ -1,0 +1,241 @@
+//! Record/replay: persist a workload's address stream once, then drive
+//! any number of hierarchy configurations from the file.
+//!
+//! The live path re-generates the stream per structure (`runner`
+//! memoizes, but each distinct structure still pays a full workload
+//! execution — data initialization, kernel arithmetic, verification). The
+//! replay path pays the workload once at record time; after that every
+//! structure in the config grid is a pure trace walk, and the walks shard
+//! across threads with each worker streaming the file independently.
+//! Cache statistics depend only on the address stream and the geometry,
+//! so a replayed run is bit-identical to the live run it was recorded
+//! from (the `record_replay` integration tests pin this).
+
+use crate::design::{Design, Structure};
+use crate::runner::{build_caches, evaluate_run, raw_run_from_hierarchy, EvalResult, RawRun};
+use crate::scale::Scale;
+use memsim_cache::Hierarchy;
+use memsim_memory::PartitionedMemory;
+use memsim_tech::Technology;
+use memsim_tracefile::{replay_into, TraceError, TraceHeader, TraceReader, TraceWriter};
+use memsim_workloads::{Class, WorkloadKind};
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+/// What [`record_workload`] wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordSummary {
+    /// Events recorded.
+    pub events: u64,
+    /// Chunks framed.
+    pub chunks: u64,
+    /// Total file size in bytes (header + chunks + footer).
+    pub file_bytes: u64,
+    /// The workload's registered footprint.
+    pub footprint_bytes: u64,
+}
+
+impl RecordSummary {
+    /// Mean encoded bytes per event over the whole file (0 when empty).
+    pub fn bytes_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.file_bytes as f64 / self.events as f64
+        }
+    }
+}
+
+/// Run `kind` at `class` with a [`TraceWriter`] as its sink, persisting
+/// the complete address stream (plus the region table and provenance) to
+/// `path`. The workload's self-verification still runs, so a recording of
+/// a silently broken kernel fails loudly instead of poisoning the file.
+pub fn record_workload(
+    kind: WorkloadKind,
+    class: Class,
+    path: &Path,
+) -> Result<RecordSummary, String> {
+    let mut workload = kind.build(class);
+    let header = TraceHeader::for_space(workload.space(), kind.name(), class.name());
+    let footprint_bytes = workload.footprint_bytes();
+    let mut writer = TraceWriter::create(path, &header)
+        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    workload.run(&mut writer);
+    workload
+        .verify()
+        .map_err(|e| format!("{} failed self-verification: {e}", kind.name()))?;
+    let chunks = {
+        use memsim_trace::TraceSink;
+        writer.flush();
+        writer.chunks_written()
+    };
+    let (_, events) = writer
+        .finish()
+        .map_err(|e| format!("recording {}: {e}", path.display()))?;
+    let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    Ok(RecordSummary {
+        events,
+        chunks,
+        file_bytes,
+        footprint_bytes,
+    })
+}
+
+/// Replay the trace at `path` through `structure`'s hierarchy at `scale`.
+///
+/// The terminal memory's region table comes from the trace header, so
+/// per-region traffic (the NDM oracle's input) is attributed exactly as
+/// in the live run.
+pub fn replay_structure(
+    path: &Path,
+    scale: &Scale,
+    structure: &Structure,
+) -> Result<RawRun, TraceError> {
+    let mut reader = TraceReader::open(path)?;
+    let regions = reader.header().regions.clone();
+    let caches = build_caches(scale, structure);
+    let terminal = PartitionedMemory::new(&regions, Technology::Pcm);
+    let mut hierarchy = Hierarchy::new(caches, terminal);
+    replay_into(&mut reader, &mut hierarchy)?;
+    hierarchy.drain();
+    hierarchy.assert_consistent();
+    Ok(raw_run_from_hierarchy(hierarchy, &regions))
+}
+
+/// The workload a trace records, parsed from its header.
+pub fn trace_workload(path: &Path) -> Result<WorkloadKind, String> {
+    let reader = TraceReader::open(path).map_err(|e| e.to_string())?;
+    let name = &reader.header().workload;
+    WorkloadKind::parse(name).ok_or_else(|| {
+        if name.is_empty() {
+            "trace has no recorded workload name (anonymous stream)".to_string()
+        } else {
+            format!("trace records unknown workload '{name}'")
+        }
+    })
+}
+
+/// Evaluate a grid of designs against one recorded trace, sharded in
+/// parallel: the distinct hierarchy *structures* among `designs` are
+/// replayed concurrently (each worker streams the file independently, so
+/// there is no shared decode state to contend on), then every design is
+/// costed analytically from its structure's replayed run — the same
+/// two-phase split as the live `evaluate_grid`, with the workload
+/// execution replaced by a trace walk.
+pub fn replay_grid(
+    path: &Path,
+    designs: &[Design],
+    scale: &Scale,
+    threads: Option<usize>,
+) -> Result<Vec<EvalResult>, String> {
+    for d in designs {
+        d.validate()?;
+    }
+    let kind = trace_workload(path)?;
+
+    // distinct structures, in first-appearance order
+    let mut structures: Vec<Structure> = Vec::new();
+    for d in designs {
+        let s = d.structure(scale);
+        if !structures.contains(&s) {
+            structures.push(s);
+        }
+    }
+
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .clamp(1, structures.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<OnceLock<Result<Arc<RawRun>, String>>> =
+        (0..structures.len()).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= structures.len() {
+                    break;
+                }
+                let run = replay_structure(path, scale, &structures[i])
+                    .map(Arc::new)
+                    .map_err(|e| e.to_string());
+                slots[i].set(run).expect("replay slot written twice");
+            });
+        }
+    });
+    let runs: Vec<Arc<RawRun>> = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("missing replay result"))
+        .collect::<Result<_, _>>()?;
+
+    Ok(designs
+        .iter()
+        .map(|d| {
+            let idx = structures
+                .iter()
+                .position(|s| *s == d.structure(scale))
+                .expect("structure recorded for every design");
+            evaluate_run(kind, scale, d, Arc::clone(&runs[idx]))
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::n_configs;
+    use std::path::PathBuf;
+
+    fn temp_trace(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("memsim-core-replay-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn record_then_replay_grid_matches_live_grid() {
+        let scale = Scale::mini();
+        let path = temp_trace("hash.trace");
+        let summary = record_workload(WorkloadKind::Hash, Class::Mini, &path).unwrap();
+        assert!(summary.events > 100_000);
+        assert!(summary.chunks > 0);
+        assert!(summary.bytes_per_event() > 0.0);
+        assert_eq!(trace_workload(&path).unwrap(), WorkloadKind::Hash);
+
+        let designs = vec![
+            Design::Baseline,
+            Design::Nmm {
+                nvm: Technology::Pcm,
+                config: n_configs()[0],
+            },
+        ];
+        let replayed = replay_grid(&path, &designs, &scale, Some(2)).unwrap();
+
+        let cache = crate::runner::SimCache::new();
+        for (r, d) in replayed.iter().zip(&designs) {
+            let live = crate::runner::evaluate_cached(WorkloadKind::Hash, &scale, d, &cache);
+            assert_eq!(r.workload, WorkloadKind::Hash);
+            assert_eq!(r.run.caches, live.run.caches, "{}", d.label());
+            assert_eq!(r.run.mem, live.run.mem, "{}", d.label());
+            assert_eq!(r.run.total_refs, live.run.total_refs);
+            assert!((r.metrics.time_s - live.metrics.time_s).abs() < 1e-15);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_of_missing_file_errors() {
+        let scale = Scale::mini();
+        let err = replay_grid(
+            Path::new("/nonexistent/never.trace"),
+            &[Design::Baseline],
+            &scale,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("I/O error"), "{err}");
+    }
+}

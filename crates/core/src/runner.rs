@@ -49,11 +49,13 @@ impl RawRun {
     }
 }
 
-/// Simulate `kind` (at `scale.class`) through `structure`. This is the
-/// expensive step: every memory reference of the workload walks the
-/// hierarchy.
-pub fn simulate_structure(kind: WorkloadKind, scale: &Scale, structure: &Structure) -> RawRun {
-    let mut workload = kind.build(scale.class);
+/// Build the cache stack of a `structure` at `scale` (L1/L2/L3, plus the
+/// added sectored page-cache level for [`Structure::WithL4`]).
+///
+/// Shared between the live simulation path and the trace-replay path
+/// (`crate::replay`): both must walk references through byte-identical
+/// geometry for their stats to agree.
+pub fn build_caches(scale: &Scale, structure: &Structure) -> Vec<Cache> {
     let mut caches = vec![
         Cache::new(CacheConfig::new(
             "L1",
@@ -100,21 +102,15 @@ pub fn simulate_structure(kind: WorkloadKind, scale: &Scale, structure: &Structu
         }
         caches.push(Cache::new(cfg));
     }
+    caches
+}
 
-    // the terminal collects per-region traffic for every structure; the
-    // aggregate equals a flat memory's counters because everything is
-    // placed on the DRAM side
-    let regions = workload.space().regions().to_vec();
-    let terminal = PartitionedMemory::new(&regions, Technology::Pcm);
-    let mut hierarchy = Hierarchy::new(caches, terminal);
-
-    workload.run(&mut hierarchy);
-    hierarchy.drain();
-    hierarchy.assert_consistent();
-    workload
-        .verify()
-        .unwrap_or_else(|e| panic!("{} failed self-verification: {e}", workload.name()));
-
+/// Harvest a drained hierarchy into a [`RawRun`] (shared by the live and
+/// replay paths — the counters must be assembled identically).
+pub(crate) fn raw_run_from_hierarchy(
+    hierarchy: Hierarchy<PartitionedMemory>,
+    regions: &[memsim_trace::Region],
+) -> RawRun {
     let total_refs = hierarchy.total_refs();
     let cache_stats: Vec<LevelStats> = hierarchy.levels().iter().map(|c| c.stats()).collect();
     let mem_part = hierarchy.into_memory();
@@ -131,6 +127,30 @@ pub fn simulate_structure(kind: WorkloadKind, scale: &Scale, structure: &Structu
         total_refs,
         footprint_bytes: regions.iter().map(|r| r.len).sum(),
     }
+}
+
+/// Simulate `kind` (at `scale.class`) through `structure`. This is the
+/// expensive step: every memory reference of the workload walks the
+/// hierarchy.
+pub fn simulate_structure(kind: WorkloadKind, scale: &Scale, structure: &Structure) -> RawRun {
+    let mut workload = kind.build(scale.class);
+    let caches = build_caches(scale, structure);
+
+    // the terminal collects per-region traffic for every structure; the
+    // aggregate equals a flat memory's counters because everything is
+    // placed on the DRAM side
+    let regions = workload.space().regions().to_vec();
+    let terminal = PartitionedMemory::new(&regions, Technology::Pcm);
+    let mut hierarchy = Hierarchy::new(caches, terminal);
+
+    workload.run(&mut hierarchy);
+    hierarchy.drain();
+    hierarchy.assert_consistent();
+    workload
+        .verify()
+        .unwrap_or_else(|e| panic!("{} failed self-verification: {e}", workload.name()));
+
+    raw_run_from_hierarchy(hierarchy, &regions)
 }
 
 /// A concurrency-safe memo of structure simulations.
@@ -188,15 +208,15 @@ pub struct EvalResult {
     pub placement: Option<Vec<Placement>>,
 }
 
-/// Evaluate one design point, memoizing the simulation in `cache`.
-pub fn evaluate_cached(
+/// Cost a design analytically against an already-simulated (or replayed)
+/// run of its structure. This is the cheap step: no reference walks, only
+/// the Eq. 1–4 models (and, for NDM, the oracle partitioner).
+pub fn evaluate_run(
     kind: WorkloadKind,
     scale: &Scale,
     design: &Design,
-    cache: &SimCache,
+    run: Arc<RawRun>,
 ) -> EvalResult {
-    design.validate().expect("invalid design");
-    let run = cache.get(kind, scale, &design.structure(scale));
     match design {
         Design::Ndm { nvm } => {
             let choice = partition::oracle(&run, *nvm, scale);
@@ -222,6 +242,18 @@ pub fn evaluate_cached(
             }
         }
     }
+}
+
+/// Evaluate one design point, memoizing the simulation in `cache`.
+pub fn evaluate_cached(
+    kind: WorkloadKind,
+    scale: &Scale,
+    design: &Design,
+    cache: &SimCache,
+) -> EvalResult {
+    design.validate().expect("invalid design");
+    let run = cache.get(kind, scale, &design.structure(scale));
+    evaluate_run(kind, scale, design, run)
 }
 
 /// Evaluate one design point with a throwaway memo.

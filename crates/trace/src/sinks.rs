@@ -42,7 +42,9 @@ pub const CHUNK_EVENTS: usize = 64;
 /// `flush` drains the buffer before forwarding, so a kernel's trailing
 /// `sink.flush()` keeps its exact semantics. Events are delivered in order
 /// with no batch-boundary effects — observationally identical to unbuffered
-/// per-event delivery.
+/// per-event delivery. Dropping the buffer also drains it (unless the
+/// thread is panicking), so a partial final batch is never silently lost
+/// even when a kernel forgets its trailing `flush`.
 pub struct ChunkBuffer<'a> {
     inner: &'a mut dyn TraceSink,
     buf: [TraceEvent; CHUNK_EVENTS],
@@ -64,6 +66,17 @@ impl<'a> ChunkBuffer<'a> {
         if self.len > 0 {
             self.inner.access_chunk(&self.buf[..self.len]);
             self.len = 0;
+        }
+    }
+}
+
+impl Drop for ChunkBuffer<'_> {
+    fn drop(&mut self) {
+        // On unwind the stream is already abandoned mid-kernel; delivering
+        // a tail batch then would feed the inner sink a truncated stream
+        // while its own invariants may be mid-violation.
+        if !std::thread::panicking() {
+            self.drain();
         }
     }
 }
@@ -446,6 +459,53 @@ mod tests {
         assert_eq!(p.total(a.id), 2);
         let hot = p.hottest();
         assert_eq!(hot[0].0, a.id);
+    }
+
+    #[test]
+    fn dropping_a_chunk_buffer_delivers_the_partial_batch() {
+        let mut counter = CountingSink::new();
+        {
+            let mut buffered = ChunkBuffer::new(&mut counter);
+            for i in 0..(CHUNK_EVENTS as u64 + 5) {
+                buffered.access(ev(i * 8, AccessKind::Load));
+            }
+            // no flush: one full batch was delivered, 5 events still buffered
+        }
+        assert_eq!(counter.loads, CHUNK_EVENTS as u64 + 5);
+    }
+
+    /// Pin how each sink treats an access that straddles a 64 B line:
+    /// events flow through *unsplit* (splitting is the hierarchy's job at
+    /// its own L1 block size), byte accounting uses the full size, and
+    /// footprint-style sinks attribute every line the access touches.
+    #[test]
+    fn line_straddling_sizes_flow_through_sinks_unsplit() {
+        let straddler = TraceEvent::store(60, 8); // touches lines 0 and 1
+
+        let mut c = CountingSink::new();
+        c.access(straddler);
+        assert_eq!((c.stores, c.store_bytes), (1, 8));
+
+        let mut w = WorkingSetSink::new(64);
+        w.access(straddler);
+        assert_eq!(w.unique_blocks(), 2);
+
+        // region attribution is by start address, even when the access
+        // extends past the region's end
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", 64);
+        let mut p = RegionProfiler::new(&space);
+        p.access(TraceEvent::store(a.end() - 4, 8));
+        assert_eq!(p.stores[a.id.index()], 1);
+        assert_eq!(p.unattributed, 0);
+
+        // batching preserves the event verbatim — no size rewriting
+        let mut rec = RecordingSink::new();
+        {
+            let mut buffered = ChunkBuffer::new(&mut rec);
+            buffered.access(straddler);
+        }
+        assert_eq!(rec.events, vec![straddler]);
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! On-disk layout: magic, header, chunk framing, and typed errors.
+//!
+//! The byte layout (all integers little-endian; see `DESIGN.md` §11):
+//!
+//! ```text
+//! file    := header chunk* footer
+//! header  := magic[8]=b"MSIMTRC1" u32:version u32:body_len body u32:crc32(body)
+//! body    := u64:base_addr
+//!            u16:workload_len workload_utf8
+//!            u16:class_len class_utf8
+//!            u32:region_count region*
+//! region  := u64:start u64:len u16:name_len name_utf8
+//! chunk   := u32:event_count(>0) u32:payload_len u64:first_addr
+//!            u32:crc32(payload) payload
+//! payload := event*                       -- exactly event_count of them
+//! event   := varint:zigzag(addr - prev_addr) varint:(size << 1 | is_store)
+//! footer  := u32:0 u64:total_events u32:crc32(total_events_le_bytes)
+//! ```
+//!
+//! Within a chunk, `prev_addr` starts at the chunk's `first_addr` (so the
+//! first event's delta is zero by construction) — every chunk decodes
+//! independently of its predecessors. The footer's zero `event_count`
+//! distinguishes it from any chunk, so a file that ends without one was
+//! truncated at a chunk boundary and is reported as such.
+
+use crate::crc32::crc32;
+use memsim_trace::{Region, RegionId};
+use std::io::{self, Read, Write};
+
+/// File magic: identifies a memsim trace, revision 1 framing.
+pub const MAGIC: [u8; 8] = *b"MSIMTRC1";
+
+/// Current format version (bumped on any incompatible layout change).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Events per chunk the writer targets (the final chunk may be shorter).
+pub const TRACE_CHUNK_EVENTS: usize = 4096;
+
+/// Hard cap on a chunk's declared event count; anything above this is a
+/// corrupt frame, not a real chunk (the writer never exceeds
+/// [`TRACE_CHUNK_EVENTS`]).
+pub const MAX_CHUNK_EVENTS: u32 = 1 << 20;
+
+/// Worst-case encoded bytes per event (two maximal varints).
+pub const MAX_EVENT_BYTES: usize = 20;
+
+/// Errors produced while writing or reading a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The header is structurally invalid (lengths inconsistent, bad UTF-8).
+    CorruptHeader(String),
+    /// The header body's CRC32 does not match its contents.
+    HeaderCrcMismatch,
+    /// EOF in the middle of chunk `chunk`'s frame or payload.
+    TruncatedChunk {
+        /// Zero-based index of the chunk being read.
+        chunk: u64,
+    },
+    /// A chunk frame declares impossible counts/lengths.
+    MalformedChunkHeader {
+        /// Zero-based index of the chunk being read.
+        chunk: u64,
+        /// What was wrong with the frame.
+        detail: String,
+    },
+    /// Chunk `chunk`'s payload CRC32 does not match its contents.
+    ChunkCrcMismatch {
+        /// Zero-based index of the chunk being read.
+        chunk: u64,
+    },
+    /// A chunk payload does not decode to exactly its declared event count.
+    MalformedPayload {
+        /// Zero-based index of the chunk being read.
+        chunk: u64,
+        /// What was wrong with the payload.
+        detail: String,
+    },
+    /// EOF at a chunk boundary without the closing footer: the file was
+    /// truncated (or the writer was never finished).
+    MissingFooter,
+    /// The footer is present but damaged.
+    CorruptFooter,
+    /// The footer's total disagrees with the events actually read.
+    EventCountMismatch {
+        /// Total the footer recorded.
+        expected: u64,
+        /// Events actually decoded from the chunks.
+        actual: u64,
+    },
+    /// Bytes follow the footer.
+    TrailingData,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not a memsim trace file (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace format version {v} (this build reads {FORMAT_VERSION})"
+                )
+            }
+            TraceError::CorruptHeader(d) => write!(f, "corrupt trace header: {d}"),
+            TraceError::HeaderCrcMismatch => write!(f, "trace header CRC mismatch"),
+            TraceError::TruncatedChunk { chunk } => {
+                write!(f, "trace truncated inside chunk {chunk}")
+            }
+            TraceError::MalformedChunkHeader { chunk, detail } => {
+                write!(f, "malformed frame for chunk {chunk}: {detail}")
+            }
+            TraceError::ChunkCrcMismatch { chunk } => {
+                write!(f, "CRC mismatch in chunk {chunk} (corrupt payload)")
+            }
+            TraceError::MalformedPayload { chunk, detail } => {
+                write!(f, "malformed payload in chunk {chunk}: {detail}")
+            }
+            TraceError::MissingFooter => {
+                write!(
+                    f,
+                    "trace ends without a footer (truncated or unfinished recording)"
+                )
+            }
+            TraceError::CorruptFooter => write!(f, "corrupt trace footer"),
+            TraceError::EventCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "footer records {expected} events but chunks held {actual}"
+                )
+            }
+            TraceError::TrailingData => write!(f, "unexpected data after the trace footer"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Decoded trace header: provenance plus the recorded address-space layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Format version the file was written with.
+    pub version: u32,
+    /// Base address of the recorded [`memsim_trace::AddressSpace`].
+    pub base_addr: u64,
+    /// Name of the workload that produced the stream (may be empty for
+    /// synthetic or externally produced traces).
+    pub workload: String,
+    /// Problem-size class the workload ran at (may be empty).
+    pub class: String,
+    /// The recorded region table, in address order with dense ids —
+    /// exactly what `AddressSpace::regions()` returned at record time.
+    pub regions: Vec<Region>,
+}
+
+impl TraceHeader {
+    /// A header with no provenance and no regions (raw event streams).
+    pub fn anonymous(base_addr: u64) -> Self {
+        Self {
+            version: FORMAT_VERSION,
+            base_addr,
+            workload: String::new(),
+            class: String::new(),
+            regions: Vec::new(),
+        }
+    }
+
+    /// Header capturing a workload's address space and provenance.
+    pub fn for_space(space: &memsim_trace::AddressSpace, workload: &str, class: &str) -> Self {
+        Self {
+            version: FORMAT_VERSION,
+            base_addr: space.base(),
+            workload: workload.to_string(),
+            class: class.to_string(),
+            regions: space.regions().to_vec(),
+        }
+    }
+
+    /// Sum of region lengths: the recorded workload's footprint.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.len).sum()
+    }
+
+    /// Serialize the header (magic through body CRC) to `out`.
+    pub fn write_to(&self, out: &mut dyn Write) -> Result<(), TraceError> {
+        let mut body = Vec::new();
+        body.extend_from_slice(&self.base_addr.to_le_bytes());
+        write_str(&mut body, &self.workload)?;
+        write_str(&mut body, &self.class)?;
+        body.extend_from_slice(&(self.regions.len() as u32).to_le_bytes());
+        for r in &self.regions {
+            body.extend_from_slice(&r.start.to_le_bytes());
+            body.extend_from_slice(&r.len.to_le_bytes());
+            write_str(&mut body, &r.name)?;
+        }
+        out.write_all(&MAGIC)?;
+        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        out.write_all(&(body.len() as u32).to_le_bytes())?;
+        out.write_all(&body)?;
+        out.write_all(&crc32(&body).to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Parse a header from the front of `input`.
+    pub fn read_from(input: &mut dyn Read) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 8];
+        input
+            .read_exact(&mut magic)
+            .map_err(|_| TraceError::BadMagic)?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version =
+            read_u32(input).map_err(|_| TraceError::CorruptHeader("no version".into()))?;
+        if version != FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let body_len =
+            read_u32(input).map_err(|_| TraceError::CorruptHeader("no length".into()))?;
+        if body_len > (1 << 24) {
+            return Err(TraceError::CorruptHeader(format!(
+                "implausible header length {body_len}"
+            )));
+        }
+        let mut body = vec![0u8; body_len as usize];
+        input
+            .read_exact(&mut body)
+            .map_err(|_| TraceError::CorruptHeader("body shorter than declared".into()))?;
+        let stored_crc =
+            read_u32(input).map_err(|_| TraceError::CorruptHeader("missing CRC".into()))?;
+        if crc32(&body) != stored_crc {
+            return Err(TraceError::HeaderCrcMismatch);
+        }
+
+        let mut cur: &[u8] = &body;
+        let base_addr = take_u64(&mut cur)?;
+        let workload = take_str(&mut cur)?;
+        let class = take_str(&mut cur)?;
+        let region_count = take_u32(&mut cur)?;
+        if u64::from(region_count) > body_len as u64 {
+            return Err(TraceError::CorruptHeader(format!(
+                "implausible region count {region_count}"
+            )));
+        }
+        let mut regions = Vec::with_capacity(region_count as usize);
+        for i in 0..region_count {
+            let start = take_u64(&mut cur)?;
+            let len = take_u64(&mut cur)?;
+            let name = take_str(&mut cur)?;
+            regions.push(Region {
+                id: RegionId(i),
+                name,
+                start,
+                len,
+            });
+        }
+        if !cur.is_empty() {
+            return Err(TraceError::CorruptHeader("trailing bytes in body".into()));
+        }
+        Ok(Self {
+            version,
+            base_addr,
+            workload,
+            class,
+            regions,
+        })
+    }
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) -> Result<(), TraceError> {
+    let bytes = s.as_bytes();
+    if bytes.len() > u16::MAX as usize {
+        return Err(TraceError::CorruptHeader(format!(
+            "string of {} bytes exceeds the u16 length field",
+            bytes.len()
+        )));
+    }
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+    Ok(())
+}
+
+fn take_bytes<'a>(cur: &mut &'a [u8], n: usize) -> Result<&'a [u8], TraceError> {
+    if cur.len() < n {
+        return Err(TraceError::CorruptHeader("body too short".into()));
+    }
+    let (head, tail) = cur.split_at(n);
+    *cur = tail;
+    Ok(head)
+}
+
+fn take_u64(cur: &mut &[u8]) -> Result<u64, TraceError> {
+    Ok(u64::from_le_bytes(take_bytes(cur, 8)?.try_into().unwrap()))
+}
+
+fn take_u32(cur: &mut &[u8]) -> Result<u32, TraceError> {
+    Ok(u32::from_le_bytes(take_bytes(cur, 4)?.try_into().unwrap()))
+}
+
+fn take_str(cur: &mut &[u8]) -> Result<String, TraceError> {
+    let len = u16::from_le_bytes(take_bytes(cur, 2)?.try_into().unwrap());
+    let bytes = take_bytes(cur, len as usize)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| TraceError::CorruptHeader("string is not UTF-8".into()))
+}
+
+/// Read a little-endian `u32` from a stream.
+pub(crate) fn read_u32(input: &mut dyn Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    input.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Read a little-endian `u64` from a stream.
+pub(crate) fn read_u64(input: &mut dyn Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    input.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim_trace::AddressSpace;
+
+    fn sample_header() -> TraceHeader {
+        let mut space = AddressSpace::new();
+        space.alloc("csr.values", 8192);
+        space.alloc("csr.colidx", 4096);
+        TraceHeader::for_space(&space, "CG", "mini")
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = sample_header();
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        let back = TraceHeader::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.footprint_bytes(), 8192 + 4096);
+        assert_eq!(back.regions[1].id, RegionId(1));
+    }
+
+    #[test]
+    fn anonymous_header_round_trips() {
+        let h = TraceHeader::anonymous(0x4000);
+        let mut buf = Vec::new();
+        h.write_to(&mut buf).unwrap();
+        let back = TraceHeader::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, h);
+        assert!(back.regions.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        sample_header().write_to(&mut buf).unwrap();
+        buf[0] ^= 0xFF;
+        assert!(matches!(
+            TraceHeader::read_from(&mut buf.as_slice()),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut buf = Vec::new();
+        sample_header().write_to(&mut buf).unwrap();
+        buf[8] = 0xFE; // version low byte
+        assert!(matches!(
+            TraceHeader::read_from(&mut buf.as_slice()),
+            Err(TraceError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_body_fails_crc() {
+        let mut buf = Vec::new();
+        sample_header().write_to(&mut buf).unwrap();
+        let body_start = 8 + 4 + 4;
+        buf[body_start + 3] ^= 0x01;
+        assert!(matches!(
+            TraceHeader::read_from(&mut buf.as_slice()),
+            Err(TraceError::HeaderCrcMismatch)
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        // every variant renders without panicking
+        let errs = [
+            TraceError::BadMagic,
+            TraceError::UnsupportedVersion(9),
+            TraceError::HeaderCrcMismatch,
+            TraceError::TruncatedChunk { chunk: 3 },
+            TraceError::ChunkCrcMismatch { chunk: 1 },
+            TraceError::MissingFooter,
+            TraceError::CorruptFooter,
+            TraceError::TrailingData,
+            TraceError::EventCountMismatch {
+                expected: 5,
+                actual: 4,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Streaming trace consumption: chunk-at-a-time decode without ever
+//! materializing the whole file.
+
+use crate::crc32::crc32;
+use crate::format::{
+    read_u32, read_u64, TraceError, TraceHeader, MAX_CHUNK_EVENTS, MAX_EVENT_BYTES,
+};
+use crate::varint;
+use memsim_trace::TraceEvent;
+use std::fs::File;
+use std::io::{BufReader, ErrorKind, Read};
+use std::path::Path;
+
+/// Reads a trace file chunk by chunk, validating framing and CRCs.
+///
+/// Two consumption styles:
+///
+/// * [`TraceReader::next_chunk`] — borrow each decoded chunk as a
+///   `&[TraceEvent]` slice; the natural fit for
+///   [`TraceSink::access_chunk`](memsim_trace::TraceSink::access_chunk)
+///   batched delivery (what [`crate::replay_into`] does).
+/// * the [`Iterator`] impl — yields `Result<TraceEvent, TraceError>` one
+///   event at a time; after yielding an error the iterator fuses.
+///
+/// Corruption — a truncated file, a flipped byte, a frame that decodes to
+/// the wrong event count — surfaces as a typed [`TraceError`], never a
+/// panic. Memory use is bounded by one chunk regardless of file size.
+pub struct TraceReader<R: Read> {
+    input: R,
+    header: TraceHeader,
+    /// Decoded events of the current chunk.
+    chunk: Vec<TraceEvent>,
+    /// Iterator cursor into `chunk`.
+    cursor: usize,
+    payload: Vec<u8>,
+    chunks_read: u64,
+    events_read: u64,
+    payload_bytes: u64,
+    /// Footer seen and validated (or a fatal error already reported).
+    done: bool,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Open `path` and parse its header.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wrap `input` and parse the header from its front.
+    pub fn new(mut input: R) -> Result<Self, TraceError> {
+        let header = TraceHeader::read_from(&mut input)?;
+        Ok(Self {
+            input,
+            header,
+            chunk: Vec::new(),
+            cursor: 0,
+            payload: Vec::new(),
+            chunks_read: 0,
+            events_read: 0,
+            payload_bytes: 0,
+            done: false,
+        })
+    }
+
+    /// The file's header (provenance and region table).
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Chunks decoded so far.
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks_read
+    }
+
+    /// Events decoded so far.
+    pub fn events_read(&self) -> u64 {
+        self.events_read
+    }
+
+    /// Encoded payload bytes decoded so far (excludes framing).
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    /// Decode the next chunk, returning its events, or `None` once the
+    /// footer has been reached and validated. After an error or the
+    /// footer, subsequent calls return `Ok(None)`.
+    pub fn next_chunk(&mut self) -> Result<Option<&[TraceEvent]>, TraceError> {
+        if self.done {
+            return Ok(None);
+        }
+        self.chunk.clear();
+        self.cursor = 0;
+        let index = self.chunks_read;
+
+        // Frame header. EOF exactly here means the footer is missing.
+        let count = match read_u32(&mut self.input) {
+            Ok(c) => c,
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => {
+                self.done = true;
+                return Err(TraceError::MissingFooter);
+            }
+            Err(e) => {
+                self.done = true;
+                return Err(e.into());
+            }
+        };
+
+        if count == 0 {
+            return self.read_footer();
+        }
+
+        let result = self.read_chunk_body(index, count);
+        if result.is_err() {
+            self.done = true;
+        }
+        result?;
+        self.chunks_read += 1;
+        self.events_read += self.chunk.len() as u64;
+        Ok(Some(&self.chunk))
+    }
+
+    fn read_chunk_body(&mut self, index: u64, count: u32) -> Result<(), TraceError> {
+        if count > MAX_CHUNK_EVENTS {
+            return Err(TraceError::MalformedChunkHeader {
+                chunk: index,
+                detail: format!("event count {count} exceeds the {MAX_CHUNK_EVENTS} cap"),
+            });
+        }
+        let truncated = |_| TraceError::TruncatedChunk { chunk: index };
+        let payload_len = read_u32(&mut self.input).map_err(truncated)?;
+        if payload_len as usize > count as usize * MAX_EVENT_BYTES {
+            return Err(TraceError::MalformedChunkHeader {
+                chunk: index,
+                detail: format!("payload of {payload_len} bytes for {count} events"),
+            });
+        }
+        let first_addr = read_u64(&mut self.input).map_err(truncated)?;
+        let stored_crc = read_u32(&mut self.input).map_err(truncated)?;
+        self.payload.resize(payload_len as usize, 0);
+        self.input
+            .read_exact(&mut self.payload)
+            .map_err(truncated)?;
+        if crc32(&self.payload) != stored_crc {
+            return Err(TraceError::ChunkCrcMismatch { chunk: index });
+        }
+
+        // Decode: each event is (zigzag addr delta, size<<1 | is_store).
+        self.chunk.reserve(count as usize);
+        let mut prev = first_addr;
+        let mut pos = 0usize;
+        for _ in 0..count {
+            let (delta, n) = varint::read_u64(&self.payload[pos..]).ok_or_else(|| {
+                TraceError::MalformedPayload {
+                    chunk: index,
+                    detail: "payload ends mid-delta".into(),
+                }
+            })?;
+            pos += n;
+            let (sk, n) = varint::read_u64(&self.payload[pos..]).ok_or_else(|| {
+                TraceError::MalformedPayload {
+                    chunk: index,
+                    detail: "payload ends mid-size".into(),
+                }
+            })?;
+            pos += n;
+            let size = sk >> 1;
+            if size > u64::from(u32::MAX) {
+                return Err(TraceError::MalformedPayload {
+                    chunk: index,
+                    detail: format!("event size {size} exceeds u32"),
+                });
+            }
+            let addr = prev.wrapping_add(varint::unzigzag(delta) as u64);
+            self.chunk.push(if sk & 1 == 1 {
+                TraceEvent::store(addr, size as u32)
+            } else {
+                TraceEvent::load(addr, size as u32)
+            });
+            prev = addr;
+        }
+        if pos != self.payload.len() {
+            return Err(TraceError::MalformedPayload {
+                chunk: index,
+                detail: format!("{} undecoded payload bytes", self.payload.len() - pos),
+            });
+        }
+        self.payload_bytes += u64::from(payload_len);
+        Ok(())
+    }
+
+    fn read_footer(&mut self) -> Result<Option<&[TraceEvent]>, TraceError> {
+        self.done = true;
+        let total_bytes = match read_u64(&mut self.input) {
+            Ok(t) => t,
+            Err(_) => return Err(TraceError::CorruptFooter),
+        };
+        let stored_crc = read_u32(&mut self.input).map_err(|_| TraceError::CorruptFooter)?;
+        if crc32(&total_bytes.to_le_bytes()) != stored_crc {
+            return Err(TraceError::CorruptFooter);
+        }
+        if total_bytes != self.events_read {
+            return Err(TraceError::EventCountMismatch {
+                expected: total_bytes,
+                actual: self.events_read,
+            });
+        }
+        let mut probe = [0u8; 1];
+        match self.input.read(&mut probe) {
+            Ok(0) => Ok(None),
+            Ok(_) => Err(TraceError::TrailingData),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Read the whole trace into memory (tests and small traces only).
+    pub fn read_all(&mut self) -> Result<Vec<TraceEvent>, TraceError> {
+        let mut all = Vec::new();
+        while let Some(chunk) = self.next_chunk()? {
+            all.extend_from_slice(chunk);
+        }
+        Ok(all)
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceEvent, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.cursor < self.chunk.len() {
+                let ev = self.chunk[self.cursor];
+                self.cursor += 1;
+                return Some(Ok(ev));
+            }
+            match self.next_chunk() {
+                Ok(Some(_)) => continue,
+                Ok(None) => return None,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+    use memsim_trace::TraceSink;
+
+    fn write_events(events: &[TraceEvent]) -> Vec<u8> {
+        let header = TraceHeader::anonymous(0x1000);
+        let mut w = TraceWriter::new(Vec::new(), &header).unwrap();
+        for &ev in events {
+            w.access(ev);
+        }
+        w.finish().unwrap().0
+    }
+
+    #[test]
+    fn round_trip_small() {
+        let events = vec![
+            TraceEvent::load(0x1000, 8),
+            TraceEvent::store(0x1008, 8),
+            TraceEvent::load(0x4_0000_0000, 64),
+            TraceEvent::store(0x20, 1),
+            TraceEvent::load(0x20, 0),
+        ];
+        let buf = write_events(&events);
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.read_all().unwrap(), events);
+        assert_eq!(r.events_read(), 5);
+        assert_eq!(r.chunks_read(), 1);
+    }
+
+    #[test]
+    fn iterator_yields_events_in_order() {
+        let events: Vec<TraceEvent> = (0..10_000u64)
+            .map(|i| TraceEvent::load(i * 64, 8))
+            .collect();
+        let buf = write_events(&events);
+        let r = TraceReader::new(buf.as_slice()).unwrap();
+        let back: Result<Vec<TraceEvent>, TraceError> = r.collect();
+        assert_eq!(back.unwrap(), events);
+    }
+
+    #[test]
+    fn empty_trace_yields_nothing() {
+        let buf = write_events(&[]);
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(r.next_chunk().unwrap().is_none());
+        assert!(r.next_chunk().unwrap().is_none(), "idempotent at EOF");
+        assert_eq!(r.events_read(), 0);
+    }
+
+    #[test]
+    fn truncated_file_reports_missing_footer() {
+        let buf = write_events(&[TraceEvent::load(0, 8)]);
+        // cut the footer (16 bytes) off: EOF lands on a chunk boundary
+        let mut r = TraceReader::new(&buf[..buf.len() - 16]).unwrap();
+        r.next_chunk().unwrap(); // the one real chunk decodes fine
+        assert!(matches!(r.next_chunk(), Err(TraceError::MissingFooter)));
+        assert!(r.next_chunk().unwrap().is_none(), "fused after error");
+    }
+
+    #[test]
+    fn truncated_chunk_reported() {
+        let events: Vec<TraceEvent> = (0..100u64).map(|i| TraceEvent::load(i * 8, 8)).collect();
+        let buf = write_events(&events);
+        // cut inside the first chunk's payload
+        let mut r = TraceReader::new(&buf[..buf.len() - 40]).unwrap();
+        assert!(matches!(
+            r.next_chunk(),
+            Err(TraceError::TruncatedChunk { chunk: 0 })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_crc() {
+        let events: Vec<TraceEvent> = (0..100u64).map(|i| TraceEvent::load(i * 8, 8)).collect();
+        let mut buf = write_events(&events);
+        let n = buf.len();
+        buf[n - 30] ^= 0x40; // somewhere inside the chunk payload
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(matches!(
+            r.next_chunk(),
+            Err(TraceError::ChunkCrcMismatch { chunk: 0 })
+        ));
+    }
+
+    #[test]
+    fn corrupt_footer_total_detected() {
+        let buf = write_events(&[TraceEvent::load(0, 8)]);
+        let mut bad = buf.clone();
+        let n = bad.len();
+        bad[n - 12] ^= 0x01; // low byte of the footer's total_events
+        let mut r = TraceReader::new(bad.as_slice()).unwrap();
+        r.next_chunk().unwrap();
+        assert!(matches!(r.next_chunk(), Err(TraceError::CorruptFooter)));
+    }
+
+    #[test]
+    fn trailing_data_detected() {
+        let mut buf = write_events(&[TraceEvent::load(0, 8)]);
+        buf.push(0xAB);
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        r.next_chunk().unwrap();
+        assert!(matches!(r.next_chunk(), Err(TraceError::TrailingData)));
+    }
+
+    #[test]
+    fn multi_chunk_traces_decode_across_boundaries() {
+        // 3 full chunks plus a partial one, with a huge backwards jump at
+        // each chunk boundary to exercise first_addr re-anchoring
+        let mut events = Vec::new();
+        for i in 0..(crate::format::TRACE_CHUNK_EVENTS * 3 + 100) as u64 {
+            let base = if i % 2 == 0 { 0x1000_0000 } else { 0x10 };
+            events.push(TraceEvent::load(base + i * 8, 4));
+        }
+        let buf = write_events(&events);
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(r.read_all().unwrap(), events);
+        assert_eq!(r.chunks_read(), 4);
+    }
+}

@@ -1,0 +1,212 @@
+//! Re-consume a recorded trace: drive any [`TraceSink`] with the stream,
+//! or scan it into a summary.
+
+use crate::format::TraceError;
+use crate::reader::TraceReader;
+use memsim_trace::{TraceEvent, TraceSink};
+use std::collections::HashSet;
+use std::io::Read;
+
+/// Replay every event of `reader` into `sink` and flush it.
+///
+/// Delivery is chunked: each decoded chunk arrives through one
+/// [`TraceSink::access_chunk`] call — the same batched-dispatch shape
+/// `ChunkBuffer` gives live workloads, so a replayed [`memsim_cache`
+/// hierarchy](https://docs.rs) pays one virtual call per ~4096 events.
+/// Returns the number of events delivered.
+pub fn replay_into<R: Read>(
+    reader: &mut TraceReader<R>,
+    sink: &mut dyn TraceSink,
+) -> Result<u64, TraceError> {
+    let mut delivered = 0u64;
+    while let Some(chunk) = reader.next_chunk()? {
+        sink.access_chunk(chunk);
+        delivered += chunk.len() as u64;
+    }
+    sink.flush();
+    Ok(delivered)
+}
+
+/// Aggregate facts about a trace, computed in one streaming pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events.
+    pub events: u64,
+    /// Load events.
+    pub loads: u64,
+    /// Store events.
+    pub stores: u64,
+    /// Bytes read by loads.
+    pub load_bytes: u64,
+    /// Bytes written by stores.
+    pub store_bytes: u64,
+    /// Chunks in the file.
+    pub chunks: u64,
+    /// Encoded event payload bytes (excludes header/framing).
+    pub payload_bytes: u64,
+    /// Lowest address touched (`u64::MAX` for an empty trace).
+    pub min_addr: u64,
+    /// Highest exclusive address touched.
+    pub max_addr: u64,
+    /// Distinct 64 B cache lines touched (the stream's line footprint).
+    pub touched_lines: u64,
+}
+
+impl TraceSummary {
+    /// Stores as a fraction of all events (0 for an empty trace).
+    pub fn store_fraction(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.stores as f64 / self.events as f64
+        }
+    }
+
+    /// Mean encoded payload bytes per event (0 for an empty trace).
+    pub fn payload_bytes_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 / self.events as f64
+        }
+    }
+}
+
+/// Scan the remainder of `reader`, tallying a [`TraceSummary`].
+pub fn summarize<R: Read>(reader: &mut TraceReader<R>) -> Result<TraceSummary, TraceError> {
+    let mut s = TraceSummary {
+        events: 0,
+        loads: 0,
+        stores: 0,
+        load_bytes: 0,
+        store_bytes: 0,
+        chunks: 0,
+        payload_bytes: 0,
+        min_addr: u64::MAX,
+        max_addr: 0,
+        touched_lines: 0,
+    };
+    let mut lines: HashSet<u64> = HashSet::new();
+    while let Some(chunk) = reader.next_chunk()? {
+        for ev in chunk {
+            if ev.kind.is_store() {
+                s.stores += 1;
+                s.store_bytes += u64::from(ev.size);
+            } else {
+                s.loads += 1;
+                s.load_bytes += u64::from(ev.size);
+            }
+            s.min_addr = s.min_addr.min(ev.addr);
+            s.max_addr = s.max_addr.max(ev.end());
+            let first = ev.addr >> 6;
+            let last = ev.end().saturating_sub(1) >> 6;
+            for line in first..=last {
+                lines.insert(line);
+            }
+        }
+    }
+    s.events = reader.events_read();
+    s.chunks = reader.chunks_read();
+    s.payload_bytes = reader.payload_bytes();
+    s.touched_lines = lines.len() as u64;
+    Ok(s)
+}
+
+/// Replay `reader` into several sinks at once (tee without nesting).
+pub fn replay_into_all<R: Read>(
+    reader: &mut TraceReader<R>,
+    sinks: &mut [&mut dyn TraceSink],
+) -> Result<u64, TraceError> {
+    let mut delivered = 0u64;
+    while let Some(chunk) = reader.next_chunk()? {
+        for sink in sinks.iter_mut() {
+            sink.access_chunk(chunk);
+        }
+        delivered += chunk.len() as u64;
+    }
+    for sink in sinks.iter_mut() {
+        sink.flush();
+    }
+    Ok(delivered)
+}
+
+/// Convenience: record `events` into an in-memory trace (tests, benches).
+pub fn encode_to_vec(
+    header: &crate::format::TraceHeader,
+    events: &[TraceEvent],
+) -> Result<Vec<u8>, TraceError> {
+    let mut w = crate::writer::TraceWriter::new(Vec::new(), header)?;
+    w.access_chunk(events);
+    Ok(w.finish()?.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceHeader;
+    use memsim_trace::CountingSink;
+
+    fn events() -> Vec<TraceEvent> {
+        (0..10_000u64)
+            .map(|i| {
+                if i % 5 == 0 {
+                    TraceEvent::store(0x1000 + i * 8, 8)
+                } else {
+                    TraceEvent::load(0x1000 + i * 8, 8)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replay_reaches_sink_in_order() {
+        let buf = encode_to_vec(&TraceHeader::anonymous(0x1000), &events()).unwrap();
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut seen = Vec::new();
+        let mut sink = memsim_trace::FnSink(|ev: TraceEvent| seen.push(ev));
+        let n = replay_into(&mut reader, &mut sink).unwrap();
+        assert_eq!(n, 10_000);
+        assert_eq!(seen, events());
+    }
+
+    #[test]
+    fn summary_matches_stream() {
+        let buf = encode_to_vec(&TraceHeader::anonymous(0x1000), &events()).unwrap();
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let s = summarize(&mut reader).unwrap();
+        assert_eq!(s.events, 10_000);
+        assert_eq!(s.stores, 2_000);
+        assert_eq!(s.loads, 8_000);
+        assert_eq!(s.load_bytes, 64_000);
+        assert!((s.store_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(s.min_addr, 0x1000);
+        assert_eq!(s.max_addr, 0x1000 + 10_000 * 8);
+        assert_eq!(s.touched_lines, 10_000 * 8 / 64);
+        assert!(s.payload_bytes_per_event() < 2.5);
+    }
+
+    #[test]
+    fn summary_of_empty_trace() {
+        let buf = encode_to_vec(&TraceHeader::anonymous(0), &[]).unwrap();
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let s = summarize(&mut reader).unwrap();
+        assert_eq!(s.events, 0);
+        assert_eq!(s.store_fraction(), 0.0);
+        assert_eq!(s.payload_bytes_per_event(), 0.0);
+        assert_eq!(s.touched_lines, 0);
+    }
+
+    #[test]
+    fn replay_into_all_fans_out() {
+        let buf = encode_to_vec(&TraceHeader::anonymous(0x1000), &events()).unwrap();
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut a = CountingSink::new();
+        let mut b = CountingSink::new();
+        {
+            let mut sinks: Vec<&mut dyn TraceSink> = vec![&mut a, &mut b];
+            replay_into_all(&mut reader, &mut sinks).unwrap();
+        }
+        assert_eq!(a.total(), 10_000);
+        assert_eq!(a, b);
+    }
+}

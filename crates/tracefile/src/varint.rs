@@ -1,0 +1,129 @@
+//! LEB128 varints and zigzag signed mapping.
+//!
+//! Event payloads store address *deltas* (usually tiny, occasionally huge
+//! when the stream jumps between regions), so a variable-length integer is
+//! the natural encoding: a sequential 8-byte stream costs one byte per
+//! delta. Deltas are signed; zigzag folds them into unsigned space so that
+//! small negative strides stay short.
+
+/// Append `value` to `out` as an unsigned LEB128 varint.
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode an unsigned LEB128 varint from the front of `buf`.
+///
+/// Returns the value and the number of bytes consumed, or `None` if the
+/// buffer ends mid-varint or the encoding overflows 64 bits.
+#[inline]
+pub fn read_u64(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return None; // would overflow u64
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Map a signed delta into unsigned space: 0, -1, 1, -2, … → 0, 1, 2, 3, …
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for v in [0u64, 1, 17, 127] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(read_u64(&buf), Some((v, 1)));
+        }
+    }
+
+    #[test]
+    fn boundary_values_round_trip() {
+        for v in [128u64, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert!(buf.len() <= 10, "u64 varints are at most 10 bytes");
+            assert_eq!(read_u64(&buf), Some((v, buf.len())));
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_detected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert_eq!(read_u64(&buf[..cut]), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn overlong_encoding_rejected() {
+        // 11 continuation bytes can never be a valid u64
+        let buf = [0x80u8; 11];
+        assert_eq!(read_u64(&buf), None);
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+        assert_eq!(unzigzag(zigzag(i64::MAX)), i64::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn varint_round_trips(
+            // cover all magnitudes: a raw value scaled by a random shift
+            raw in 0u64..u64::MAX,
+            shift in 0u32..64,
+            suffix in 0usize..4,
+        ) {
+            let v = raw >> shift;
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let encoded = buf.len();
+            buf.extend(std::iter::repeat_n(0xAA, suffix));
+            prop_assert_eq!(read_u64(&buf), Some((v, encoded)));
+        }
+
+        #[test]
+        fn zigzag_round_trips(raw in 0u64..u64::MAX, shift in 0u32..64) {
+            let v = (raw >> shift) as i64;
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

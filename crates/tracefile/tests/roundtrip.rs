@@ -1,0 +1,160 @@
+//! Property tests for the trace format: arbitrary event streams must
+//! round-trip bit-exactly through writer → bytes → reader, and any
+//! corruption of the bytes must surface as a typed error, never as a
+//! silently different stream.
+
+use memsim_trace::{AddressSpace, TraceEvent, TraceSink};
+use memsim_tracefile::{
+    encode_to_vec, replay_into, TraceError, TraceHeader, TraceReader, TraceWriter,
+    TRACE_CHUNK_EVENTS,
+};
+use proptest::prelude::*;
+
+/// Build an event list from raw tuples: address (scaled to cover both
+/// tiny strides and region-crossing jumps), size, kind.
+fn build_events(raws: &[(u64, u32, bool, u32)]) -> Vec<TraceEvent> {
+    raws.iter()
+        .map(|&(addr_raw, shift, is_store, size_sel)| {
+            // shift scatters magnitudes: small shifts keep full-range
+            // addresses (region-crossing deltas), large shifts give dense
+            // sequential-ish clusters
+            let addr = addr_raw >> (shift % 64);
+            let size = [0u32, 1, 2, 4, 8, 16, 64, 256, 4096, u32::MAX][size_sel as usize % 10];
+            if is_store {
+                TraceEvent::store(addr, size)
+            } else {
+                TraceEvent::load(addr, size)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// writer → reader is the identity on arbitrary event lists, across
+    /// chunk boundaries and under both consumption styles.
+    #[test]
+    fn arbitrary_streams_round_trip(
+        raws in proptest::collection::vec(
+            (0u64..u64::MAX, 0u32..64, proptest::bool::ANY, 0u32..10),
+            0..(TRACE_CHUNK_EVENTS * 2 + 100),
+        )
+    ) {
+        let events = build_events(&raws);
+        let buf = encode_to_vec(&TraceHeader::anonymous(0), &events).unwrap();
+
+        // chunked reads
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        prop_assert_eq!(r.read_all().unwrap(), events.clone());
+
+        // per-event iteration
+        let r = TraceReader::new(buf.as_slice()).unwrap();
+        let iterated: Result<Vec<TraceEvent>, TraceError> = r.collect();
+        prop_assert_eq!(iterated.unwrap(), events.clone());
+
+        // replay delivery
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        let mut replayed = Vec::new();
+        let mut sink = memsim_trace::FnSink(|ev: TraceEvent| replayed.push(ev));
+        let n = replay_into(&mut r, &mut sink).unwrap();
+        prop_assert_eq!(n as usize, events.len());
+        prop_assert_eq!(replayed, events);
+    }
+
+    /// Flipping any single byte of a nonempty trace makes the reader
+    /// return an error (or, for the rare flip that lands in an unread
+    /// region, still never a different stream).
+    #[test]
+    fn single_byte_corruption_never_silently_alters_the_stream(
+        raws in proptest::collection::vec(
+            (0u64..u64::MAX, 0u32..64, proptest::bool::ANY, 0u32..10),
+            1..500,
+        ),
+        flip_pos_raw in 0u64..u64::MAX,
+        flip_bit in 0u32..8,
+    ) {
+        let events = build_events(&raws);
+        let buf = encode_to_vec(&TraceHeader::anonymous(0), &events).unwrap();
+        let mut bad = buf.clone();
+        let pos = (flip_pos_raw % bad.len() as u64) as usize;
+        bad[pos] ^= 1 << flip_bit;
+
+        let outcome: Result<Vec<TraceEvent>, TraceError> = match TraceReader::new(bad.as_slice()) {
+            Ok(mut r) => r.read_all(),
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Err(_) => {} // detected — the expected outcome
+            Ok(decoded) => {
+                // A flip inside a varint *within* a CRC-protected payload
+                // cannot decode: so an Ok must mean the flip was caught by
+                // nothing because it didn't change semantics — impossible
+                // for a bit flip — or the file layout shifted but decoded
+                // to the same events. Either way the stream must be
+                // identical to be acceptable.
+                prop_assert_eq!(decoded, events, "corruption silently changed the stream");
+            }
+        }
+    }
+
+    /// Truncating a trace at any point yields an error, never a shorter
+    /// stream passed off as complete.
+    #[test]
+    fn truncation_is_always_detected(
+        raws in proptest::collection::vec(
+            (0u64..u64::MAX, 0u32..64, proptest::bool::ANY, 0u32..10),
+            1..500,
+        ),
+        cut_raw in 0u64..u64::MAX,
+    ) {
+        let events = build_events(&raws);
+        let buf = encode_to_vec(&TraceHeader::anonymous(0), &events).unwrap();
+        let cut = (cut_raw % buf.len() as u64) as usize; // strictly shorter
+        let outcome: Result<Vec<TraceEvent>, TraceError> =
+            match TraceReader::new(&buf[..cut]) {
+                Ok(mut r) => r.read_all(),
+                Err(e) => Err(e),
+            };
+        prop_assert!(outcome.is_err(), "truncation at {cut}/{} not detected", buf.len());
+    }
+}
+
+/// Recording through a real `AddressSpace` preserves the region table and
+/// provenance end to end.
+#[test]
+fn header_provenance_round_trips_through_a_file() {
+    let mut space = AddressSpace::new();
+    let a = space.alloc("grid.u", 1 << 16);
+    let b = space.alloc("grid.rhs", 1 << 14);
+    let header = TraceHeader::for_space(&space, "BT", "mini");
+
+    let dir = std::env::temp_dir().join(format!("memsim-tracefile-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("prov.trace");
+
+    let mut w = TraceWriter::create(&path, &header).unwrap();
+    w.access(TraceEvent::load(a.start, 8));
+    w.access(TraceEvent::store(b.start, 8));
+    let (_, total) = w.finish().unwrap();
+    assert_eq!(total, 2);
+
+    let mut r = TraceReader::open(&path).unwrap();
+    assert_eq!(r.header().workload, "BT");
+    assert_eq!(r.header().class, "mini");
+    assert_eq!(r.header().base_addr, space.base());
+    assert_eq!(r.header().regions, space.regions());
+    assert_eq!(r.header().footprint_bytes(), (1 << 16) + (1 << 14));
+    assert_eq!(r.read_all().unwrap().len(), 2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The empty trace is a first-class file: header + footer only.
+#[test]
+fn empty_trace_round_trips() {
+    let buf = encode_to_vec(&TraceHeader::anonymous(0x40_0000), &[]).unwrap();
+    let mut r = TraceReader::new(buf.as_slice()).unwrap();
+    assert_eq!(r.header().base_addr, 0x40_0000);
+    assert!(r.read_all().unwrap().is_empty());
+}
