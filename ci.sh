@@ -21,4 +21,41 @@ cargo run --release --offline -q -p memsim-cli -- record hash -o "$smoke_dir/has
 cargo run --release --offline -q -p memsim-cli -- trace-info "$smoke_dir/hash.trace"
 cargo run --release --offline -q -p memsim-cli -- replay "$smoke_dir/hash.trace" --designs baseline,nmm
 
+echo "== observability: metrics export, LevelStats cross-check, byte stability"
+MEMSIM_OBS_DETERMINISTIC=1 cargo run --release --offline -q -p memsim-cli -- \
+    run --workload hash --design baseline --scale mini --json \
+    --metrics-out "$smoke_dir/metrics-a.json" >"$smoke_dir/run.json"
+MEMSIM_OBS_DETERMINISTIC=1 cargo run --release --offline -q -p memsim-cli -- \
+    run --workload hash --design baseline --scale mini --quiet \
+    --metrics-out "$smoke_dir/metrics-b.json"
+test -s "$smoke_dir/metrics-a.json"
+test -s "$smoke_dir/run.json"
+# deterministic mode zeroes span wall-times: identical runs, identical bytes
+cmp "$smoke_dir/metrics-a.json" "$smoke_dir/metrics-b.json"
+if command -v python3 >/dev/null 2>&1; then
+    # both documents parse, and every per-level counter in the registry
+    # dump equals the final LevelStats the run itself reported
+    python3 - "$smoke_dir/run.json" "$smoke_dir/metrics-a.json" <<'PY'
+import json, sys
+run = json.load(open(sys.argv[1]))
+doc = json.load(open(sys.argv[2]))
+assert doc["schema"] == "memsim-obs/1", doc["schema"]
+counters = doc["counters"]
+fields = ["loads", "stores", "load_hits", "load_misses", "store_hits",
+          "store_misses", "writebacks_out", "fills", "bytes_loaded",
+          "bytes_stored"]
+checked = 0
+for lvl in run["levels"]:
+    for f in fields:
+        key = "sim.Hash.3L.{}.{}".format(lvl["name"], f)
+        assert counters[key] == lvl[f], (key, counters[key], lvl[f])
+        checked += 1
+assert checked >= 40, checked
+assert counters["progress.events"] > 0
+print("observability cross-check: {} counters match final LevelStats".format(checked))
+PY
+else
+    echo "python3 not found; skipping metrics JSON cross-check"
+fi
+
 echo "ci.sh: all checks passed"

@@ -52,6 +52,33 @@ struct Counters {
     fills: u64,
     bytes_loaded: u64,
     bytes_stored: u64,
+    /// Demand probes resolved by the MRU-ring fast path (no set scan).
+    mru_hits: u64,
+}
+
+/// A raw, copyable view of one level's live counters, for observability
+/// probes that publish per-level values without allocating a
+/// [`LevelStats`] (no `String` name) on every epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterValues {
+    /// Read requests that hit.
+    pub load_hits: u64,
+    /// Read requests that missed.
+    pub load_misses: u64,
+    /// Write requests that hit.
+    pub store_hits: u64,
+    /// Write requests that missed.
+    pub store_misses: u64,
+    /// Dirty blocks evicted downward.
+    pub writebacks_out: u64,
+    /// Blocks installed.
+    pub fills: u64,
+    /// Bytes moved by read requests.
+    pub bytes_loaded: u64,
+    /// Bytes moved by write requests.
+    pub bytes_stored: u64,
+    /// Demand probes resolved by the MRU-ring fast path.
+    pub mru_hits: u64,
 }
 
 /// A simulated cache level. Holds tags and line state only (no data — the
@@ -148,6 +175,30 @@ impl Cache {
         }
     }
 
+    /// The live counter values, including probe-path telemetry that
+    /// [`LevelStats`] does not carry (MRU-ring short circuits).
+    pub fn counter_values(&self) -> CounterValues {
+        let c = &self.counters;
+        CounterValues {
+            load_hits: c.load_hits,
+            load_misses: c.load_misses,
+            store_hits: c.store_hits,
+            store_misses: c.store_misses,
+            writebacks_out: c.writebacks_out,
+            fills: c.fills,
+            bytes_loaded: c.bytes_loaded,
+            bytes_stored: c.bytes_stored,
+            mru_hits: c.mru_hits,
+        }
+    }
+
+    /// Demand probes resolved by the MRU-ring fast path (a subset of
+    /// hits; the ratio to `hits()` is the short-circuit rate).
+    #[inline]
+    pub fn mru_short_circuits(&self) -> u64 {
+        self.counters.mru_hits
+    }
+
     /// Total requests that have arrived at this level. The hierarchy derives
     /// its demand-reference count from L1's, so the per-event path does not
     /// maintain a separate one.
@@ -206,16 +257,18 @@ impl Cache {
     /// report the first invalid way (if any) from the same pass over the
     /// set's line words, so the fill does not rescan them.
     #[inline]
-    fn probe(&self, set: usize, tag: u64) -> Result<usize, Option<usize>> {
+    fn probe(&mut self, set: usize, tag: u64) -> Result<usize, Option<usize>> {
         let base = set * self.ways;
         let want = (tag << 2) | FLAG_VALID;
         let set_lines = &self.lines[base..base + self.ways];
         let mru = (self.mru[set] as usize).min(self.ways - 1);
         let next = if mru + 1 == self.ways { 0 } else { mru + 1 };
         if set_lines[next] & !FLAG_DIRTY == want {
+            self.counters.mru_hits += 1;
             return Ok(next);
         }
         if set_lines[mru] & !FLAG_DIRTY == want {
+            self.counters.mru_hits += 1;
             return Ok(mru);
         }
         let mut invalid = None;

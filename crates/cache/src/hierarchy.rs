@@ -1,6 +1,7 @@
 //! Composition of cache levels over a terminal main memory.
 
 use crate::cache::{AccessOutcome, Cache, WritebackOutcome};
+use crate::probes::{HierarchyProbes, PROBE_EPOCH};
 use memsim_trace::{AccessKind, TraceEvent, TraceSink};
 
 /// The terminal level of a hierarchy (below the last cache).
@@ -77,6 +78,24 @@ pub struct Hierarchy<M: MainMemory> {
     /// Line buffer armed: at least one cache with a block of ≥ 2 bytes
     /// (so a real block id can never equal the `u64::MAX` sentinel).
     lb_enabled: bool,
+    /// Demand references filtered by the line buffer (skipped the walk).
+    lb_hits: u64,
+    /// Events until the next probe publication. Kept inline (not in
+    /// [`ProbeState`]) so the per-event tick touches only this already-hot
+    /// struct, never the probe allocation: without probes it starts at
+    /// `u64::MAX` and can never reach zero, so the uninstrumented path
+    /// pays one decrement and one never-taken branch.
+    probe_countdown: u64,
+    /// Observability hook, absent unless telemetry was requested.
+    probes: Option<Box<ProbeState>>,
+}
+
+/// Attached-probe bookkeeping (see [`crate::probes`] for the protocol).
+#[derive(Debug, Clone)]
+struct ProbeState {
+    probes: HierarchyProbes,
+    /// Cumulative events already added into the shared progress counters.
+    published_events: u64,
 }
 
 impl<M: MainMemory> Hierarchy<M> {
@@ -99,6 +118,91 @@ impl<M: MainMemory> Hierarchy<M> {
             l1_shift,
             lb_block: u64::MAX,
             lb_enabled,
+            lb_hits: 0,
+            probe_countdown: u64::MAX,
+            probes: None,
+        }
+    }
+
+    /// Attach observability probes. From now until drain, cumulative
+    /// counter values are published into the probes' registry handles once
+    /// per ~[`PROBE_EPOCH`] events; [`Hierarchy::drain`] publishes the
+    /// exact final values.
+    pub fn set_probes(&mut self, probes: HierarchyProbes) {
+        debug_assert_eq!(
+            probes.level_count(),
+            self.levels.len(),
+            "probes must cover every cache level"
+        );
+        self.probe_countdown = PROBE_EPOCH;
+        self.probes = Some(Box::new(ProbeState {
+            probes,
+            published_events: 0,
+        }));
+    }
+
+    /// Demand references answered by the one-entry line buffer (the
+    /// filter's short-circuit count; a subset of L1 hits).
+    pub fn line_buffer_hits(&self) -> u64 {
+        self.lb_hits
+    }
+
+    /// Publish exact cumulative counter values to the attached probes
+    /// (no-op when none are attached). Called automatically at drain.
+    pub fn publish_probes(&mut self) {
+        if self.probes.is_some() {
+            self.probe_publish();
+        }
+    }
+
+    /// Epoch boundary reached by the per-event tick: republish and re-arm
+    /// the countdown (to "never" when no probes are attached).
+    #[cold]
+    fn probe_epoch(&mut self) {
+        if self.probes.is_some() {
+            self.probe_countdown = PROBE_EPOCH;
+            self.probe_publish();
+        } else {
+            self.probe_countdown = u64::MAX;
+        }
+    }
+
+    /// Per-chunk probe tick: bumps chunk counters, then publishes if the
+    /// chunk crossed an epoch boundary.
+    fn probe_chunk(&mut self, events_in_chunk: u64) {
+        let Some(state) = self.probes.as_deref_mut() else {
+            return;
+        };
+        for c in &state.probes.chunks {
+            c.inc();
+        }
+        if self.probe_countdown <= events_in_chunk {
+            self.probe_countdown = PROBE_EPOCH;
+            self.probe_publish();
+        } else {
+            self.probe_countdown -= events_in_chunk;
+        }
+    }
+
+    /// Publish cumulative values: per-level counters by absolute store,
+    /// shared progress counters by delta.
+    #[cold]
+    fn probe_publish(&mut self) {
+        let total = self.total_refs();
+        let lb_hits = self.lb_hits;
+        let Some(state) = self.probes.as_deref_mut() else {
+            return;
+        };
+        let delta = total.saturating_sub(state.published_events);
+        state.published_events = total;
+        if delta > 0 {
+            for c in &state.probes.events {
+                c.add(delta);
+            }
+        }
+        state.probes.lb_hits.store(lb_hits);
+        for (probe, cache) in state.probes.levels.iter().zip(self.levels.iter()) {
+            probe.publish(&cache.counter_values());
         }
     }
 
@@ -228,6 +332,7 @@ impl<M: MainMemory> Hierarchy<M> {
                 // resident (write-allocate installs on every miss) and
                 // most-recent in its set, so apply the hit bookkeeping
                 // directly without walking the level.
+                self.lb_hits += 1;
                 self.levels[0].rehit(ev.addr, ev.kind, ev.size);
                 return;
             }
@@ -272,17 +377,18 @@ impl<M: MainMemory> Hierarchy<M> {
                 self.writeback(level + 1, addr, bytes);
             }
         }
+        // Authoritative final publication: after this, registry values are
+        // exact, not one-epoch-stale.
+        self.publish_probes();
     }
 
-    /// Run a consistency check over every level's counters.
+    /// Run a consistency check over every level's counters, panicking
+    /// with the specific broken invariant.
     pub fn assert_consistent(&self) {
         for c in &self.levels {
-            assert!(
-                c.stats().is_consistent(),
-                "{} stats inconsistent: {:?}",
-                c.config().name,
-                c.stats()
-            );
+            if let Some(err) = c.stats().consistency_error() {
+                panic!("stats inconsistent — {err} (full: {:?})", c.stats());
+            }
         }
     }
 }
@@ -291,12 +397,21 @@ impl<M: MainMemory> TraceSink for Hierarchy<M> {
     #[inline]
     fn access(&mut self, ev: TraceEvent) {
         self.process_event(ev);
+        // probe tick: countdown is u64::MAX-armed without probes, so this
+        // is one decrement plus a never-taken branch on the plain path
+        self.probe_countdown -= 1;
+        if self.probe_countdown == 0 {
+            self.probe_epoch();
+        }
     }
 
     /// Batched delivery: one virtual call, then a tight monomorphic loop.
     fn access_chunk(&mut self, events: &[TraceEvent]) {
         for &ev in events {
             self.process_event(ev);
+        }
+        if self.probes.is_some() {
+            self.probe_chunk(events.len() as u64);
         }
     }
 
@@ -435,6 +550,59 @@ mod tests {
         assert_eq!(l2.loads, l1.misses());
         // every L2 load miss produces a memory load; L2 store misses bypass
         assert_eq!(h.memory().loads, l2.load_misses);
+    }
+
+    #[test]
+    fn probes_publish_exact_final_counters() {
+        let reg = memsim_obs::MetricsRegistry::new();
+        let mut h = two_level();
+        let names: Vec<&str> = vec!["L1", "L2"];
+        h.set_probes(HierarchyProbes::register(&reg, "t", &names));
+        // Fewer events than one epoch: only the drain publication runs.
+        for i in 0..100u64 {
+            h.access(TraceEvent::load(i * 8, 8));
+        }
+        h.access(TraceEvent::store(0x0, 8));
+        h.flush();
+        let l1 = h.levels()[0].stats();
+        assert_eq!(reg.counter_value("t.L1.loads"), Some(l1.loads));
+        assert_eq!(reg.counter_value("t.L1.load_hits"), Some(l1.load_hits));
+        assert_eq!(reg.counter_value("t.L1.load_misses"), Some(l1.load_misses));
+        assert_eq!(
+            reg.counter_value("t.L1.writebacks_out"),
+            Some(l1.writebacks_out)
+        );
+        assert_eq!(
+            reg.counter_value("t.L1.mru_hits"),
+            Some(h.levels()[0].mru_short_circuits())
+        );
+        let l2 = h.levels()[1].stats();
+        assert_eq!(reg.counter_value("t.L2.loads"), Some(l2.loads));
+        assert_eq!(
+            reg.counter_value("t.l1_line_buffer_hits"),
+            Some(h.line_buffer_hits())
+        );
+        assert_eq!(reg.counter_value("progress.events"), Some(h.total_refs()));
+    }
+
+    #[test]
+    fn chunked_probe_publication_counts_chunks_and_epochs() {
+        let reg = memsim_obs::MetricsRegistry::new();
+        let mut h = two_level();
+        h.set_probes(HierarchyProbes::register(&reg, "t", &["L1", "L2"]));
+        let chunk: Vec<TraceEvent> = (0..512u64).map(|i| TraceEvent::load(i * 8, 8)).collect();
+        let chunks = 2 * PROBE_EPOCH / 512; // 2× epoch worth of events
+        for _ in 0..chunks {
+            h.access_chunk(&chunk); // crosses ≥1 epoch mid-stream
+        }
+        assert_eq!(reg.counter_value("progress.chunks"), Some(chunks));
+        let published = reg.counter_value("progress.events").unwrap();
+        assert!(
+            published >= PROBE_EPOCH && published <= h.total_refs(),
+            "mid-stream publication lags by at most one epoch: {published}"
+        );
+        h.flush();
+        assert_eq!(reg.counter_value("progress.events"), Some(h.total_refs()));
     }
 
     #[test]

@@ -39,10 +39,12 @@ mod cache;
 mod config;
 mod hierarchy;
 mod policy;
+pub mod probes;
 mod stats;
 
-pub use cache::{AccessOutcome, Cache, WritebackOutcome};
+pub use cache::{AccessOutcome, Cache, CounterValues, WritebackOutcome};
 pub use config::{Associativity, CacheConfig, WritebackMissPolicy};
 pub use hierarchy::{CountingMemory, Hierarchy, MainMemory};
 pub use policy::ReplacementPolicy;
+pub use probes::{HierarchyProbes, LevelProbes};
 pub use stats::LevelStats;

@@ -41,19 +41,20 @@ impl LevelStats {
         }
     }
 
-    /// Total requests (loads + stores).
+    /// Total requests (loads + stores). Saturates rather than wrapping, so
+    /// a miscounting probe can never make a derived total look small.
     pub fn accesses(&self) -> u64 {
-        self.loads + self.stores
+        self.loads.saturating_add(self.stores)
     }
 
-    /// Total hits.
+    /// Total hits (saturating).
     pub fn hits(&self) -> u64 {
-        self.load_hits + self.store_hits
+        self.load_hits.saturating_add(self.store_hits)
     }
 
-    /// Total misses.
+    /// Total misses (saturating).
     pub fn misses(&self) -> u64 {
-        self.load_misses + self.store_misses
+        self.load_misses.saturating_add(self.store_misses)
     }
 
     /// Hit rate in `[0, 1]`; 0 for an idle level.
@@ -69,23 +70,45 @@ impl LevelStats {
     ///
     /// Used by tests and debug assertions.
     pub fn is_consistent(&self) -> bool {
-        self.load_hits + self.load_misses == self.loads
-            && self.store_hits + self.store_misses == self.stores
+        self.consistency_error().is_none()
+    }
+
+    /// Which invariant is broken, if any, as a readable message — so a
+    /// probe miscount surfaces as "L2: load_hits (3) + load_misses (1) !=
+    /// loads (5)" instead of a bare boolean.
+    pub fn consistency_error(&self) -> Option<String> {
+        let check = |kind: &str, hits: u64, misses: u64, total: u64| -> Option<String> {
+            match hits.checked_add(misses) {
+                None => Some(format!(
+                    "{}: {kind}_hits ({hits}) + {kind}_misses ({misses}) overflows u64",
+                    self.name
+                )),
+                Some(sum) if sum != total => Some(format!(
+                    "{}: {kind}_hits ({hits}) + {kind}_misses ({misses}) != {kind}s ({total})",
+                    self.name
+                )),
+                Some(_) => None,
+            }
+        };
+        check("load", self.load_hits, self.load_misses, self.loads)
+            .or_else(|| check("store", self.store_hits, self.store_misses, self.stores))
     }
 
     /// Merge another level's counters into this one (used when averaging
-    /// across workloads or accumulating shards).
+    /// across workloads or accumulating shards). Saturating: an overflow
+    /// pegs at `u64::MAX`, where `consistency_error` reports it, instead
+    /// of silently wrapping into a plausible-looking small number.
     pub fn merge(&mut self, other: &LevelStats) {
-        self.loads += other.loads;
-        self.stores += other.stores;
-        self.load_hits += other.load_hits;
-        self.load_misses += other.load_misses;
-        self.store_hits += other.store_hits;
-        self.store_misses += other.store_misses;
-        self.writebacks_out += other.writebacks_out;
-        self.fills += other.fills;
-        self.bytes_loaded += other.bytes_loaded;
-        self.bytes_stored += other.bytes_stored;
+        self.loads = self.loads.saturating_add(other.loads);
+        self.stores = self.stores.saturating_add(other.stores);
+        self.load_hits = self.load_hits.saturating_add(other.load_hits);
+        self.load_misses = self.load_misses.saturating_add(other.load_misses);
+        self.store_hits = self.store_hits.saturating_add(other.store_hits);
+        self.store_misses = self.store_misses.saturating_add(other.store_misses);
+        self.writebacks_out = self.writebacks_out.saturating_add(other.writebacks_out);
+        self.fills = self.fills.saturating_add(other.fills);
+        self.bytes_loaded = self.bytes_loaded.saturating_add(other.bytes_loaded);
+        self.bytes_stored = self.bytes_stored.saturating_add(other.bytes_stored);
     }
 }
 
@@ -126,6 +149,57 @@ mod tests {
             ..Default::default()
         };
         assert!(!s.is_consistent());
+    }
+
+    #[test]
+    fn consistency_error_names_the_broken_invariant() {
+        let s = LevelStats {
+            name: "L2".into(),
+            loads: 5,
+            load_hits: 3,
+            load_misses: 1,
+            ..Default::default()
+        };
+        let msg = s.consistency_error().expect("must be inconsistent");
+        assert_eq!(msg, "L2: load_hits (3) + load_misses (1) != loads (5)");
+
+        let s = LevelStats {
+            name: "L1".into(),
+            stores: 2,
+            store_hits: 1,
+            store_misses: 0,
+            ..Default::default()
+        };
+        let msg = s.consistency_error().unwrap();
+        assert!(msg.contains("store_hits"), "{msg}");
+        assert!(LevelStats::new("ok").consistency_error().is_none());
+    }
+
+    #[test]
+    fn consistency_error_reports_overflowing_sum() {
+        let s = LevelStats {
+            name: "L3".into(),
+            loads: u64::MAX,
+            load_hits: u64::MAX,
+            load_misses: 2,
+            ..Default::default()
+        };
+        let msg = s.consistency_error().unwrap();
+        assert!(msg.contains("overflows"), "{msg}");
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = LevelStats {
+            loads: u64::MAX - 1,
+            ..Default::default()
+        };
+        let b = LevelStats {
+            loads: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.loads, u64::MAX);
     }
 
     #[test]

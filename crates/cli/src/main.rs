@@ -11,14 +11,18 @@
 //! memsim trace-info cg.trace
 //! ```
 
+mod output;
+
 use memsim_core::configs::{eh_by_name, eh_configs, n_by_name, n_configs};
 use memsim_core::experiments::{self, ExperimentCtx, Metric};
 use memsim_core::report::{heatmap_to_csv, heatmap_to_markdown};
 use memsim_core::{evaluate, Design, Scale, SimCache};
+use memsim_obs::json;
 use memsim_tech::Technology;
 use memsim_tracefile::TraceReader;
 use memsim_workloads::{Class, WorkloadKind};
-use std::path::Path;
+use output::{Mode, Report};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -35,7 +39,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [options]\n  memsim analyze --workload <W> [options]\n  memsim record <W> -o FILE [options]      record W's address stream to a trace file\n  memsim replay <FILE> [--designs a,b,c]   evaluate designs against a recorded trace\n  memsim trace-info <FILE>                 inspect a trace file\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --csv                     CSV instead of markdown"
+    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [options]\n  memsim analyze --workload <W> [options]\n  memsim record <W> -o FILE [options]      record W's address stream to a trace file\n  memsim replay <FILE> [--designs a,b,c]   evaluate designs against a recorded trace\n  memsim trace-info <FILE>                 inspect a trace file\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --csv                     CSV instead of markdown\n  --json                    one JSON object instead of human text (run/replay/record/trace-info)\n  --quiet                   suppress stdout (run/replay/record/trace-info)\n  --progress                live progress line + end-of-run phase timings (run/replay/record)\n  --metrics-out FILE        write the metrics/span dump as deterministic JSON (run/replay/record)"
 }
 
 /// Minimal flag parser: `--key value` pairs after the positional arguments.
@@ -54,7 +58,7 @@ impl Opts {
         while i < args.len() {
             let a = &args[i];
             if let Some(key) = a.strip_prefix("--") {
-                if key == "csv" {
+                if ["csv", "json", "quiet", "progress"].contains(&key) {
                     switches.push(key.to_string());
                     i += 1;
                 } else {
@@ -130,6 +134,10 @@ impl Opts {
         }
     }
 
+    fn report_mode(&self) -> Result<Mode, String> {
+        Mode::from_switches(self.has("json"), self.has("quiet"))
+    }
+
     fn threads(&self) -> Result<Option<usize>, String> {
         match self.get("threads") {
             None => Ok(None),
@@ -138,6 +146,72 @@ impl Opts {
                 .map(Some)
                 .map_err(|_| format!("bad thread count '{t}'")),
         }
+    }
+}
+
+/// Per-command observability lifecycle: armed by `--metrics-out` or
+/// `--progress`, it resets and enables the global registry, optionally
+/// starts the live progress sampler, accumulates the run manifest, and on
+/// [`ObsSession::finish`] renders the phase-timing summary and writes the
+/// deterministic metrics JSON.
+struct ObsSession {
+    metrics_out: Option<PathBuf>,
+    sampler: Option<memsim_obs::ProgressSampler>,
+    progress: bool,
+    active: bool,
+    manifest: Vec<(&'static str, String)>,
+}
+
+impl ObsSession {
+    fn start(opts: &Opts, command: &str) -> Self {
+        let metrics_out = opts.get("metrics-out").map(PathBuf::from);
+        let progress = opts.has("progress");
+        let active = metrics_out.is_some() || progress;
+        if active {
+            memsim_obs::reset();
+            memsim_obs::set_enabled(true);
+            if std::env::var_os("MEMSIM_OBS_DETERMINISTIC").is_some() {
+                memsim_obs::set_deterministic(true);
+            }
+        }
+        let sampler = progress.then(|| memsim_obs::ProgressSampler::start(command));
+        Self {
+            metrics_out,
+            sampler,
+            progress,
+            active,
+            manifest: vec![
+                ("command", command.to_string()),
+                ("version", env!("CARGO_PKG_VERSION").to_string()),
+            ],
+        }
+    }
+
+    /// Add a manifest entry (workload, design, scale, ...).
+    fn annotate(&mut self, key: &'static str, value: String) {
+        if self.active {
+            self.manifest.push((key, value));
+        }
+    }
+
+    fn finish(mut self) -> Result<(), String> {
+        drop(self.sampler.take());
+        if self.progress {
+            eprint!("{}", memsim_obs::render_summary(memsim_obs::global()));
+        }
+        if let Some(path) = &self.metrics_out {
+            let manifest: Vec<(&str, String)> =
+                self.manifest.iter().map(|(k, v)| (*k, v.clone())).collect();
+            let doc = memsim_obs::export_json(&manifest, memsim_obs::global());
+            std::fs::write(path, doc)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("metrics written to {}", path.display());
+        }
+        if self.active {
+            // leave global state quiescent for subsequent in-process calls
+            memsim_obs::set_enabled(false);
+        }
+        Ok(())
     }
 }
 
@@ -160,8 +234,16 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => {
             opts.expect(
                 "run",
-                &["workload", "design", "llc", "nvm", "config", "scale"],
-                &[],
+                &[
+                    "workload",
+                    "design",
+                    "llc",
+                    "nvm",
+                    "config",
+                    "scale",
+                    "metrics-out",
+                ],
+                &["json", "quiet", "progress"],
             )?;
             cmd_run(&opts)
         }
@@ -178,15 +260,23 @@ fn run(args: &[String]) -> Result<(), String> {
             cmd_analyze(&opts)
         }
         "record" => {
-            opts.expect("record", &["out", "scale"], &[])?;
+            opts.expect(
+                "record",
+                &["out", "scale", "metrics-out"],
+                &["json", "quiet", "progress"],
+            )?;
             cmd_record(&opts)
         }
         "replay" => {
-            opts.expect("replay", &["designs", "scale", "threads"], &[])?;
+            opts.expect(
+                "replay",
+                &["designs", "scale", "threads", "metrics-out"],
+                &["json", "quiet", "progress"],
+            )?;
             cmd_replay(&opts)
         }
         "trace-info" => {
-            opts.expect("trace-info", &[], &[])?;
+            opts.expect("trace-info", &[], &["json", "quiet"])?;
             cmd_trace_info(&opts)
         }
         "help" | "--help" | "-h" => {
@@ -368,57 +458,63 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     };
     design.validate()?;
 
+    let mut r = Report::new(opts.report_mode()?);
+    let mut obs = ObsSession::start(opts, "run");
+    obs.annotate("workload", workload.name().to_string());
+    obs.annotate("design", design.label());
+    obs.annotate("scale", scale.class.name().to_string());
+
     let base = evaluate(workload, &scale, &Design::Baseline);
     let result = evaluate(workload, &scale, &design);
     let norm = result.metrics.normalized_to(&base.metrics);
 
-    println!("# {} on {}", design.label(), workload.name());
-    println!();
-    println!("| metric | baseline | design | normalized |");
-    println!("|---|---|---|---|");
-    println!(
+    r.text(format!("# {} on {}", design.label(), workload.name()));
+    r.blank();
+    r.text("| metric | baseline | design | normalized |");
+    r.text("|---|---|---|---|");
+    r.text(format!(
         "| AMAT (ns) | {:.3} | {:.3} | {:.4} |",
         base.metrics.amat_ns,
         result.metrics.amat_ns,
         result.metrics.amat_ns / base.metrics.amat_ns
-    );
-    println!(
+    ));
+    r.text(format!(
         "| time (ms) | {:.3} | {:.3} | {:.4} |",
         base.metrics.time_s * 1e3,
         result.metrics.time_s * 1e3,
         norm.time
-    );
-    println!(
+    ));
+    r.text(format!(
         "| dynamic energy (mJ) | {:.3} | {:.3} | {:.4} |",
         base.metrics.dynamic_j * 1e3,
         result.metrics.dynamic_j * 1e3,
         norm.dynamic
-    );
-    println!(
+    ));
+    r.text(format!(
         "| static energy (mJ) | {:.3} | {:.3} | {:.4} |",
         base.metrics.static_j * 1e3,
         result.metrics.static_j * 1e3,
         norm.static_
-    );
-    println!(
+    ));
+    r.text(format!(
         "| total energy (mJ) | {:.3} | {:.3} | {:.4} |",
         base.metrics.energy_j() * 1e3,
         result.metrics.energy_j() * 1e3,
         norm.energy
-    );
-    println!(
+    ));
+    r.text(format!(
         "| EDP (µJ·s) | {:.4} | {:.4} | {:.4} |",
         base.metrics.edp() * 1e6,
         result.metrics.edp() * 1e6,
         norm.edp
-    );
-    println!();
-    println!("## hierarchy ({} refs)", result.run.total_refs);
-    println!();
-    println!("| level | loads | stores | hit rate | MiB read | MiB written |");
-    println!("|---|---|---|---|---|---|");
+    ));
+    r.blank();
+    r.text(format!("## hierarchy ({} refs)", result.run.total_refs));
+    r.blank();
+    r.text("| level | loads | stores | hit rate | MiB read | MiB written |");
+    r.text("|---|---|---|---|---|---|");
     for s in result.run.all_levels() {
-        println!(
+        r.text(format!(
             "| {} | {} | {} | {:.4} | {:.1} | {:.1} |",
             s.name,
             s.loads,
@@ -426,47 +522,101 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             s.hit_rate(),
             s.bytes_loaded as f64 / (1 << 20) as f64,
             s.bytes_stored as f64 / (1 << 20) as f64,
-        );
+        ));
     }
     // per-level energy breakdown (non-NDM designs expose aligned costing)
     if !matches!(design, Design::Ndm { .. }) {
         let costs = design.costing(&scale, &result.run);
         let stats = result.run.all_levels();
         let pairs: Vec<_> = stats.into_iter().zip(costs.iter()).collect();
-        println!();
-        println!("## energy breakdown");
-        println!();
-        println!("| level | time share | dynamic (mJ) | static power (mW) |");
-        println!("|---|---|---|---|");
+        r.blank();
+        r.text("## energy breakdown");
+        r.blank();
+        r.text("| level | time share | dynamic (mJ) | static power (mW) |");
+        r.text("|---|---|---|---|");
         let total_ns: f64 = pairs.iter().map(|(st, c)| c.time_ns(st)).sum();
         for row in memsim_core::breakdown(&pairs) {
-            println!(
+            r.text(format!(
                 "| {} | {:.1}% | {:.3} | {:.2} |",
                 row.name,
                 100.0 * row.time_ns / total_ns,
                 row.dynamic_j * 1e3,
                 row.static_w * 1e3,
-            );
+            ));
         }
     }
 
     if let Some(placement) = &result.placement {
-        println!();
-        println!("## NDM placement");
-        println!();
-        println!("| region | bytes | placement | memory refs |");
-        println!("|---|---|---|---|");
+        r.blank();
+        r.text("## NDM placement");
+        r.blank();
+        r.text("| region | bytes | placement | memory refs |");
+        r.text("|---|---|---|---|");
         for (i, p) in placement.iter().enumerate() {
-            println!(
+            r.text(format!(
                 "| {} | {} | {:?} | {} |",
                 result.run.region_names[i],
                 result.run.region_sizes[i],
                 p,
                 result.run.per_region[i].loads + result.run.per_region[i].stores,
-            );
+            ));
         }
     }
-    Ok(())
+
+    r.str_field("workload", workload.name());
+    r.str_field("design", &design.label());
+    r.str_field("scale", scale.class.name());
+    r.u64_field("total_refs", result.run.total_refs);
+    r.raw("baseline", metrics_json(&base.metrics));
+    r.raw("design_metrics", metrics_json(&result.metrics));
+    let mut normalized = json::Obj::new();
+    normalized
+        .f64("time", norm.time)
+        .f64("dynamic", norm.dynamic)
+        .f64("static", norm.static_)
+        .f64("energy", norm.energy)
+        .f64("edp", norm.edp);
+    r.raw("normalized", normalized.finish());
+    r.raw("levels", levels_json(&result.run));
+    r.finish();
+    obs.finish()
+}
+
+/// A [`memsim_core::Metrics`] value as a JSON object.
+fn metrics_json(m: &memsim_core::Metrics) -> String {
+    let mut o = json::Obj::new();
+    o.f64("amat_ns", m.amat_ns)
+        .f64("time_s", m.time_s)
+        .f64("dynamic_j", m.dynamic_j)
+        .f64("static_j", m.static_j)
+        .f64("energy_j", m.energy_j())
+        .f64("edp", m.edp());
+    o.finish()
+}
+
+/// Every level's counters of a run as a JSON array (same fields the
+/// `--metrics-out` registry dump publishes, for cross-checking).
+fn levels_json(run: &memsim_core::RawRun) -> String {
+    let levels: Vec<String> = run
+        .all_levels()
+        .into_iter()
+        .map(|s| {
+            let mut o = json::Obj::new();
+            o.str("name", &s.name)
+                .u64("loads", s.loads)
+                .u64("stores", s.stores)
+                .u64("load_hits", s.load_hits)
+                .u64("load_misses", s.load_misses)
+                .u64("store_hits", s.store_hits)
+                .u64("store_misses", s.store_misses)
+                .u64("writebacks_out", s.writebacks_out)
+                .u64("fills", s.fills)
+                .u64("bytes_loaded", s.bytes_loaded)
+                .u64("bytes_stored", s.bytes_stored);
+            o.finish()
+        })
+        .collect();
+    json::array(&levels)
 }
 
 /// Characterize a workload's address stream: reference counts, load/store
@@ -626,21 +776,37 @@ fn cmd_record(opts: &Opts) -> Result<(), String> {
     let kind = WorkloadKind::parse(wname).ok_or_else(|| format!("unknown workload '{wname}'"))?;
     let out = opts.get("out").ok_or("record needs -o <file>")?;
     let scale = opts.scale()?;
-    eprintln!(
-        "recording {} at {} scale to {out} ...",
-        kind.name(),
-        scale.class.name()
-    );
+    let mut r = Report::new(opts.report_mode()?);
+    let mut obs = ObsSession::start(opts, "record");
+    obs.annotate("workload", kind.name().to_string());
+    obs.annotate("scale", scale.class.name().to_string());
+    obs.annotate("trace", out.to_string());
+    if r.mode() == Mode::Human {
+        eprintln!(
+            "recording {} at {} scale to {out} ...",
+            kind.name(),
+            scale.class.name()
+        );
+    }
     let s = memsim_core::record_workload(kind, scale.class, Path::new(out))?;
-    println!(
+    r.text(format!(
         "recorded {} events in {} chunks ({:.1} MiB, {:.2} B/event, {:.1} MiB footprint)",
         s.events,
         s.chunks,
         s.file_bytes as f64 / (1 << 20) as f64,
         s.bytes_per_event(),
         s.footprint_bytes as f64 / (1 << 20) as f64,
-    );
-    Ok(())
+    ));
+    r.str_field("workload", kind.name());
+    r.str_field("scale", scale.class.name());
+    r.str_field("trace", out);
+    r.u64_field("events", s.events);
+    r.u64_field("chunks", s.chunks);
+    r.u64_field("file_bytes", s.file_bytes);
+    r.f64_field("bytes_per_event", s.bytes_per_event());
+    r.u64_field("footprint_bytes", s.footprint_bytes);
+    r.finish();
+    obs.finish()
 }
 
 /// The design grid `replay` evaluates by default: one representative per
@@ -720,24 +886,35 @@ fn cmd_replay(opts: &Opts) -> Result<(), String> {
     let mut grid = vec![Design::Baseline];
     grid.extend(designs.iter().filter(|d| **d != Design::Baseline).copied());
 
+    let mut rep = Report::new(opts.report_mode()?);
+    let mut obs = ObsSession::start(opts, "replay");
+    obs.annotate("trace", file.to_string());
+    obs.annotate("workload", header.workload.clone());
+    obs.annotate("scale", scale.class.name().to_string());
+    obs.annotate(
+        "designs",
+        grid.iter().map(|d| d.label()).collect::<Vec<_>>().join(","),
+    );
+
     let results = memsim_core::replay_grid(path, &grid, &scale, opts.threads()?)?;
     let base = &results[0];
 
-    println!(
+    rep.text(format!(
         "# replay of {} ({} events, {} scale)",
         header.workload, base.run.total_refs, header.class
+    ));
+    rep.blank();
+    rep.text(
+        "| design | AMAT (ns) | time (ms) | energy (mJ) | EDP (µJ·s) | time× | energy× | EDP× |",
     );
-    println!();
-    println!(
-        "| design | AMAT (ns) | time (ms) | energy (mJ) | EDP (µJ·s) | time× | energy× | EDP× |"
-    );
-    println!("|---|---|---|---|---|---|---|---|");
+    rep.text("|---|---|---|---|---|---|---|---|");
+    let mut rows: Vec<String> = Vec::new();
     for (d, r) in grid.iter().zip(&results) {
         if !designs.contains(d) {
             continue;
         }
         let norm = r.metrics.normalized_to(&base.metrics);
-        println!(
+        rep.text(format!(
             "| {} | {:.3} | {:.3} | {:.3} | {:.4} | {:.4} | {:.4} | {:.4} |",
             d.label(),
             r.metrics.amat_ns,
@@ -747,9 +924,22 @@ fn cmd_replay(opts: &Opts) -> Result<(), String> {
             norm.time,
             norm.energy,
             norm.edp,
-        );
+        ));
+        let mut row = json::Obj::new();
+        row.str("design", &d.label())
+            .raw("metrics", &metrics_json(&r.metrics))
+            .f64("time_x", norm.time)
+            .f64("energy_x", norm.energy)
+            .f64("edp_x", norm.edp);
+        rows.push(row.finish());
     }
-    Ok(())
+    rep.str_field("trace", file);
+    rep.str_field("workload", &header.workload);
+    rep.str_field("scale", scale.class.name());
+    rep.u64_field("events", base.run.total_refs);
+    rep.raw("results", json::array(&rows));
+    rep.finish();
+    obs.finish()
 }
 
 fn cmd_trace_info(opts: &Opts) -> Result<(), String> {
@@ -763,9 +953,10 @@ fn cmd_trace_info(opts: &Opts) -> Result<(), String> {
     let s = memsim_tracefile::summarize(&mut reader).map_err(|e| format!("{file}: {e}"))?;
     let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
 
-    println!("# {file}");
-    println!();
-    println!(
+    let mut r = Report::new(opts.report_mode()?);
+    r.text(format!("# {file}"));
+    r.blank();
+    r.text(format!(
         "workload: {} ({} scale)",
         if header.workload.is_empty() {
             "(anonymous)"
@@ -777,16 +968,16 @@ fn cmd_trace_info(opts: &Opts) -> Result<(), String> {
         } else {
             &header.class
         },
-    );
-    println!("format: v{}", header.version);
-    println!(
+    ));
+    r.text(format!("format: v{}", header.version));
+    r.text(format!(
         "events: {} ({} loads, {} stores; store fraction {:.1}%)",
         s.events,
         s.loads,
         s.stores,
         100.0 * s.store_fraction()
-    );
-    println!(
+    ));
+    r.text(format!(
         "encoding: {} chunks, {:.2} payload B/event, {:.2} file B/event",
         s.chunks,
         s.payload_bytes_per_event(),
@@ -795,19 +986,52 @@ fn cmd_trace_info(opts: &Opts) -> Result<(), String> {
         } else {
             file_bytes as f64 / s.events as f64
         },
-    );
-    println!(
+    ));
+    r.text(format!(
+        "integrity: {}/{} chunks CRC-verified",
+        s.crc_verified_chunks, s.chunks
+    ));
+    if let (Some((min_ev, max_ev)), Some((min_b, max_b))) =
+        (s.chunk_events_range, s.chunk_payload_range)
+    {
+        r.text(format!(
+            "chunk shape: {min_ev}-{max_ev} events, {min_b}-{max_b} payload bytes per chunk"
+        ));
+    }
+    r.text(format!(
         "regions: {} ({:.1} MiB registered footprint, base {:#x})",
         header.regions.len(),
         header.footprint_bytes() as f64 / (1 << 20) as f64,
         header.base_addr,
-    );
+    ));
     if s.events > 0 {
-        println!(
+        r.text(format!(
             "touched: {} distinct 64 B lines, address span [{:#x}, {:#x}]",
             s.touched_lines, s.min_addr, s.max_addr
-        );
+        ));
     }
+
+    r.str_field("trace", file);
+    r.str_field("workload", &header.workload);
+    r.str_field("class", &header.class);
+    r.u64_field("format_version", u64::from(header.version));
+    r.u64_field("events", s.events);
+    r.u64_field("loads", s.loads);
+    r.u64_field("stores", s.stores);
+    r.u64_field("chunks", s.chunks);
+    r.u64_field("crc_verified_chunks", s.crc_verified_chunks);
+    r.u64_field("payload_bytes", s.payload_bytes);
+    r.u64_field("file_bytes", file_bytes);
+    if let Some((lo, hi)) = s.chunk_events_range {
+        r.raw("chunk_events_range", format!("[{lo},{hi}]"));
+    }
+    if let Some((lo, hi)) = s.chunk_payload_range {
+        r.raw("chunk_payload_range", format!("[{lo},{hi}]"));
+    }
+    r.u64_field("regions", header.regions.len() as u64);
+    r.u64_field("footprint_bytes", header.footprint_bytes());
+    r.u64_field("touched_lines", s.touched_lines);
+    r.finish();
     Ok(())
 }
 
@@ -953,6 +1177,11 @@ mod tests {
         assert!(run(&args(&["record", "cg", "--csv"])).is_err());
         assert!(run(&args(&["replay", "x.trace", "--out", "y"])).is_err());
         assert!(run(&args(&["trace-info", "x.trace", "--scale", "mini"])).is_err());
+        // the report/obs switches only exist on run/replay/record/trace-info
+        assert!(run(&args(&["figure", "fig1", "--json"])).is_err());
+        assert!(run(&args(&["list", "--quiet"])).is_err());
+        assert!(run(&args(&["trace-info", "x.trace", "--progress"])).is_err());
+        assert!(run(&args(&["table", "tech", "--metrics-out", "m.json"])).is_err());
         // short flags other than -o don't exist
         assert!(Opts::parse(&args(&["-x"])).is_err());
         assert!(Opts::parse(&args(&["-o"])).is_err()); // missing value
@@ -987,6 +1216,67 @@ mod tests {
         run(&args(&["replay", &trace, "--designs", "baseline,nmm"])).unwrap();
         // unknown design name in the filter
         assert!(run(&args(&["replay", &trace, "--designs", "warp"])).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_and_quiet_are_mutually_exclusive() {
+        assert!(run(&args(&[
+            "run",
+            "--workload",
+            "cg",
+            "--design",
+            "baseline",
+            "--scale",
+            "mini",
+            "--json",
+            "--quiet"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn metrics_out_writes_parseable_json() {
+        let _lock = memsim_obs::test_lock();
+        let dir = std::env::temp_dir().join(format!("memsim-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("hash.trace").display().to_string();
+        let m1 = dir.join("record.json").display().to_string();
+        let m2 = dir.join("replay.json").display().to_string();
+
+        run(&args(&[
+            "record",
+            "hash",
+            "-o",
+            &trace,
+            "--scale",
+            "mini",
+            "--quiet",
+            "--metrics-out",
+            &m1,
+        ]))
+        .unwrap();
+        let doc = std::fs::read_to_string(&m1).unwrap();
+        assert!(doc.starts_with("{\"schema\":\"memsim-obs/1\""), "{doc}");
+        assert!(doc.ends_with("}\n"));
+        assert!(doc.contains("\"progress.events\""));
+        assert!(doc.contains("\"command\":\"record\""));
+
+        run(&args(&[
+            "replay",
+            &trace,
+            "--designs",
+            "baseline",
+            "--json",
+            "--metrics-out",
+            &m2,
+        ]))
+        .unwrap();
+        let doc = std::fs::read_to_string(&m2).unwrap();
+        assert!(doc.contains("\"replay.3L.L1.load_hits\""), "{doc}");
+        assert!(doc.contains("\"replay.3L.reader.crc_verified_chunks\""));
+        assert!(doc.contains("\"progress.shards_done\""));
 
         std::fs::remove_dir_all(&dir).ok();
     }

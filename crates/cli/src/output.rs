@@ -1,0 +1,183 @@
+//! Output routing for the CLI: each command builds one [`Report`] that
+//! collects human-readable lines and structured fields side by side, then
+//! renders whichever representation the user asked for — markdown-ish
+//! text (the default), one JSON object (`--json`), or nothing at all
+//! (`--quiet`, for scripts that only want the exit code or a
+//! `--metrics-out` file).
+
+use memsim_obs::json;
+
+/// How a command's report reaches stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Human text (the default).
+    Human,
+    /// A single JSON object; human lines are suppressed.
+    Json,
+    /// Nothing on stdout (errors still reach stderr).
+    Quiet,
+}
+
+impl Mode {
+    /// Resolve the `--json` / `--quiet` switches into a mode.
+    pub fn from_switches(json: bool, quiet: bool) -> Result<Self, String> {
+        match (json, quiet) {
+            (true, true) => Err("--json and --quiet are mutually exclusive".to_string()),
+            (true, false) => Ok(Mode::Json),
+            (false, true) => Ok(Mode::Quiet),
+            (false, false) => Ok(Mode::Human),
+        }
+    }
+}
+
+/// Buffers a command's output and renders it once at the end.
+///
+/// Human lines ([`Report::text`]) and structured fields ([`Report::raw`]
+/// and friends) accumulate independently; [`Report::finish`] prints the
+/// representation the mode selects. Nothing is written before `finish`,
+/// so a command that errors mid-way produces no partial report.
+pub struct Report {
+    mode: Mode,
+    lines: Vec<String>,
+    fields: Vec<(String, String)>,
+}
+
+impl Report {
+    /// An empty report rendering in `mode`.
+    pub fn new(mode: Mode) -> Self {
+        Self {
+            mode,
+            lines: Vec::new(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// The rendering mode this report was created with.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Append a human-visible line (shown only in [`Mode::Human`]).
+    pub fn text(&mut self, line: impl Into<String>) {
+        if self.mode == Mode::Human {
+            self.lines.push(line.into());
+        }
+    }
+
+    /// Append an empty human-visible line.
+    pub fn blank(&mut self) {
+        self.text("");
+    }
+
+    /// Record a structured field whose value is already-serialized JSON.
+    pub fn raw(&mut self, key: &str, value: String) {
+        if self.mode == Mode::Json {
+            self.fields.push((key.to_string(), value));
+        }
+    }
+
+    /// Record a string field for `--json` output.
+    pub fn str_field(&mut self, key: &str, value: &str) {
+        self.raw(key, format!("\"{}\"", json::escape(value)));
+    }
+
+    /// Record an unsigned integer field for `--json` output.
+    pub fn u64_field(&mut self, key: &str, value: u64) {
+        self.raw(key, value.to_string());
+    }
+
+    /// Record a float field for `--json` output.
+    pub fn f64_field(&mut self, key: &str, value: f64) {
+        let v = if value.is_finite() {
+            format!("{value:?}")
+        } else {
+            "null".to_string()
+        };
+        self.raw(key, v);
+    }
+
+    /// Render the report to stdout.
+    pub fn finish(self) {
+        match self.mode {
+            Mode::Human => {
+                for line in &self.lines {
+                    println!("{line}");
+                }
+            }
+            Mode::Json => {
+                let mut obj = json::Obj::new();
+                for (key, value) in &self.fields {
+                    obj.raw(key, value);
+                }
+                println!("{}", obj.finish());
+            }
+            Mode::Quiet => {}
+        }
+    }
+
+    /// Render the report to a string (tests).
+    #[cfg(test)]
+    fn render(self) -> String {
+        match self.mode {
+            Mode::Human => {
+                let mut out = String::new();
+                for line in &self.lines {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                out
+            }
+            Mode::Json => {
+                let mut obj = json::Obj::new();
+                for (key, value) in &self.fields {
+                    obj.raw(key, value);
+                }
+                obj.finish()
+            }
+            Mode::Quiet => String::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_from_switches() {
+        assert_eq!(Mode::from_switches(false, false).unwrap(), Mode::Human);
+        assert_eq!(Mode::from_switches(true, false).unwrap(), Mode::Json);
+        assert_eq!(Mode::from_switches(false, true).unwrap(), Mode::Quiet);
+        assert!(Mode::from_switches(true, true).is_err());
+    }
+
+    #[test]
+    fn human_mode_shows_text_only() {
+        let mut r = Report::new(Mode::Human);
+        r.text("# hello");
+        r.str_field("ignored", "x");
+        assert_eq!(r.render(), "# hello\n");
+    }
+
+    #[test]
+    fn json_mode_shows_fields_only() {
+        let mut r = Report::new(Mode::Json);
+        r.text("# ignored");
+        r.str_field("workload", "cg");
+        r.u64_field("events", 42);
+        r.f64_field("rate", 1.5);
+        r.raw("levels", "[{\"name\":\"L1\"}]".to_string());
+        assert_eq!(
+            r.render(),
+            r#"{"workload":"cg","events":42,"rate":1.5,"levels":[{"name":"L1"}]}"#
+        );
+    }
+
+    #[test]
+    fn quiet_mode_shows_nothing() {
+        let mut r = Report::new(Mode::Quiet);
+        r.text("# ignored");
+        r.u64_field("events", 42);
+        assert_eq!(r.render(), "");
+    }
+}

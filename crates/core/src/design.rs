@@ -64,6 +64,21 @@ pub enum Structure {
     },
 }
 
+impl Structure {
+    /// A short, dot-free label for metric names (`3L`, `4L-c524288-p1024`):
+    /// observability prefixes split on `.`, so the label must not contain
+    /// one, and distinct structures must map to distinct labels.
+    pub fn obs_label(&self) -> String {
+        match self {
+            Structure::ThreeLevel => "3L".to_string(),
+            Structure::WithL4 {
+                capacity_bytes,
+                page_bytes,
+            } => format!("4L-c{capacity_bytes}-p{page_bytes}"),
+        }
+    }
+}
+
 impl Design {
     /// Short display name ("NMM(PCM)@N5" style).
     pub fn label(&self) -> String {

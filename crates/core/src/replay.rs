@@ -14,7 +14,7 @@
 use crate::design::{Design, Structure};
 use crate::runner::{build_caches, evaluate_run, raw_run_from_hierarchy, EvalResult, RawRun};
 use crate::scale::Scale;
-use memsim_cache::Hierarchy;
+use memsim_cache::{Hierarchy, HierarchyProbes};
 use memsim_memory::PartitionedMemory;
 use memsim_tech::Technology;
 use memsim_tracefile::{replay_into, TraceError, TraceHeader, TraceReader, TraceWriter};
@@ -55,15 +55,32 @@ pub fn record_workload(
     class: Class,
     path: &Path,
 ) -> Result<RecordSummary, String> {
-    let mut workload = kind.build(class);
+    let mut span = memsim_obs::span!("record.{}", kind.name());
+    let mut workload = {
+        let _s = memsim_obs::span!("generate");
+        kind.build(class)
+    };
     let header = TraceHeader::for_space(workload.space(), kind.name(), class.name());
     let footprint_bytes = workload.footprint_bytes();
     let mut writer = TraceWriter::create(path, &header)
         .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
-    workload.run(&mut writer);
-    workload
-        .verify()
-        .map_err(|e| format!("{} failed self-verification: {e}", kind.name()))?;
+    if memsim_obs::enabled() {
+        let reg = memsim_obs::global();
+        writer.set_probe(
+            reg.counter("progress.events"),
+            reg.counter("progress.chunks"),
+        );
+    }
+    {
+        let _s = memsim_obs::span!("stream");
+        workload.run(&mut writer);
+    }
+    {
+        let _s = memsim_obs::span!("verify");
+        workload
+            .verify()
+            .map_err(|e| format!("{} failed self-verification: {e}", kind.name()))?;
+    }
     let chunks = {
         use memsim_trace::TraceSink;
         writer.flush();
@@ -72,6 +89,7 @@ pub fn record_workload(
     let (_, events) = writer
         .finish()
         .map_err(|e| format!("recording {}: {e}", path.display()))?;
+    span.add_events(events);
     let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     Ok(RecordSummary {
         events,
@@ -91,15 +109,63 @@ pub fn replay_structure(
     scale: &Scale,
     structure: &Structure,
 ) -> Result<RawRun, TraceError> {
+    replay_structure_shard(path, scale, structure, None)
+}
+
+/// [`replay_structure`] with observability shard attribution: `shard`
+/// names this walk's `progress.shard{i}.events` counter and span, so the
+/// sampler can show per-shard lag across `replay_grid` workers.
+fn replay_structure_shard(
+    path: &Path,
+    scale: &Scale,
+    structure: &Structure,
+    shard: Option<usize>,
+) -> Result<RawRun, TraceError> {
+    let mut span = match shard {
+        Some(i) => memsim_obs::span!("replay.shard{}", i),
+        None => memsim_obs::span!("replay.walk"),
+    };
+    let obs_prefix = memsim_obs::enabled().then(|| format!("replay.{}", structure.obs_label()));
+
     let mut reader = TraceReader::open(path)?;
     let regions = reader.header().regions.clone();
     let caches = build_caches(scale, structure);
     let terminal = PartitionedMemory::new(&regions, Technology::Pcm);
     let mut hierarchy = Hierarchy::new(caches, terminal);
+    if let Some(prefix) = &obs_prefix {
+        let reg = memsim_obs::global();
+        let names: Vec<String> = hierarchy
+            .levels()
+            .iter()
+            .map(|c| c.config().name.clone())
+            .collect();
+        let names: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut probes = HierarchyProbes::register(reg, prefix, &names);
+        if let Some(i) = shard {
+            probes.add_events_counter(reg.counter(&format!("progress.shard{i}.events")));
+        }
+        hierarchy.set_probes(probes);
+    }
     replay_into(&mut reader, &mut hierarchy)?;
     hierarchy.drain();
     hierarchy.assert_consistent();
-    Ok(raw_run_from_hierarchy(hierarchy, &regions))
+    if let Some(prefix) = &obs_prefix {
+        // Trace-health counters from the reader: every chunk that reached
+        // the sink passed its CRC check.
+        let reg = memsim_obs::global();
+        let store = |field: &str, v: u64| {
+            reg.counter(&format!("{prefix}.reader.{field}")).store(v);
+        };
+        store("chunks", reader.chunks_read());
+        store("crc_verified_chunks", reader.crc_verified_chunks());
+        store("payload_bytes", reader.payload_bytes());
+    }
+    span.add_events(hierarchy.total_refs());
+    Ok(raw_run_from_hierarchy(
+        hierarchy,
+        &regions,
+        obs_prefix.as_deref(),
+    ))
 }
 
 /// The workload a trace records, parsed from its header.
@@ -128,6 +194,7 @@ pub fn replay_grid(
     scale: &Scale,
     threads: Option<usize>,
 ) -> Result<Vec<EvalResult>, String> {
+    let _span = memsim_obs::span!("replay");
     for d in designs {
         d.validate()?;
     }
@@ -140,6 +207,16 @@ pub fn replay_grid(
         if !structures.contains(&s) {
             structures.push(s);
         }
+    }
+
+    let obs_on = memsim_obs::enabled();
+    if obs_on {
+        // Seed the shard progress counters so the sampler can show
+        // completion and extrapolate an ETA from the first finished shard.
+        let reg = memsim_obs::global();
+        reg.gauge("progress.shards_total")
+            .set(structures.len() as u64);
+        reg.counter("progress.shards_done");
     }
 
     let threads = threads
@@ -159,10 +236,13 @@ pub fn replay_grid(
                 if i >= structures.len() {
                     break;
                 }
-                let run = replay_structure(path, scale, &structures[i])
+                let run = replay_structure_shard(path, scale, &structures[i], Some(i))
                     .map(Arc::new)
                     .map_err(|e| e.to_string());
                 slots[i].set(run).expect("replay slot written twice");
+                if obs_on {
+                    memsim_obs::global().counter("progress.shards_done").inc();
+                }
             });
         }
     });

@@ -11,7 +11,7 @@ use crate::design::{Design, Structure, MEM_NAME};
 use crate::model::Metrics;
 use crate::partition::{self, Placement};
 use crate::scale::Scale;
-use memsim_cache::{Cache, CacheConfig, Hierarchy, LevelStats};
+use memsim_cache::{Cache, CacheConfig, Hierarchy, HierarchyProbes, LevelStats};
 use memsim_memory::{PartitionedMemory, RegionTraffic};
 use memsim_tech::Technology;
 use memsim_workloads::WorkloadKind;
@@ -105,17 +105,50 @@ pub fn build_caches(scale: &Scale, structure: &Structure) -> Vec<Cache> {
     caches
 }
 
+/// Publish one level's final statistics into the global observability
+/// registry as `{prefix}.{level}.{field}` counters. For cache levels this
+/// overwrites the epoch-published values with the identical finals; for
+/// the terminal memory it is the only publication. The export's per-level
+/// counters are therefore bit-identical to the [`LevelStats`] in the
+/// final report.
+pub(crate) fn publish_final_stats(prefix: &str, stats: &LevelStats) {
+    let reg = memsim_obs::global();
+    let store = |field: &str, v: u64| {
+        reg.counter(&format!("{prefix}.{}.{field}", stats.name))
+            .store(v);
+    };
+    store("loads", stats.loads);
+    store("stores", stats.stores);
+    store("load_hits", stats.load_hits);
+    store("load_misses", stats.load_misses);
+    store("store_hits", stats.store_hits);
+    store("store_misses", stats.store_misses);
+    store("writebacks_out", stats.writebacks_out);
+    store("fills", stats.fills);
+    store("bytes_loaded", stats.bytes_loaded);
+    store("bytes_stored", stats.bytes_stored);
+}
+
 /// Harvest a drained hierarchy into a [`RawRun`] (shared by the live and
-/// replay paths — the counters must be assembled identically).
+/// replay paths — the counters must be assembled identically). When
+/// `obs_prefix` is set and observability is enabled, every level's final
+/// stats (caches and `MEM`) are published under it.
 pub(crate) fn raw_run_from_hierarchy(
     hierarchy: Hierarchy<PartitionedMemory>,
     regions: &[memsim_trace::Region],
+    obs_prefix: Option<&str>,
 ) -> RawRun {
     let total_refs = hierarchy.total_refs();
     let cache_stats: Vec<LevelStats> = hierarchy.levels().iter().map(|c| c.stats()).collect();
     let mem_part = hierarchy.into_memory();
     let mut mem = mem_part.dram_stats().clone();
     mem.name = MEM_NAME.to_string();
+
+    if let Some(prefix) = obs_prefix.filter(|_| memsim_obs::enabled()) {
+        for stats in cache_stats.iter().chain(std::iter::once(&mem)) {
+            publish_final_stats(prefix, stats);
+        }
+    }
 
     RawRun {
         caches: cache_stats,
@@ -133,7 +166,14 @@ pub(crate) fn raw_run_from_hierarchy(
 /// expensive step: every memory reference of the workload walks the
 /// hierarchy.
 pub fn simulate_structure(kind: WorkloadKind, scale: &Scale, structure: &Structure) -> RawRun {
-    let mut workload = kind.build(scale.class);
+    let obs_prefix =
+        memsim_obs::enabled().then(|| format!("sim.{}.{}", kind.name(), structure.obs_label()));
+    let mut span = memsim_obs::span!("sim.{}.{}", kind.name(), structure.obs_label());
+
+    let mut workload = {
+        let _s = memsim_obs::span!("generate");
+        kind.build(scale.class)
+    };
     let caches = build_caches(scale, structure);
 
     // the terminal collects per-region traffic for every structure; the
@@ -142,15 +182,38 @@ pub fn simulate_structure(kind: WorkloadKind, scale: &Scale, structure: &Structu
     let regions = workload.space().regions().to_vec();
     let terminal = PartitionedMemory::new(&regions, Technology::Pcm);
     let mut hierarchy = Hierarchy::new(caches, terminal);
+    if let Some(prefix) = &obs_prefix {
+        let names: Vec<String> = hierarchy
+            .levels()
+            .iter()
+            .map(|c| c.config().name.clone())
+            .collect();
+        let names: Vec<&str> = names.iter().map(String::as_str).collect();
+        hierarchy.set_probes(HierarchyProbes::register(
+            memsim_obs::global(),
+            prefix,
+            &names,
+        ));
+    }
 
-    workload.run(&mut hierarchy);
-    hierarchy.drain();
+    {
+        let _s = memsim_obs::span!("simulate");
+        workload.run(&mut hierarchy);
+    }
+    {
+        let _s = memsim_obs::span!("drain");
+        hierarchy.drain();
+    }
     hierarchy.assert_consistent();
-    workload
-        .verify()
-        .unwrap_or_else(|e| panic!("{} failed self-verification: {e}", workload.name()));
+    {
+        let _s = memsim_obs::span!("verify");
+        workload
+            .verify()
+            .unwrap_or_else(|e| panic!("{} failed self-verification: {e}", workload.name()));
+    }
 
-    raw_run_from_hierarchy(hierarchy, &regions)
+    span.add_events(hierarchy.total_refs());
+    raw_run_from_hierarchy(hierarchy, &regions, obs_prefix.as_deref())
 }
 
 /// A concurrency-safe memo of structure simulations.
@@ -269,6 +332,7 @@ pub fn evaluate_grid(
     cache: &SimCache,
     threads: Option<usize>,
 ) -> Vec<EvalResult> {
+    let _span = memsim_obs::span!("grid");
     let threads = threads
         .unwrap_or_else(|| {
             std::thread::available_parallelism()

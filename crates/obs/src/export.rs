@@ -1,0 +1,325 @@
+//! Structured export: the run manifest plus a full metrics dump as
+//! deterministic JSON, and a human-readable instrumentation summary.
+//!
+//! Determinism contract: for a fixed manifest and fixed metric values the
+//! emitted bytes are identical across runs — keys come out name-sorted
+//! (the registry is a `BTreeMap`), every value is an integer, and there is
+//! no timestamp. The only run-varying values are span `wall_ns`, which
+//! [`crate::set_deterministic`] zeroes so golden tests can byte-compare
+//! two exports.
+
+use crate::registry::{HistogramSnapshot, MetricValue, MetricsRegistry};
+use crate::span::SpanNode;
+use std::fmt::Write as _;
+
+/// Minimal JSON building blocks shared by the exporter and the CLI's
+/// `--json` report mode.
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// Escape `s` for inclusion inside a JSON string literal.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// An incremental `{...}` object builder producing compact JSON.
+    #[derive(Debug)]
+    pub struct Obj {
+        buf: String,
+        first: bool,
+    }
+
+    impl Obj {
+        /// Start an empty object.
+        pub fn new() -> Self {
+            Self {
+                buf: String::from("{"),
+                first: true,
+            }
+        }
+
+        fn key(&mut self, name: &str) {
+            if !self.first {
+                self.buf.push(',');
+            }
+            self.first = false;
+            let _ = write!(self.buf, "\"{}\":", escape(name));
+        }
+
+        /// Add a string field.
+        pub fn str(&mut self, name: &str, value: &str) -> &mut Self {
+            self.key(name);
+            let _ = write!(self.buf, "\"{}\"", escape(value));
+            self
+        }
+
+        /// Add an unsigned integer field.
+        pub fn u64(&mut self, name: &str, value: u64) -> &mut Self {
+            self.key(name);
+            let _ = write!(self.buf, "{value}");
+            self
+        }
+
+        /// Add a float field, formatted with enough digits to round-trip.
+        pub fn f64(&mut self, name: &str, value: f64) -> &mut Self {
+            self.key(name);
+            if value.is_finite() {
+                let _ = write!(self.buf, "{value:?}");
+            } else {
+                self.buf.push_str("null");
+            }
+            self
+        }
+
+        /// Add a boolean field.
+        pub fn bool(&mut self, name: &str, value: bool) -> &mut Self {
+            self.key(name);
+            self.buf.push_str(if value { "true" } else { "false" });
+            self
+        }
+
+        /// Add a field whose value is already-serialized JSON.
+        pub fn raw(&mut self, name: &str, value: &str) -> &mut Self {
+            self.key(name);
+            self.buf.push_str(value);
+            self
+        }
+
+        /// Close the object and return its JSON text.
+        pub fn finish(mut self) -> String {
+            self.buf.push('}');
+            self.buf
+        }
+    }
+
+    impl Default for Obj {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// Serialize a slice of already-serialized JSON values as an array.
+    pub fn array(items: &[String]) -> String {
+        let mut buf = String::from("[");
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            buf.push_str(item);
+        }
+        buf.push(']');
+        buf
+    }
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut buckets = String::from("[");
+    let mut first = true;
+    for (i, &count) in h.buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        if !first {
+            buckets.push(',');
+        }
+        first = false;
+        let _ = write!(
+            buckets,
+            "[{},{}]",
+            crate::registry::Histogram::bucket_lower_bound(i),
+            count
+        );
+    }
+    buckets.push(']');
+    let mut obj = json::Obj::new();
+    obj.u64("count", h.count())
+        .u64("sum", h.sum)
+        .raw("buckets", &buckets);
+    obj.finish()
+}
+
+fn span_json(node: &SpanNode, deterministic: bool) -> String {
+    let mut obj = json::Obj::new();
+    obj.u64("calls", node.calls)
+        .u64("wall_ns", if deterministic { 0 } else { node.wall_ns })
+        .u64("events", node.events);
+    let mut children = json::Obj::new();
+    for (name, child) in &node.children {
+        children.raw(name, &span_json(child, deterministic));
+    }
+    obj.raw("children", &children.finish());
+    obj.finish()
+}
+
+/// Render the manifest, the full contents of `registry`, and the current
+/// span tree as one deterministic JSON document (trailing newline
+/// included, so the file is a well-formed text file).
+///
+/// `manifest` entries are emitted in the order given, under `"manifest"`.
+pub fn export_json(manifest: &[(&str, String)], registry: &MetricsRegistry) -> String {
+    let deterministic = crate::deterministic();
+    let mut root = json::Obj::new();
+    root.str("schema", "memsim-obs/1");
+
+    let mut man = json::Obj::new();
+    for (key, value) in manifest {
+        man.str(key, value);
+    }
+    root.raw("manifest", &man.finish());
+
+    let mut counters = json::Obj::new();
+    let mut gauges = json::Obj::new();
+    let mut histograms = json::Obj::new();
+    for (name, value) in registry.snapshot() {
+        match value {
+            MetricValue::Counter(v) => {
+                counters.u64(&name, v);
+            }
+            MetricValue::Gauge(v) => {
+                gauges.u64(&name, v);
+            }
+            MetricValue::Histogram(h) => {
+                histograms.raw(&name, &histogram_json(&h));
+            }
+        }
+    }
+    root.raw("counters", &counters.finish());
+    root.raw("gauges", &gauges.finish());
+    root.raw("histograms", &histograms.finish());
+
+    let tree = crate::span::tree();
+    let mut spans = json::Obj::new();
+    for (name, child) in &tree.children {
+        spans.raw(name, &span_json(child, deterministic));
+    }
+    root.raw("spans", &spans.finish());
+
+    let mut out = root.finish();
+    out.push('\n');
+    out
+}
+
+fn fmt_duration(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn fmt_count(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Render the span tree and a digest of the registry as an indented,
+/// human-readable table (the `--progress` end-of-run summary).
+pub fn render_summary(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let tree = crate::span::tree();
+    if !tree.children.is_empty() {
+        out.push_str("phase timings:\n");
+        tree.walk(&mut |depth, name, node| {
+            let indent = "  ".repeat(depth + 1);
+            let mut line = format!(
+                "{indent}{name:<width$}",
+                width = 28usize.saturating_sub(depth * 2)
+            );
+            if node.calls > 0 {
+                let _ = write!(
+                    line,
+                    " {:>5}x {:>10}",
+                    node.calls,
+                    fmt_duration(node.wall_ns)
+                );
+                if node.events > 0 {
+                    let _ = write!(line, " {:>9} events", fmt_count(node.events));
+                    if node.wall_ns > 0 {
+                        let rate = node.events as f64 / (node.wall_ns as f64 / 1e9);
+                        let _ = write!(line, " ({:.1} Mev/s)", rate / 1e6);
+                    }
+                }
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        });
+    }
+    let snapshot = registry.snapshot();
+    if !snapshot.is_empty() {
+        out.push_str("metrics:\n");
+        for (name, value) in snapshot {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "  {name} = {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "  {name} = {v} (gauge)");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "  {name}: {} samples, sum {}", h.count(), h.sum);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json::escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn obj_builder_produces_compact_json() {
+        let mut o = json::Obj::new();
+        o.str("a", "x").u64("b", 2).bool("c", true).f64("d", 1.5);
+        assert_eq!(o.finish(), r#"{"a":"x","b":2,"c":true,"d":1.5}"#);
+    }
+
+    #[test]
+    fn export_is_deterministic_for_fixed_values() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(false);
+        crate::span::reset();
+        let reg = MetricsRegistry::new();
+        reg.counter("z.count").add(7);
+        reg.gauge("a.gauge").set(3);
+        reg.histogram("h").record(5);
+        let manifest = [("command", "test".to_string())];
+        let one = export_json(&manifest, &reg);
+        let two = export_json(&manifest, &reg);
+        assert_eq!(one, two);
+        assert!(one.contains(r#""z.count":7"#));
+        assert!(one.contains(r#""a.gauge":3"#));
+        assert!(one.contains(r#""buckets":[[4,1]]"#));
+        assert!(one.ends_with('\n'));
+    }
+}

@@ -1,0 +1,171 @@
+//! Live progress rendering from epoch-published counters.
+//!
+//! Workers publish cumulative `progress.*` counters into the global
+//! registry (see naming conventions below); a sampler thread wakes a few
+//! times per second, diffs against its previous sample, and renders one
+//! status line to stderr. The hot path never blocks on, or even notices,
+//! the sampler.
+//!
+//! Counter conventions (all under the global registry):
+//! * `progress.events` — cumulative demand events processed, all workers.
+//! * `progress.chunks` — cumulative trace chunks consumed/produced.
+//! * `progress.shard<i>.events` — per-shard cumulative events (replay).
+//! * `progress.shards_total` / `progress.shards_done` — gauge/counter pair
+//!   used for the ETA extrapolation and the `shards a/b` display.
+
+use crate::registry::MetricValue;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Background thread that renders a `--progress` line to stderr until
+/// dropped. Construction spawns the thread; drop stops and joins it and
+/// clears the line.
+#[derive(Debug)]
+pub struct ProgressSampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+const SAMPLE_EVERY: Duration = Duration::from_millis(250);
+
+impl ProgressSampler {
+    /// Start sampling the global registry, labelling the line `label`.
+    pub fn start(label: &str) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let label = label.to_string();
+        let handle = thread::Builder::new()
+            .name("obs-progress".into())
+            .spawn(move || sample_loop(&label, &stop2))
+            .ok();
+        Self { stop, handle }
+    }
+}
+
+impl Drop for ProgressSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        // Clear the status line so the final report starts clean.
+        eprint!("\r\x1b[2K");
+    }
+}
+
+fn sample_loop(label: &str, stop: &AtomicBool) {
+    let start = Instant::now();
+    let mut last_events = 0u64;
+    let mut last_t = start;
+    while !stop.load(Ordering::Relaxed) {
+        thread::sleep(SAMPLE_EVERY);
+        let now = Instant::now();
+        let line = render_line(label, start, now, &mut last_events, &mut last_t);
+        eprint!("\r\x1b[2K{line}");
+    }
+}
+
+fn render_line(
+    label: &str,
+    start: Instant,
+    now: Instant,
+    last_events: &mut u64,
+    last_t: &mut Instant,
+) -> String {
+    let reg = crate::global();
+    let events = reg.counter_value("progress.events").unwrap_or(0);
+    let chunks = reg.counter_value("progress.chunks").unwrap_or(0);
+    let dt = now.duration_since(*last_t).as_secs_f64().max(1e-9);
+    let rate = events.saturating_sub(*last_events) as f64 / dt;
+    *last_events = events;
+    *last_t = now;
+
+    let mut line = format!(
+        "[{label}] {:.1}s {} events",
+        now.duration_since(start).as_secs_f64(),
+        human(events),
+    );
+    if chunks > 0 {
+        line.push_str(&format!(", {} chunks", human(chunks)));
+    }
+    line.push_str(&format!(" | {:.1} Mev/s", rate / 1e6));
+
+    // Per-shard lag: spread between slowest and fastest shard.
+    let mut shard_events: Vec<u64> = Vec::new();
+    for (name, value) in reg.snapshot() {
+        if let (true, MetricValue::Counter(v)) = (
+            name.starts_with("progress.shard") && name.ends_with(".events"),
+            value,
+        ) {
+            shard_events.push(v);
+        }
+    }
+    let shards_total = reg.gauge_value("progress.shards_total").unwrap_or(0);
+    let shards_done = reg.counter_value("progress.shards_done").unwrap_or(0);
+    if shards_total > 0 {
+        line.push_str(&format!(" | shards {shards_done}/{shards_total}"));
+        if let (Some(&min), Some(&max)) = (shard_events.iter().min(), shard_events.iter().max()) {
+            if max > min {
+                line.push_str(&format!(" (lag {})", human(max - min)));
+            }
+        }
+        // ETA by extrapolating completed-shard cost over remaining shards.
+        if shards_done > 0 && shards_done < shards_total && rate > 0.0 {
+            let per_shard = events as f64 / shards_done as f64;
+            let remaining = per_shard * (shards_total - shards_done) as f64;
+            line.push_str(&format!(" | eta {:.0}s", remaining / rate));
+        }
+    } else if rate > 0.0 {
+        // Single-phase ETA if a total is known.
+        let total = reg.gauge_value("progress.total").unwrap_or(0);
+        if total > events {
+            line.push_str(&format!(" | eta {:.0}s", (total - events) as f64 / rate));
+        }
+    }
+    line
+}
+
+fn human(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_line_reads_registry_without_panicking() {
+        let _lock = crate::test_lock();
+        crate::reset();
+        let reg = crate::global();
+        reg.counter("progress.events").add(1_234_567);
+        reg.counter("progress.chunks").add(300);
+        reg.counter("progress.shard0.events").add(600_000);
+        reg.counter("progress.shard1.events").add(634_567);
+        reg.gauge("progress.shards_total").set(4);
+        reg.counter("progress.shards_done").inc();
+        let t0 = Instant::now();
+        let mut last_events = 0;
+        let mut last_t = t0;
+        let line = render_line("replay", t0, Instant::now(), &mut last_events, &mut last_t);
+        assert!(line.contains("events"), "{line}");
+        assert!(line.contains("shards 1/4"), "{line}");
+        crate::reset();
+    }
+
+    #[test]
+    fn sampler_starts_and_stops() {
+        let _lock = crate::test_lock();
+        let sampler = ProgressSampler::start("test");
+        thread::sleep(Duration::from_millis(20));
+        drop(sampler);
+    }
+}

@@ -1,0 +1,411 @@
+//! Named metric primitives: lock-free atomic counters, gauges, and
+//! power-of-two-bucket histograms, plus the registry that names them.
+//!
+//! Writers hold an `Arc` to the primitive and update it with relaxed
+//! atomics — after registration, the hot path never touches the registry
+//! lock. Readers take a [`MetricsRegistry::snapshot`], which observes each
+//! metric once under the registry lock, so a snapshot is internally
+//! consistent with respect to registration (values themselves advance
+//! monotonically and independently).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A monotonically increasing event count.
+///
+/// `store` exists so an owner that keeps *local* (non-atomic) tallies on
+/// the hot path can publish the cumulative value per epoch; published
+/// values must still be monotone for rate computation to make sense.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Publish an absolute cumulative value (epoch publication).
+    #[inline]
+    pub fn store(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins instantaneous measurement.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero, one per power of two.
+///
+/// Bucket 0 holds exactly the value 0; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`. Bucket 64 holds `[2^63, u64::MAX]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed power-of-two-bucket histogram of `u64` samples.
+///
+/// Recording is one relaxed `fetch_add` per sample (plus one for the sum):
+/// cheap enough for per-chunk latencies, not meant for per-reference use.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive lower bound of bucket `i` (0, then powers of two).
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket index {i} out of range");
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A copied-out view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Count per bucket (see [`Histogram::bucket_lower_bound`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+}
+
+/// One registered metric, by kind.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Arc<Counter>),
+    /// A [`Gauge`].
+    Gauge(Arc<Gauge>),
+    /// A [`Histogram`].
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A point-in-time value of one metric, as captured by a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram contents (boxed: a snapshot is ~64 buckets wide,
+    /// counters and gauges are one word).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// A name → metric map. Registration is get-or-create and idempotent;
+/// asking for an existing name with a different kind panics (a metric name
+/// collision is a programming error, not a runtime condition).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Self {
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
+        // A panic while holding the lock cannot corrupt a BTreeMap insert
+        // we care about; keep serving metrics rather than poisoning the run.
+        self.metrics
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Get or create the counter called `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or create the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or create the histogram called `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The value of counter `name`, if registered as one.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.lock().get(name) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// The value of gauge `name`, if registered as one.
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        match self.lock().get(name) {
+            Some(Metric::Gauge(g)) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// A consistent, name-sorted snapshot of every registered metric.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        self.lock()
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Drop every registered metric. Existing `Arc` handles stay valid but
+    /// are no longer reachable from the registry.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_is_get_or_create() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter_value("x"), Some(4));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_clash_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn concurrent_counter_increments_sum_exactly() {
+        let reg = Arc::new(MetricsRegistry::new());
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            handles.push(thread::spawn(move || {
+                let c = reg.counter("shared");
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            reg.counter_value("shared"),
+            Some(THREADS as u64 * PER_THREAD)
+        );
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        // 0 has its own bucket.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        // Powers of two open a new bucket; one-less stays below.
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        for k in 1..64 {
+            let v = 1u64 << k;
+            assert_eq!(Histogram::bucket_index(v), k + 1, "2^{k}");
+            assert_eq!(Histogram::bucket_index(v - 1), k, "2^{k}-1");
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_lower_bound(0), 0);
+        assert_eq!(Histogram::bucket_lower_bound(1), 1);
+        assert_eq!(Histogram::bucket_lower_bound(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(1023);
+        h.record(1024);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 5);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[10], 1); // 1023 in [512, 1024)
+        assert_eq!(snap.buckets[11], 1); // 1024 in [1024, 2048)
+        assert_eq!(snap.buckets[64], 1);
+        assert_eq!(
+            snap.sum,
+            0u64.wrapping_add(1 + 1023 + 1024).wrapping_add(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b");
+        reg.counter("a");
+        reg.gauge("c");
+        let names: Vec<String> = reg.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+}

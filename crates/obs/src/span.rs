@@ -1,0 +1,229 @@
+//! Scoped span timers building a hierarchical phase-timing tree.
+//!
+//! A span is opened with [`crate::span!`] (or [`enter`]) and closed when
+//! its guard drops; the elapsed monotonic wall time, call count, and any
+//! attached event count are folded into a process-global tree. Dotted
+//! names nest: `"replay.shard0"` is a child `shard0` under `replay`.
+//! Nesting also follows dynamic scope per thread — a span opened while
+//! another is live on the same thread becomes its descendant — so worker
+//! threads each build their own subtree without cross-thread plumbing.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One node of the phase-timing tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Times a span ended at this node.
+    pub calls: u64,
+    /// Total monotonic wall time spent in those calls, in nanoseconds.
+    pub wall_ns: u64,
+    /// Events attributed via [`SpanGuard::add_events`].
+    pub events: u64,
+    /// Child phases by name segment.
+    pub children: BTreeMap<String, SpanNode>,
+}
+
+impl SpanNode {
+    const fn new() -> Self {
+        Self {
+            calls: 0,
+            wall_ns: 0,
+            events: 0,
+            children: BTreeMap::new(),
+        }
+    }
+
+    fn at_path(&mut self, path: &[String]) -> &mut SpanNode {
+        let mut node = self;
+        for seg in path {
+            node = node.children.entry(seg.clone()).or_default();
+        }
+        node
+    }
+
+    /// Depth-first walk: `(depth, name, node)` for every descendant.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(usize, &'a str, &'a SpanNode)) {
+        fn rec<'a>(
+            node: &'a SpanNode,
+            depth: usize,
+            f: &mut dyn FnMut(usize, &'a str, &'a SpanNode),
+        ) {
+            for (name, child) in &node.children {
+                f(depth, name, child);
+                rec(child, depth + 1, f);
+            }
+        }
+        rec(self, 0, f);
+    }
+}
+
+static ROOT: Mutex<SpanNode> = Mutex::new(SpanNode::new());
+
+thread_local! {
+    static PATH: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for an open span. Dropping it records the elapsed time.
+///
+/// Not `Send`: a guard must drop on the thread that opened it, because the
+/// nesting path is thread-local.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+    _not_send: PhantomData<*const ()>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    segments: usize,
+    start: Instant,
+    events: u64,
+}
+
+/// Open a span named `name`. When observability is disabled this returns
+/// an inert guard and does no allocation beyond the caller's name.
+pub fn enter(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard::inert();
+    }
+    let segments: Vec<String> = name
+        .split('.')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if segments.is_empty() {
+        return SpanGuard::inert();
+    }
+    let n = segments.len();
+    PATH.with(|p| p.borrow_mut().extend(segments));
+    SpanGuard {
+        active: Some(ActiveSpan {
+            segments: n,
+            start: Instant::now(),
+            events: 0,
+        }),
+        _not_send: PhantomData,
+    }
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (observability disabled).
+    pub fn inert() -> Self {
+        Self {
+            active: None,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Attribute `n` events to this span (shown as a rate in summaries).
+    pub fn add_events(&mut self, n: u64) {
+        if let Some(a) = self.active.as_mut() {
+            a.events = a.events.saturating_add(n);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let wall_ns = u64::try_from(active.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        PATH.with(|p| {
+            let mut path = p.borrow_mut();
+            {
+                let node_path = &path[..];
+                let mut root = ROOT.lock().unwrap_or_else(|e| e.into_inner());
+                let node = root.at_path(node_path);
+                node.calls = node.calls.saturating_add(1);
+                node.wall_ns = node.wall_ns.saturating_add(wall_ns);
+                node.events = node.events.saturating_add(active.events);
+            }
+            let keep = path.len().saturating_sub(active.segments);
+            path.truncate(keep);
+        });
+    }
+}
+
+/// A copy of the process-global span tree (the root is a nameless node
+/// whose children are the top-level phases).
+pub fn tree() -> SpanNode {
+    ROOT.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Clear the span tree (the calling thread's open-span path is also
+/// cleared; other threads' open spans will re-create their paths).
+pub fn reset() {
+    *ROOT.lock().unwrap_or_else(|e| e.into_inner()) = SpanNode::new();
+    PATH.with(|p| p.borrow_mut().clear());
+}
+
+/// Open a scoped span timer; see [module docs](self).
+///
+/// `span!("replay")` opens a top-level phase; `span!("replay.shard{i}", i = 3)`
+/// style formatting works because the arguments are passed to [`format!`] —
+/// the format only happens when observability is enabled.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        // `enter` itself is a no-op when disabled; a literal name costs
+        // nothing to pass either way.
+        $crate::span::enter($name)
+    };
+    ($fmt:literal, $($arg:tt)*) => {
+        if $crate::enabled() {
+            $crate::span::enter(&format!($fmt, $($arg)*))
+        } else {
+            $crate::span::SpanGuard::inert()
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span tests share the process-global tree with lib-level tests; the
+    // crate-wide TEST_LOCK serializes them.
+    #[test]
+    fn nested_and_dotted_spans_build_one_tree() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(true);
+        reset();
+        {
+            let mut outer = enter("sim");
+            outer.add_events(100);
+            {
+                let _inner = enter("stream.chunk");
+            }
+            {
+                let _inner = enter("stream.chunk");
+            }
+        }
+        let t = tree();
+        let sim = &t.children["sim"];
+        assert_eq!(sim.calls, 1);
+        assert_eq!(sim.events, 100);
+        let chunk = &sim.children["stream"].children["chunk"];
+        assert_eq!(chunk.calls, 2);
+        // "stream" itself was never closed as a span, only traversed.
+        assert_eq!(sim.children["stream"].calls, 0);
+        crate::set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _lock = crate::test_lock();
+        crate::set_enabled(false);
+        reset();
+        {
+            let _g = crate::span!("ghost");
+        }
+        assert!(tree().children.is_empty());
+    }
+}

@@ -36,6 +36,16 @@ pub struct TraceReader<R: Read> {
     chunks_read: u64,
     events_read: u64,
     payload_bytes: u64,
+    /// Chunks whose CRC32 validated (every chunk that reached the sink).
+    crc_verified_chunks: u64,
+    /// Smallest encoded payload of any chunk (`u64::MAX` before the first).
+    chunk_payload_min: u64,
+    /// Largest encoded payload of any chunk.
+    chunk_payload_max: u64,
+    /// Fewest events in any chunk (`u64::MAX` before the first).
+    chunk_events_min: u64,
+    /// Most events in any chunk.
+    chunk_events_max: u64,
     /// Footer seen and validated (or a fatal error already reported).
     done: bool,
 }
@@ -60,6 +70,11 @@ impl<R: Read> TraceReader<R> {
             chunks_read: 0,
             events_read: 0,
             payload_bytes: 0,
+            crc_verified_chunks: 0,
+            chunk_payload_min: u64::MAX,
+            chunk_payload_max: 0,
+            chunk_events_min: u64::MAX,
+            chunk_events_max: 0,
             done: false,
         })
     }
@@ -82,6 +97,26 @@ impl<R: Read> TraceReader<R> {
     /// Encoded payload bytes decoded so far (excludes framing).
     pub fn payload_bytes(&self) -> u64 {
         self.payload_bytes
+    }
+
+    /// Chunks whose CRC32 check passed so far. Equals
+    /// [`TraceReader::chunks_read`] on any healthy stream — every decoded
+    /// chunk is CRC-verified before its events are released — so trace
+    /// health is visible without a full replay.
+    pub fn crc_verified_chunks(&self) -> u64 {
+        self.crc_verified_chunks
+    }
+
+    /// `(min, max)` encoded payload bytes over the chunks decoded so far,
+    /// or `None` before the first chunk.
+    pub fn chunk_payload_range(&self) -> Option<(u64, u64)> {
+        (self.chunks_read > 0).then_some((self.chunk_payload_min, self.chunk_payload_max))
+    }
+
+    /// `(min, max)` events per chunk over the chunks decoded so far, or
+    /// `None` before the first chunk.
+    pub fn chunk_events_range(&self) -> Option<(u64, u64)> {
+        (self.chunks_read > 0).then_some((self.chunk_events_min, self.chunk_events_max))
     }
 
     /// Decode the next chunk, returning its events, or `None` once the
@@ -146,6 +181,11 @@ impl<R: Read> TraceReader<R> {
         if crc32(&self.payload) != stored_crc {
             return Err(TraceError::ChunkCrcMismatch { chunk: index });
         }
+        self.crc_verified_chunks += 1;
+        self.chunk_payload_min = self.chunk_payload_min.min(u64::from(payload_len));
+        self.chunk_payload_max = self.chunk_payload_max.max(u64::from(payload_len));
+        self.chunk_events_min = self.chunk_events_min.min(u64::from(count));
+        self.chunk_events_max = self.chunk_events_max.max(u64::from(count));
 
         // Decode: each event is (zigzag addr delta, size<<1 | is_store).
         self.chunk.reserve(count as usize);

@@ -42,8 +42,18 @@ pub struct TraceSummary {
     pub store_bytes: u64,
     /// Chunks in the file.
     pub chunks: u64,
+    /// Chunks whose CRC32 check passed (equals `chunks` for a healthy
+    /// file — a mismatch aborts the scan, so this can only trail by
+    /// chunks decoded before the error).
+    pub crc_verified_chunks: u64,
     /// Encoded event payload bytes (excludes header/framing).
     pub payload_bytes: u64,
+    /// Smallest and largest encoded payload size of any chunk, in bytes
+    /// (`None` for an empty trace).
+    pub chunk_payload_range: Option<(u64, u64)>,
+    /// Smallest and largest event count of any chunk (`None` for an
+    /// empty trace).
+    pub chunk_events_range: Option<(u64, u64)>,
     /// Lowest address touched (`u64::MAX` for an empty trace).
     pub min_addr: u64,
     /// Highest exclusive address touched.
@@ -81,7 +91,10 @@ pub fn summarize<R: Read>(reader: &mut TraceReader<R>) -> Result<TraceSummary, T
         load_bytes: 0,
         store_bytes: 0,
         chunks: 0,
+        crc_verified_chunks: 0,
         payload_bytes: 0,
+        chunk_payload_range: None,
+        chunk_events_range: None,
         min_addr: u64::MAX,
         max_addr: 0,
         touched_lines: 0,
@@ -107,7 +120,10 @@ pub fn summarize<R: Read>(reader: &mut TraceReader<R>) -> Result<TraceSummary, T
     }
     s.events = reader.events_read();
     s.chunks = reader.chunks_read();
+    s.crc_verified_chunks = reader.crc_verified_chunks();
     s.payload_bytes = reader.payload_bytes();
+    s.chunk_payload_range = reader.chunk_payload_range();
+    s.chunk_events_range = reader.chunk_events_range();
     s.touched_lines = lines.len() as u64;
     Ok(s)
 }
@@ -183,6 +199,11 @@ mod tests {
         assert_eq!(s.max_addr, 0x1000 + 10_000 * 8);
         assert_eq!(s.touched_lines, 10_000 * 8 / 64);
         assert!(s.payload_bytes_per_event() < 2.5);
+        assert_eq!(s.crc_verified_chunks, s.chunks);
+        let (min_ev, max_ev) = s.chunk_events_range.unwrap();
+        assert!(min_ev >= 1 && max_ev <= crate::format::TRACE_CHUNK_EVENTS as u64);
+        let (min_b, max_b) = s.chunk_payload_range.unwrap();
+        assert!(min_b >= 1 && min_b <= max_b);
     }
 
     #[test]
@@ -194,6 +215,9 @@ mod tests {
         assert_eq!(s.store_fraction(), 0.0);
         assert_eq!(s.payload_bytes_per_event(), 0.0);
         assert_eq!(s.touched_lines, 0);
+        assert_eq!(s.crc_verified_chunks, 0);
+        assert_eq!(s.chunk_payload_range, None);
+        assert_eq!(s.chunk_events_range, None);
     }
 
     #[test]

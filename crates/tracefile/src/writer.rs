@@ -3,10 +3,12 @@
 use crate::crc32::crc32;
 use crate::format::{TraceError, TraceHeader, TRACE_CHUNK_EVENTS};
 use crate::varint;
+use memsim_obs::Counter;
 use memsim_trace::{TraceEvent, TraceSink};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Streams [`TraceEvent`]s to a writer in the chunked delta-varint format.
 ///
@@ -29,6 +31,9 @@ pub struct TraceWriter<W: Write> {
     chunks: u64,
     error: Option<io::Error>,
     finished: bool,
+    /// Observability hook: `(events, chunks)` counters advanced once per
+    /// emitted chunk (never per event).
+    probe: Option<(Arc<Counter>, Arc<Counter>)>,
 }
 
 impl TraceWriter<BufWriter<File>> {
@@ -50,7 +55,16 @@ impl<W: Write> TraceWriter<W> {
             chunks: 0,
             error: None,
             finished: false,
+            probe: None,
         })
+    }
+
+    /// Attach live-progress counters: `events` is advanced by each emitted
+    /// chunk's event count and `chunks` by one, at chunk granularity, so
+    /// recording progress is observable without touching the per-event
+    /// path.
+    pub fn set_probe(&mut self, events: Arc<Counter>, chunks: Arc<Counter>) {
+        self.probe = Some((events, chunks));
     }
 
     /// Events accepted so far (including any still buffered).
@@ -99,6 +113,10 @@ impl<W: Write> TraceWriter<W> {
         } else {
             self.total_events += u64::from(count);
             self.chunks += 1;
+            if let Some((events, chunks)) = &self.probe {
+                events.add(u64::from(count));
+                chunks.inc();
+            }
         }
         self.pending.clear();
     }

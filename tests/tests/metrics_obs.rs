@@ -1,0 +1,127 @@
+//! Observability acceptance tests.
+//!
+//! The contract under test: counters the registry exports under a run's
+//! prefix are **bit-identical** to the final report's `LevelStats` (the
+//! epoch-published values are overwritten by an exact final publish), and
+//! the deterministic JSON export is byte-stable across identical runs.
+//!
+//! Every test takes `memsim_obs::test_lock()` — the registry and span
+//! tree are process-global, so obs tests must not interleave.
+
+use memsim_core::{evaluate, Design, Scale, Structure};
+use memsim_workloads::{Class, WorkloadKind};
+use std::path::PathBuf;
+
+fn counter(name: &str) -> u64 {
+    memsim_obs::global()
+        .counter_value(name)
+        .unwrap_or_else(|| panic!("counter '{name}' not registered"))
+}
+
+/// Assert all ten exported per-level counters equal the final stats.
+fn assert_level_matches(prefix: &str, s: &memsim_cache::LevelStats) {
+    for (field, v) in [
+        ("loads", s.loads),
+        ("stores", s.stores),
+        ("load_hits", s.load_hits),
+        ("load_misses", s.load_misses),
+        ("store_hits", s.store_hits),
+        ("store_misses", s.store_misses),
+        ("writebacks_out", s.writebacks_out),
+        ("fills", s.fills),
+        ("bytes_loaded", s.bytes_loaded),
+        ("bytes_stored", s.bytes_stored),
+    ] {
+        assert_eq!(
+            counter(&format!("{prefix}.{}.{field}", s.name)),
+            v,
+            "{prefix}.{}.{field} diverges from the final LevelStats",
+            s.name
+        );
+    }
+}
+
+fn temp_trace(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("memsim-obs-itest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn live_run_registry_counters_match_final_level_stats() {
+    let _lock = memsim_obs::test_lock();
+    memsim_obs::reset();
+    memsim_obs::set_enabled(true);
+    let res = evaluate(WorkloadKind::Hash, &Scale::mini(), &Design::Baseline);
+    memsim_obs::set_enabled(false);
+
+    let prefix = format!("sim.{}.3L", WorkloadKind::Hash.name());
+    for s in res.run.all_levels() {
+        assert_level_matches(&prefix, s);
+    }
+    assert_eq!(counter("progress.events"), res.run.total_refs);
+}
+
+#[test]
+fn replay_export_json_is_bit_identical_to_level_stats() {
+    let _lock = memsim_obs::test_lock();
+    let scale = Scale::mini();
+    let path = temp_trace("hash-export.trace");
+    memsim_core::record_workload(WorkloadKind::Hash, Class::Mini, &path).unwrap();
+
+    memsim_obs::reset();
+    memsim_obs::set_enabled(true);
+    let run = memsim_core::replay_structure(&path, &scale, &Structure::ThreeLevel).unwrap();
+    memsim_obs::set_enabled(false);
+
+    // the acceptance criterion: the values in the exported JSON document
+    // (what `--metrics-out` writes) equal the final report's LevelStats,
+    // digit for digit
+    let doc = memsim_obs::export_json(&[("command", "replay".to_string())], memsim_obs::global());
+    for s in run.all_levels() {
+        assert_level_matches("replay.3L", s);
+        for (field, v) in [
+            ("load_hits", s.load_hits),
+            ("load_misses", s.load_misses),
+            ("writebacks_out", s.writebacks_out),
+        ] {
+            let needle = format!("\"replay.3L.{}.{field}\":{v}", s.name);
+            assert!(doc.contains(&needle), "export is missing `{needle}`");
+        }
+    }
+
+    // trace-health counters: every chunk that reached the sink passed CRC
+    let chunks = counter("replay.3L.reader.chunks");
+    assert!(chunks > 0);
+    assert_eq!(counter("replay.3L.reader.crc_verified_chunks"), chunks);
+    assert!(counter("replay.3L.reader.payload_bytes") > 0);
+    assert_eq!(counter("progress.events"), run.total_refs);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn deterministic_export_is_byte_stable_across_identical_runs() {
+    let _lock = memsim_obs::test_lock();
+    let scale = Scale::mini();
+    let manifest = [
+        ("command", "run".to_string()),
+        ("workload", "cg".to_string()),
+    ];
+    let mut docs = Vec::new();
+    for _ in 0..2 {
+        memsim_obs::reset();
+        memsim_obs::set_enabled(true);
+        memsim_obs::set_deterministic(true);
+        let _ = evaluate(WorkloadKind::Cg, &scale, &Design::Baseline);
+        memsim_obs::set_enabled(false);
+        docs.push(memsim_obs::export_json(&manifest, memsim_obs::global()));
+    }
+    memsim_obs::set_deterministic(false);
+
+    assert_eq!(docs[0], docs[1], "deterministic export is not byte-stable");
+    assert!(docs[0].starts_with("{\"schema\":\"memsim-obs/1\""));
+    // wall times are zeroed in deterministic mode, so the only u64s left
+    // are simulation counts — identical runs, identical bytes
+    assert!(docs[0].contains("\"wall_ns\":0"));
+}
