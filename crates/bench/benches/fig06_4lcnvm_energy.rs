@@ -14,7 +14,7 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let cache = SimCache::new();
     let ctx = bench_ctx(&cache);
-    let fig = fig_4lcnvm(&ctx, Metric::Energy);
+    let fig = fig_4lcnvm(&ctx, Metric::Energy).unwrap();
     print_figure(&fig);
     c.bench_function("fig06_4lcnvm_energy/recost", |b| {
         b.iter(|| black_box(fig_4lcnvm(&ctx, Metric::Energy)))

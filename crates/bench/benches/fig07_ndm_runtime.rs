@@ -14,7 +14,7 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let cache = SimCache::new();
     let ctx = bench_ctx(&cache);
-    let fig = fig_ndm(&ctx, Metric::Time);
+    let fig = fig_ndm(&ctx, Metric::Time).unwrap();
     print_figure(&fig);
     c.bench_function("fig07_ndm_runtime/recost", |b| {
         b.iter(|| black_box(fig_ndm(&ctx, Metric::Time)))

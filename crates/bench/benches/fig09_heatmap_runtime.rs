@@ -14,7 +14,7 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let cache = SimCache::new();
     let ctx = bench_ctx(&cache);
-    let h = fig9(&ctx);
+    let h = fig9(&ctx).unwrap();
     println!("\n==================== reproduced fig9 ====================");
     println!("{}", heatmap_to_markdown(&h));
     let n = h.read_mults.len() - 1;

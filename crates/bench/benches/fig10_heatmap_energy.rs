@@ -15,7 +15,7 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let cache = SimCache::new();
     let ctx = bench_ctx(&cache);
-    let h = fig10(&ctx);
+    let h = fig10(&ctx).unwrap();
     println!("\n==================== reproduced fig10 ====================");
     println!("{}", heatmap_to_markdown(&h));
     // break-even frontier: the largest multiplier on one axis (other held

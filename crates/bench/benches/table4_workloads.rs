@@ -11,7 +11,7 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let cache = SimCache::new();
     let ctx = bench_ctx(&cache);
-    print_figure(&table4(&ctx));
+    print_figure(&table4(&ctx).unwrap());
 
     let class = bench_scale().class;
     // workload construction (generation + untraced initialization)

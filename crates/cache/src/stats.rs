@@ -98,17 +98,37 @@ impl LevelStats {
     /// across workloads or accumulating shards). Saturating: an overflow
     /// pegs at `u64::MAX`, where `consistency_error` reports it, instead
     /// of silently wrapping into a plausible-looking small number.
+    ///
+    /// Saturation is never expected in practice, so it is loud: debug
+    /// builds assert, and every build bumps the `stats.merge_saturated`
+    /// registry counter first so a release-mode sweep that kept going on
+    /// pegged totals still shows the event in its metrics dump.
     pub fn merge(&mut self, other: &LevelStats) {
-        self.loads = self.loads.saturating_add(other.loads);
-        self.stores = self.stores.saturating_add(other.stores);
-        self.load_hits = self.load_hits.saturating_add(other.load_hits);
-        self.load_misses = self.load_misses.saturating_add(other.load_misses);
-        self.store_hits = self.store_hits.saturating_add(other.store_hits);
-        self.store_misses = self.store_misses.saturating_add(other.store_misses);
-        self.writebacks_out = self.writebacks_out.saturating_add(other.writebacks_out);
-        self.fills = self.fills.saturating_add(other.fills);
-        self.bytes_loaded = self.bytes_loaded.saturating_add(other.bytes_loaded);
-        self.bytes_stored = self.bytes_stored.saturating_add(other.bytes_stored);
+        let mut saturated = false;
+        let mut add = |a: u64, b: u64| {
+            a.checked_add(b).unwrap_or_else(|| {
+                saturated = true;
+                u64::MAX
+            })
+        };
+        self.loads = add(self.loads, other.loads);
+        self.stores = add(self.stores, other.stores);
+        self.load_hits = add(self.load_hits, other.load_hits);
+        self.load_misses = add(self.load_misses, other.load_misses);
+        self.store_hits = add(self.store_hits, other.store_hits);
+        self.store_misses = add(self.store_misses, other.store_misses);
+        self.writebacks_out = add(self.writebacks_out, other.writebacks_out);
+        self.fills = add(self.fills, other.fills);
+        self.bytes_loaded = add(self.bytes_loaded, other.bytes_loaded);
+        self.bytes_stored = add(self.bytes_stored, other.bytes_stored);
+        if saturated {
+            memsim_obs::global().counter("stats.merge_saturated").inc();
+            debug_assert!(
+                false,
+                "LevelStats::merge saturated a counter in '{}'",
+                self.name
+            );
+        }
     }
 }
 
@@ -190,7 +210,10 @@ mod tests {
 
     #[test]
     fn merge_saturates_instead_of_wrapping() {
+        let _lock = memsim_obs::test_lock();
+        memsim_obs::reset();
         let mut a = LevelStats {
+            name: "L9".into(),
             loads: u64::MAX - 1,
             ..Default::default()
         };
@@ -198,8 +221,21 @@ mod tests {
             loads: 5,
             ..Default::default()
         };
-        a.merge(&b);
+        if cfg!(debug_assertions) {
+            // debug builds assert — but only after pegging the counter and
+            // recording the event, so the state the panic leaves behind is
+            // the same state a release build continues on
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.merge(&b)));
+            assert!(r.is_err(), "debug builds must assert on saturation");
+        } else {
+            a.merge(&b);
+        }
         assert_eq!(a.loads, u64::MAX);
+        assert_eq!(
+            memsim_obs::global().counter_value("stats.merge_saturated"),
+            Some(1)
+        );
+        memsim_obs::reset();
     }
 
     #[test]

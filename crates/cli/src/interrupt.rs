@@ -1,0 +1,47 @@
+//! Graceful SIGINT handling for long sweeps.
+//!
+//! [`install`] registers a handler that flips a shared [`AtomicBool`] on the
+//! first ctrl-c and then restores the default disposition, so a second ctrl-c
+//! kills the process immediately. Sweep workers poll the flag between points,
+//! drain in-flight work, and the CLI prints the exact `--resume` command.
+//!
+//! This is the only unsafe code in the binary: the libc `signal(2)` binding.
+//! On non-unix targets `install` returns a flag that is simply never set.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, OnceLock};
+
+static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+#[cfg(unix)]
+mod sys {
+    use std::sync::atomic::Ordering;
+
+    pub(super) const SIGINT: i32 = 2;
+    pub(super) const SIG_DFL: usize = 0;
+
+    extern "C" {
+        pub(super) fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Async-signal-safe: one atomic store plus re-arming the default
+    /// disposition so the next ctrl-c terminates immediately.
+    pub(super) extern "C" fn on_sigint(_signum: i32) {
+        if let Some(flag) = super::FLAG.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+}
+
+/// Install the SIGINT handler (idempotent) and return the shared flag.
+pub fn install() -> Arc<AtomicBool> {
+    let flag = Arc::clone(FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))));
+    #[cfg(unix)]
+    unsafe {
+        sys::signal(sys::SIGINT, sys::on_sigint as extern "C" fn(i32) as usize);
+    }
+    flag
+}

@@ -6,17 +6,26 @@
 //! memsim figure fig1|fig2|...|fig10 [--scale S] [--workloads W] [--csv] [--threads N]
 //! memsim run --workload cg --design nmm --nvm pcm --config N5 [--scale S]
 //! memsim heatmap latency|energy [--scale S] [--workloads W] [--csv]
+//! memsim reproduce --out repro [--resume] [--progress]
 //! memsim record cg -o cg.trace [--scale S]
 //! memsim replay cg.trace [--designs D,D] [--threads N]
 //! memsim trace-info cg.trace
 //! ```
+//!
+//! Sweep commands (`reproduce`, and `table`/`figure`/`heatmap` with
+//! `--out DIR`) journal every completed point to
+//! `DIR/sweep.journal.jsonl`; `--resume` restores those points instead of
+//! re-simulating, and ctrl-c drains in-flight points before exiting with
+//! the exact resume command.
 
+mod interrupt;
 mod output;
 
 use memsim_core::configs::{eh_by_name, eh_configs, n_by_name, n_configs};
 use memsim_core::experiments::{self, ExperimentCtx, Metric};
-use memsim_core::report::{heatmap_to_csv, heatmap_to_markdown};
-use memsim_core::{evaluate, Design, Scale, SimCache};
+use memsim_core::heatmap::HeatmapData;
+use memsim_core::report::{heatmap_to_csv, heatmap_to_markdown, FigureData};
+use memsim_core::{evaluate, Design, Scale, SimCache, SweepCtx, SweepError, JOURNAL_FILE};
 use memsim_obs::json;
 use memsim_tech::Technology;
 use memsim_tracefile::TraceReader;
@@ -30,19 +39,56 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", usage());
+            eprintln!("error: {}", e.message);
+            if e.show_usage {
+                eprintln!();
+                eprintln!("{}", usage());
+            }
             ExitCode::FAILURE
         }
     }
 }
 
+/// A CLI failure: usage errors print the help text after the message,
+/// runtime failures (failed sweep points, an interrupt) do not — the
+/// command line was fine, the run was not.
+#[derive(Debug)]
+struct CliError {
+    message: String,
+    show_usage: bool,
+}
+
+impl CliError {
+    /// A failure of the run itself, not of the invocation.
+    fn runtime(message: String) -> Self {
+        Self {
+            message,
+            show_usage: false,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        Self {
+            message,
+            show_usage: true,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        Self::from(message.to_string())
+    }
+}
+
 fn usage() -> &'static str {
-    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [options]\n  memsim analyze --workload <W> [options]\n  memsim record <W> -o FILE [options]      record W's address stream to a trace file\n  memsim replay <FILE> [--designs a,b,c]   evaluate designs against a recorded trace\n  memsim trace-info <FILE>                 inspect a trace file\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --csv                     CSV instead of markdown\n  --json                    one JSON object instead of human text (run/replay/record/trace-info)\n  --quiet                   suppress stdout (run/replay/record/trace-info)\n  --progress                live progress line + end-of-run phase timings (run/replay/record)\n  --metrics-out FILE        write the metrics/span dump as deterministic JSON (run/replay/record)"
+    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [--resume] [options]\n  memsim analyze --workload <W> [options]\n  memsim record <W> -o FILE [options]      record W's address stream to a trace file\n  memsim replay <FILE> [--designs a,b,c]   evaluate designs against a recorded trace\n  memsim trace-info <FILE>                 inspect a trace file\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --out DIR                 journal completed sweep points to DIR/sweep.journal.jsonl\n                            (table4/figure/heatmap; reproduce always journals)\n  --resume                  skip points already journaled in --out DIR\n  --csv                     CSV instead of markdown\n  --json                    one JSON object instead of human text (run/replay/record/trace-info)\n  --quiet                   suppress stdout (run/replay/record/trace-info)\n  --progress                live progress line + end-of-run phase timings (run/replay/record/reproduce)\n  --metrics-out FILE        write the metrics/span dump as deterministic JSON (run/replay/record/reproduce)"
 }
 
 /// Minimal flag parser: `--key value` pairs after the positional arguments.
+#[derive(Debug)]
 struct Opts {
     positional: Vec<String>,
     flags: Vec<(String, String)>,
@@ -52,25 +98,37 @@ struct Opts {
 impl Opts {
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut positional = Vec::new();
-        let mut flags = Vec::new();
-        let mut switches = Vec::new();
+        let mut flags: Vec<(String, String)> = Vec::new();
+        let mut switches: Vec<String> = Vec::new();
+        // A repeated flag is ambiguous (which value did the user mean?), so
+        // it is rejected rather than silently resolved first- or last-wins.
+        let seen_dup = |flags: &[(String, String)], switches: &[String], key: &str| {
+            if flags.iter().any(|(k, _)| k == key) || switches.iter().any(|s| s == key) {
+                Err(format!("duplicate flag '--{key}'"))
+            } else {
+                Ok(())
+            }
+        };
         let mut i = 0;
         while i < args.len() {
             let a = &args[i];
             if let Some(key) = a.strip_prefix("--") {
-                if ["csv", "json", "quiet", "progress"].contains(&key) {
+                if ["csv", "json", "quiet", "progress", "resume"].contains(&key) {
+                    seen_dup(&flags, &switches, key)?;
                     switches.push(key.to_string());
                     i += 1;
                 } else {
                     let val = args
                         .get(i + 1)
                         .ok_or_else(|| format!("--{key} needs a value"))?;
+                    seen_dup(&flags, &switches, key)?;
                     flags.push((key.to_string(), val.clone()));
                     i += 2;
                 }
             } else if a == "-o" {
-                // short alias for --out
+                // short alias for --out (so `-o x --out y` is a duplicate too)
                 let val = args.get(i + 1).ok_or("-o needs a value")?;
+                seen_dup(&flags, &switches, "out")?;
                 flags.push(("out".to_string(), val.clone()));
                 i += 2;
             } else if a.starts_with('-') && a.len() > 1 {
@@ -104,9 +162,9 @@ impl Opts {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
+        // parse() rejects duplicates, so the first match is the only match
         self.flags
             .iter()
-            .rev()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
     }
@@ -215,20 +273,28 @@ impl ObsSession {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args.first().ok_or("no command given")?.clone();
     let opts = Opts::parse(&args[1..])?;
     match cmd.as_str() {
         "list" => {
             opts.expect("list", &[], &[])?;
-            cmd_list()
+            cmd_list().map_err(CliError::from)
         }
         "table" => {
-            opts.expect("table", &["scale", "workloads", "threads"], &["csv"])?;
+            opts.expect(
+                "table",
+                &["scale", "workloads", "threads", "out"],
+                &["csv", "resume"],
+            )?;
             cmd_table(&opts)
         }
         "figure" => {
-            opts.expect("figure", &["scale", "workloads", "threads"], &["csv"])?;
+            opts.expect(
+                "figure",
+                &["scale", "workloads", "threads", "out"],
+                &["csv", "resume"],
+            )?;
             cmd_figure(&opts)
         }
         "run" => {
@@ -245,19 +311,27 @@ fn run(args: &[String]) -> Result<(), String> {
                 ],
                 &["json", "quiet", "progress"],
             )?;
-            cmd_run(&opts)
+            cmd_run(&opts).map_err(CliError::from)
         }
         "heatmap" => {
-            opts.expect("heatmap", &["scale", "workloads", "threads"], &["csv"])?;
+            opts.expect(
+                "heatmap",
+                &["scale", "workloads", "threads", "out"],
+                &["csv", "resume"],
+            )?;
             cmd_heatmap(&opts)
         }
         "reproduce" => {
-            opts.expect("reproduce", &["out", "scale", "workloads", "threads"], &[])?;
+            opts.expect(
+                "reproduce",
+                &["out", "scale", "workloads", "threads", "metrics-out"],
+                &["resume", "progress"],
+            )?;
             cmd_reproduce(&opts)
         }
         "analyze" => {
             opts.expect("analyze", &["workload", "scale"], &[])?;
-            cmd_analyze(&opts)
+            cmd_analyze(&opts).map_err(CliError::from)
         }
         "record" => {
             opts.expect(
@@ -265,7 +339,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 &["out", "scale", "metrics-out"],
                 &["json", "quiet", "progress"],
             )?;
-            cmd_record(&opts)
+            cmd_record(&opts).map_err(CliError::from)
         }
         "replay" => {
             opts.expect(
@@ -277,13 +351,13 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "trace-info" => {
             opts.expect("trace-info", &[], &["json", "quiet"])?;
-            cmd_trace_info(&opts)
+            cmd_trace_info(&opts).map_err(CliError::from)
         }
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'")),
+        other => Err(format!("unknown command '{other}'").into()),
     }
 }
 
@@ -320,8 +394,107 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_table(opts: &Opts) -> Result<(), String> {
+/// Open (or resume) the sweep journal in `out` and arm the ctrl-c flag.
+fn start_sweep(out: &Path, scale: &Scale, resume: bool) -> Result<SweepCtx, String> {
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let journal = out.join(JOURNAL_FILE);
+    let mut ctx = if resume {
+        let (ctx, rec) = SweepCtx::resume(scale, &journal)?;
+        if rec.corrupt_lines > 0 {
+            eprintln!(
+                "resume: dropped {} corrupt journal line(s)",
+                rec.corrupt_lines
+            );
+        }
+        if rec.mismatched_lines > 0 {
+            eprintln!(
+                "resume: ignored {} line(s) journaled under a different config or scale",
+                rec.mismatched_lines
+            );
+        }
+        eprintln!(
+            "resume: restored {} completed point(s) from {}",
+            rec.points.len(),
+            journal.display()
+        );
+        ctx
+    } else {
+        SweepCtx::fresh(scale, &journal)?
+    };
+    ctx.set_interrupt(interrupt::install());
+    Ok(ctx)
+}
+
+/// Journaling for `table`/`figure`/`heatmap`: armed only when `--out` is
+/// present (`reproduce` always journals and uses [`start_sweep`] directly).
+fn start_sweep_opt(opts: &Opts, scale: &Scale) -> Result<Option<SweepCtx>, String> {
+    match opts.get("out") {
+        Some(out) => start_sweep(Path::new(out), scale, opts.has("resume")).map(Some),
+        None if opts.has("resume") => {
+            Err("--resume needs --out DIR (the journal lives there)".into())
+        }
+        None => Ok(None),
+    }
+}
+
+/// The exact command line that resumes this sweep: the original invocation
+/// with `--resume` appended.
+fn resume_hint(cmd: &str, opts: &Opts) -> String {
+    let mut parts = vec!["memsim".to_string(), cmd.to_string()];
+    parts.extend(opts.positional.iter().cloned());
+    for (k, v) in &opts.flags {
+        parts.push(format!("--{k}"));
+        parts.push(v.clone());
+    }
+    for s in &opts.switches {
+        if s != "resume" {
+            parts.push(format!("--{s}"));
+        }
+    }
+    parts.push("--resume".to_string());
+    parts.join(" ")
+}
+
+/// Render a sweep failure or interrupt as a runtime [`CliError`]; on
+/// interrupt, report the journal state and print the resume command.
+fn sweep_err(e: SweepError, cmd: &str, opts: &Opts, sweep: Option<&SweepCtx>) -> CliError {
+    match e {
+        SweepError::Interrupted => {
+            if let Some(ctx) = sweep {
+                eprintln!(
+                    "interrupted: {} completed point(s) journaled",
+                    ctx.persisted_points()
+                );
+                eprintln!("resume with: {}", resume_hint(cmd, opts));
+            }
+            CliError::runtime("interrupted before the sweep completed".into())
+        }
+        SweepError::Failed(failures) => {
+            eprintln!("{} sweep point(s) failed:", failures.len());
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            CliError::runtime(format!("{} sweep point(s) failed", failures.len()))
+        }
+    }
+}
+
+/// Write a rendered artifact's markdown and CSV next to the journal.
+fn write_artifact(out: &Path, name: &str, md: &str, csv: &str) -> Result<(), String> {
+    std::fs::write(out.join(format!("{name}.md")), md)
+        .map_err(|e| format!("cannot write {name}.md: {e}"))?;
+    std::fs::write(out.join(format!("{name}.csv")), csv)
+        .map_err(|e| format!("cannot write {name}.csv: {e}"))?;
+    Ok(())
+}
+
+fn cmd_table(opts: &Opts) -> Result<(), CliError> {
     let which = opts.positional.first().ok_or("table needs a name")?;
+    if (opts.get("out").is_some() || opts.has("resume"))
+        && !matches!(which.as_str(), "table4" | "workloads")
+    {
+        return Err("--out/--resume only apply to 'table table4' (the others are static)".into());
+    }
     match which.as_str() {
         "tech" | "table1" => {
             println!("{}", experiments::table1().to_markdown());
@@ -351,11 +524,17 @@ fn cmd_table(opts: &Opts) -> Result<(), String> {
             }
         }
         "table4" | "workloads" => {
+            let scale = opts.scale()?;
+            let sweep = start_sweep_opt(opts, &scale)?;
             let cache = SimCache::new();
-            let mut ctx = ExperimentCtx::new(opts.scale()?, &cache);
+            let mut ctx = ExperimentCtx::new(scale, &cache);
+            if let Some(s) = &sweep {
+                ctx = ctx.with_sweep(s);
+            }
             ctx.workloads = opts.workloads()?;
             ctx.threads = opts.threads()?;
-            let t = experiments::table4(&ctx);
+            let t = experiments::table4(&ctx)
+                .map_err(|e| sweep_err(e, "table", opts, sweep.as_ref()))?;
             println!(
                 "{}",
                 if opts.has("csv") {
@@ -364,64 +543,58 @@ fn cmd_table(opts: &Opts) -> Result<(), String> {
                     t.to_markdown()
                 }
             );
+            if let Some(out) = opts.get("out") {
+                write_artifact(Path::new(out), "table4", &t.to_markdown(), &t.to_csv())?;
+            }
         }
-        other => return Err(format!("unknown table '{other}'")),
+        other => return Err(format!("unknown table '{other}'").into()),
     }
     Ok(())
 }
 
-fn cmd_figure(opts: &Opts) -> Result<(), String> {
+/// A figure rendered both ways, so sweep commands can print one form and
+/// write both next to the journal.
+fn render_fig(f: &FigureData) -> (String, String) {
+    (f.to_markdown(), f.to_csv())
+}
+
+/// [`render_fig`] for the heat-map figures.
+fn render_heat(h: &HeatmapData) -> (String, String) {
+    (heatmap_to_markdown(h), heatmap_to_csv(h))
+}
+
+fn cmd_figure(opts: &Opts) -> Result<(), CliError> {
     let which = opts
         .positional
         .first()
         .ok_or("figure needs an id (fig1..fig10)")?;
+    let scale = opts.scale()?;
+    let sweep = start_sweep_opt(opts, &scale)?;
     let cache = SimCache::new();
-    let mut ctx = ExperimentCtx::new(opts.scale()?, &cache);
+    let mut ctx = ExperimentCtx::new(scale, &cache);
+    if let Some(s) = &sweep {
+        ctx = ctx.with_sweep(s);
+    }
     ctx.workloads = opts.workloads()?;
     ctx.threads = opts.threads()?;
-    let fig = match which.as_str() {
-        "fig1" => experiments::fig_nmm(&ctx, Metric::Time),
-        "fig2" => experiments::fig_nmm(&ctx, Metric::Energy),
-        "fig3" => experiments::fig_4lc(&ctx, Metric::Time),
-        "fig4" => experiments::fig_4lc(&ctx, Metric::Energy),
-        "fig5" => experiments::fig_4lcnvm(&ctx, Metric::Time),
-        "fig6" => experiments::fig_4lcnvm(&ctx, Metric::Energy),
-        "fig7" => experiments::fig_ndm(&ctx, Metric::Time),
-        "fig8" => experiments::fig_ndm(&ctx, Metric::Energy),
-        "fig9" => {
-            let h = experiments::fig9(&ctx);
-            println!(
-                "{}",
-                if opts.has("csv") {
-                    heatmap_to_csv(&h)
-                } else {
-                    heatmap_to_markdown(&h)
-                }
-            );
-            return Ok(());
-        }
-        "fig10" => {
-            let h = experiments::fig10(&ctx);
-            println!(
-                "{}",
-                if opts.has("csv") {
-                    heatmap_to_csv(&h)
-                } else {
-                    heatmap_to_markdown(&h)
-                }
-            );
-            return Ok(());
-        }
-        other => return Err(format!("unknown figure '{other}'")),
+    let to_err = |e| sweep_err(e, "figure", opts, sweep.as_ref());
+    let (md, csv) = match which.as_str() {
+        "fig1" => render_fig(&experiments::fig_nmm(&ctx, Metric::Time).map_err(to_err)?),
+        "fig2" => render_fig(&experiments::fig_nmm(&ctx, Metric::Energy).map_err(to_err)?),
+        "fig3" => render_fig(&experiments::fig_4lc(&ctx, Metric::Time).map_err(to_err)?),
+        "fig4" => render_fig(&experiments::fig_4lc(&ctx, Metric::Energy).map_err(to_err)?),
+        "fig5" => render_fig(&experiments::fig_4lcnvm(&ctx, Metric::Time).map_err(to_err)?),
+        "fig6" => render_fig(&experiments::fig_4lcnvm(&ctx, Metric::Energy).map_err(to_err)?),
+        "fig7" => render_fig(&experiments::fig_ndm(&ctx, Metric::Time).map_err(to_err)?),
+        "fig8" => render_fig(&experiments::fig_ndm(&ctx, Metric::Energy).map_err(to_err)?),
+        "fig9" => render_heat(&experiments::fig9(&ctx).map_err(to_err)?),
+        "fig10" => render_heat(&experiments::fig10(&ctx).map_err(to_err)?),
+        other => return Err(format!("unknown figure '{other}'").into()),
     };
-    println!(
-        "{}",
-        if opts.has("csv") {
-            fig.to_csv()
-        } else {
-            fig.to_markdown()
-        }
-    );
+    println!("{}", if opts.has("csv") { &csv } else { &md });
+    if let Some(out) = opts.get("out") {
+        write_artifact(Path::new(out), which, &md, &csv)?;
+    }
     Ok(())
 }
 
@@ -717,44 +890,116 @@ fn human_capacity(bytes: u64) -> String {
     }
 }
 
+/// The simulated artifacts `reproduce` regenerates, in order. `table1` is
+/// static and handled separately.
+const REPRODUCE_ARTIFACTS: [&str; 12] = [
+    "table4", "fig1", "fig2", "fig1_edp", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10",
+];
+
+/// Build one `reproduce` artifact as (markdown, CSV).
+fn build_artifact(ctx: &ExperimentCtx, name: &str) -> Result<(String, String), SweepError> {
+    let fig = |f: Result<FigureData, SweepError>| f.map(|f| render_fig(&f));
+    let heat = |h: Result<HeatmapData, SweepError>| h.map(|h| render_heat(&h));
+    match name {
+        "table4" => fig(experiments::table4(ctx)),
+        "fig1" => fig(experiments::fig_nmm(ctx, Metric::Time)),
+        "fig2" => fig(experiments::fig_nmm(ctx, Metric::Energy)),
+        "fig1_edp" => fig(experiments::fig_nmm(ctx, Metric::Edp)),
+        "fig3" => fig(experiments::fig_4lc(ctx, Metric::Time)),
+        "fig4" => fig(experiments::fig_4lc(ctx, Metric::Energy)),
+        "fig5" => fig(experiments::fig_4lcnvm(ctx, Metric::Time)),
+        "fig6" => fig(experiments::fig_4lcnvm(ctx, Metric::Energy)),
+        "fig7" => fig(experiments::fig_ndm(ctx, Metric::Time)),
+        "fig8" => fig(experiments::fig_ndm(ctx, Metric::Energy)),
+        "fig9" => heat(experiments::fig9(ctx)),
+        "fig10" => heat(experiments::fig10(ctx)),
+        other => unreachable!("unknown reproduce artifact '{other}'"),
+    }
+}
+
 /// Regenerate every table and figure into `--out DIR` (markdown + CSV),
 /// sharing one simulation memo across all of them.
-fn cmd_reproduce(opts: &Opts) -> Result<(), String> {
-    let out = std::path::PathBuf::from(opts.get("out").unwrap_or("reproduction"));
-    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+///
+/// Crash-resilient: every completed (workload, design) point is journaled
+/// to `DIR/sweep.journal.jsonl` as it finishes, `--resume` restores those
+/// points instead of re-simulating (the final report is byte-identical to
+/// an uninterrupted run), a panicking point is recorded and skipped while
+/// every other artifact still builds, and ctrl-c drains in-flight points
+/// and prints the exact resume command.
+fn cmd_reproduce(opts: &Opts) -> Result<(), CliError> {
+    let out = PathBuf::from(opts.get("out").unwrap_or("reproduction"));
+    let scale = opts.scale()?;
+    let sweep = start_sweep(&out, &scale, opts.has("resume"))?;
+    let mut obs = ObsSession::start(opts, "reproduce");
+    obs.annotate("scale", scale.class.name().to_string());
+    obs.annotate("out", out.display().to_string());
     let cache = SimCache::new();
-    let mut ctx = ExperimentCtx::new(opts.scale()?, &cache);
+    let mut ctx = ExperimentCtx::new(scale, &cache).with_sweep(&sweep);
     ctx.workloads = opts.workloads()?;
     ctx.threads = opts.threads()?;
 
     let write = |name: &str, md: String, csv: String| -> Result<(), String> {
-        std::fs::write(out.join(format!("{name}.md")), md).map_err(|e| e.to_string())?;
-        std::fs::write(out.join(format!("{name}.csv")), csv).map_err(|e| e.to_string())?;
+        write_artifact(&out, name, &md, &csv)?;
         eprintln!("wrote {name}");
         Ok(())
     };
 
     let t1 = experiments::table1();
     write("table1", t1.to_markdown(), t1.to_csv())?;
-    let t4 = experiments::table4(&ctx);
-    write("table4", t4.to_markdown(), t4.to_csv())?;
-    for (name, fig) in [
-        ("fig1", experiments::fig_nmm(&ctx, Metric::Time)),
-        ("fig2", experiments::fig_nmm(&ctx, Metric::Energy)),
-        ("fig1_edp", experiments::fig_nmm(&ctx, Metric::Edp)),
-        ("fig3", experiments::fig_4lc(&ctx, Metric::Time)),
-        ("fig4", experiments::fig_4lc(&ctx, Metric::Energy)),
-        ("fig5", experiments::fig_4lcnvm(&ctx, Metric::Time)),
-        ("fig6", experiments::fig_4lcnvm(&ctx, Metric::Energy)),
-        ("fig7", experiments::fig_ndm(&ctx, Metric::Time)),
-        ("fig8", experiments::fig_ndm(&ctx, Metric::Energy)),
-    ] {
-        write(name, fig.to_markdown(), fig.to_csv())?;
+
+    // A failed artifact does not abort the reproduction: the failure is
+    // journaled and every artifact the failed point does not feed still
+    // builds. Only an interrupt stops the loop.
+    let mut failed: Vec<String> = Vec::new();
+    let mut interrupted = false;
+    for name in REPRODUCE_ARTIFACTS {
+        if sweep.interrupted() {
+            interrupted = true;
+            break;
+        }
+        match build_artifact(&ctx, name) {
+            Ok((md, csv)) => write(name, md, csv)?,
+            Err(SweepError::Interrupted) => {
+                interrupted = true;
+                break;
+            }
+            Err(SweepError::Failed(failures)) => {
+                // the same broken point surfaces in every artifact that
+                // needs it — report it once
+                for f in failures {
+                    let line = f.to_string();
+                    if !failed.contains(&line) {
+                        failed.push(line);
+                    }
+                }
+            }
+        }
     }
-    let h9 = experiments::fig9(&ctx);
-    write("fig9", heatmap_to_markdown(&h9), heatmap_to_csv(&h9))?;
-    let h10 = experiments::fig10(&ctx);
-    write("fig10", heatmap_to_markdown(&h10), heatmap_to_csv(&h10))?;
+    obs.finish()?;
+
+    if interrupted {
+        eprintln!(
+            "interrupted: {} completed point(s) journaled in {}",
+            sweep.persisted_points(),
+            out.join(JOURNAL_FILE).display()
+        );
+        eprintln!("resume with: {}", resume_hint("reproduce", opts));
+        return Err(CliError::runtime(
+            "interrupted before the reproduction completed".into(),
+        ));
+    }
+    if !failed.is_empty() {
+        eprintln!("reproduction incomplete: {} point(s) failed:", failed.len());
+        for f in &failed {
+            eprintln!("  {f}");
+        }
+        eprintln!("completed points are journaled; fix the cause and rerun with --resume");
+        return Err(CliError::runtime(format!(
+            "{} sweep point(s) failed",
+            failed.len()
+        )));
+    }
     eprintln!("reproduction complete: {}", out.display());
     Ok(())
 }
@@ -845,7 +1090,7 @@ fn default_replay_designs() -> Vec<(&'static str, Design)> {
     ]
 }
 
-fn cmd_replay(opts: &Opts) -> Result<(), String> {
+fn cmd_replay(opts: &Opts) -> Result<(), CliError> {
     let file = opts.positional.first().ok_or("replay needs a trace file")?;
     let path = Path::new(file);
 
@@ -896,8 +1141,32 @@ fn cmd_replay(opts: &Opts) -> Result<(), String> {
         grid.iter().map(|d| d.label()).collect::<Vec<_>>().join(","),
     );
 
-    let results = memsim_core::replay_grid(path, &grid, &scale, opts.threads()?)?;
-    let base = &results[0];
+    // Fault-isolated: a shard that fails to decode (corrupt chunk,
+    // truncation mid-walk) or panics strands only its own designs; the
+    // surviving rows still print, and the exit is non-zero.
+    let outcome = memsim_core::replay_grid_robust(path, &grid, &scale, opts.threads()?)?;
+    let stranded: Vec<Design> = outcome
+        .failures
+        .iter()
+        .flat_map(|f| f.designs.iter().copied())
+        .collect();
+    if stranded.contains(&Design::Baseline) {
+        // nothing can be normalized without the baseline shard
+        let list: Vec<String> = outcome.failures.iter().map(|f| f.to_string()).collect();
+        obs.finish()?;
+        return Err(CliError::runtime(format!(
+            "baseline shard failed, cannot normalize: {}",
+            list.join("; ")
+        )));
+    }
+    // surviving results are in grid order; pair them back up with designs
+    let mut survivors = outcome.results.iter();
+    let results: Vec<(Design, &memsim_core::EvalResult)> = grid
+        .iter()
+        .filter(|d| !stranded.contains(d))
+        .map(|d| (*d, survivors.next().expect("one result per survivor")))
+        .collect();
+    let base = results[0].1;
 
     rep.text(format!(
         "# replay of {} ({} events, {} scale)",
@@ -909,7 +1178,7 @@ fn cmd_replay(opts: &Opts) -> Result<(), String> {
     );
     rep.text("|---|---|---|---|---|---|---|---|");
     let mut rows: Vec<String> = Vec::new();
-    for (d, r) in grid.iter().zip(&results) {
+    for (d, r) in &results {
         if !designs.contains(d) {
             continue;
         }
@@ -938,8 +1207,31 @@ fn cmd_replay(opts: &Opts) -> Result<(), String> {
     rep.str_field("scale", scale.class.name());
     rep.u64_field("events", base.run.total_refs);
     rep.raw("results", json::array(&rows));
+    if !outcome.failures.is_empty() {
+        let failure_rows: Vec<String> = outcome
+            .failures
+            .iter()
+            .map(|f| {
+                let mut o = json::Obj::new();
+                o.str("failure", &f.to_string());
+                o.finish()
+            })
+            .collect();
+        rep.raw("failures", json::array(&failure_rows));
+    }
     rep.finish();
-    obs.finish()
+    obs.finish()?;
+    if !outcome.failures.is_empty() {
+        eprintln!("{} replay shard(s) failed:", outcome.failures.len());
+        for f in &outcome.failures {
+            eprintln!("  {f}");
+        }
+        return Err(CliError::runtime(format!(
+            "{} replay shard(s) failed",
+            outcome.failures.len()
+        )));
+    }
+    Ok(())
 }
 
 fn cmd_trace_info(opts: &Opts) -> Result<(), String> {
@@ -1035,21 +1327,27 @@ fn cmd_trace_info(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_heatmap(opts: &Opts) -> Result<(), String> {
+fn cmd_heatmap(opts: &Opts) -> Result<(), CliError> {
     let axis = opts
         .positional
         .first()
         .map(|s| s.as_str())
         .unwrap_or("latency");
+    let scale = opts.scale()?;
+    let sweep = start_sweep_opt(opts, &scale)?;
     let cache = SimCache::new();
-    let mut ctx = ExperimentCtx::new(opts.scale()?, &cache);
+    let mut ctx = ExperimentCtx::new(scale, &cache);
+    if let Some(s) = &sweep {
+        ctx = ctx.with_sweep(s);
+    }
     ctx.workloads = opts.workloads()?;
     ctx.threads = opts.threads()?;
     let h = match axis {
         "latency" => experiments::fig9(&ctx),
         "energy" => experiments::fig10(&ctx),
-        other => return Err(format!("unknown heatmap axis '{other}'")),
-    };
+        other => return Err(format!("unknown heatmap axis '{other}'").into()),
+    }
+    .map_err(|e| sweep_err(e, "heatmap", opts, sweep.as_ref()))?;
     println!(
         "{}",
         if opts.has("csv") {
@@ -1058,6 +1356,10 @@ fn cmd_heatmap(opts: &Opts) -> Result<(), String> {
             heatmap_to_markdown(&h)
         }
     );
+    if let Some(out) = opts.get("out") {
+        let (md, csv) = render_heat(&h);
+        write_artifact(Path::new(out), axis, &md, &csv)?;
+    }
     Ok(())
 }
 
@@ -1094,9 +1396,47 @@ mod tests {
     }
 
     #[test]
-    fn opts_last_flag_wins() {
-        let o = Opts::parse(&args(&["--scale", "mini", "--scale", "demo"])).unwrap();
-        assert_eq!(o.get("scale"), Some("demo"));
+    fn opts_duplicate_flags_are_rejected() {
+        // which value did the user mean? refuse to guess
+        let err = Opts::parse(&args(&["--scale", "mini", "--scale", "demo"])).unwrap_err();
+        assert_eq!(err, "duplicate flag '--scale'");
+        // a repeated switch is just as ambiguous (usually a typo'd line)
+        assert!(Opts::parse(&args(&["--csv", "--csv"])).is_err());
+        // -o is an alias for --out, so mixing the two spellings collides
+        assert!(Opts::parse(&args(&["-o", "x", "--out", "y"])).is_err());
+        assert!(Opts::parse(&args(&["-o", "x", "-o", "y"])).is_err());
+        // distinct flags still coexist
+        let o = Opts::parse(&args(&["--scale", "mini", "--threads", "2"])).unwrap();
+        assert_eq!(o.get("scale"), Some("mini"));
+        assert_eq!(o.get("threads"), Some("2"));
+    }
+
+    #[test]
+    fn resume_needs_an_out_dir() {
+        assert!(run(&args(&["figure", "fig1", "--resume"])).is_err());
+        assert!(run(&args(&["heatmap", "latency", "--resume"])).is_err());
+        // static tables have no sweep to journal or resume
+        assert!(run(&args(&["table", "tech", "--out", "somewhere"])).is_err());
+        assert!(run(&args(&["table", "tech", "--resume"])).is_err());
+    }
+
+    #[test]
+    fn resume_hint_reconstructs_the_invocation() {
+        let o = Opts::parse(&args(&[
+            "--out",
+            "repro",
+            "--scale",
+            "mini",
+            "--progress",
+            "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(
+            resume_hint("reproduce", &o),
+            "memsim reproduce --out repro --scale mini --progress --resume"
+        );
+        // --resume is appended exactly once even when already present
+        assert_eq!(resume_hint("reproduce", &o).matches("--resume").count(), 1);
     }
 
     #[test]

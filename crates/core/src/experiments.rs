@@ -7,9 +7,10 @@
 use crate::configs::{eh_configs, n_configs};
 use crate::design::Design;
 use crate::heatmap::{default_multipliers, heatmap, Axis, HeatmapData};
+use crate::journal::SweepCtx;
 use crate::model::NormMetrics;
 use crate::report::{FigureData, Series};
-use crate::runner::{evaluate_grid, EvalResult, SimCache};
+use crate::runner::{evaluate_grid_sweep, EvalResult, SimCache, SweepError};
 use crate::scale::Scale;
 use memsim_tech::{TechParams, Technology};
 use memsim_workloads::WorkloadKind;
@@ -25,6 +26,9 @@ pub struct ExperimentCtx<'a> {
     pub cache: &'a SimCache,
     /// Worker threads (None = available parallelism).
     pub threads: Option<usize>,
+    /// Journal/resume/interrupt state shared across the suite (None =
+    /// plain run, no checkpointing).
+    pub sweep: Option<&'a SweepCtx>,
 }
 
 impl<'a> ExperimentCtx<'a> {
@@ -35,6 +39,7 @@ impl<'a> ExperimentCtx<'a> {
             workloads: WorkloadKind::PAPER_SET.to_vec(),
             cache,
             threads: None,
+            sweep: None,
         }
     }
 
@@ -43,6 +48,36 @@ impl<'a> ExperimentCtx<'a> {
         self.workloads = w.to_vec();
         self
     }
+
+    /// Attach a sweep context: every grid evaluation journals completed
+    /// points, serves resumed points from the journal, and honors the
+    /// interrupt flag.
+    pub fn with_sweep(mut self, sweep: &'a SweepCtx) -> Self {
+        self.sweep = Some(sweep);
+        self
+    }
+}
+
+/// Run a grid under the context's sweep state and lift the outcome into a
+/// `Result`: an interrupt wins over failures (the journal already holds
+/// both kinds of entry), and failures abort the *artifact* while every
+/// surviving point remains journaled for the next attempt.
+fn grid_or_err(
+    ctx: &ExperimentCtx,
+    points: &[(WorkloadKind, Design)],
+) -> Result<Vec<EvalResult>, SweepError> {
+    let outcome = evaluate_grid_sweep(points, &ctx.scale, ctx.cache, ctx.threads, ctx.sweep);
+    if outcome.interrupted {
+        return Err(SweepError::Interrupted);
+    }
+    if !outcome.failures.is_empty() {
+        return Err(SweepError::Failed(outcome.failures));
+    }
+    Ok(outcome
+        .results
+        .into_iter()
+        .map(|slot| slot.expect("missing result"))
+        .collect())
 }
 
 /// Which normalized metric a figure plots.
@@ -71,7 +106,7 @@ impl Metric {
 pub fn norm_grid(
     ctx: &ExperimentCtx,
     designs: &[Design],
-) -> HashMap<(WorkloadKind, String), NormMetrics> {
+) -> Result<HashMap<(WorkloadKind, String), NormMetrics>, SweepError> {
     let mut points: Vec<(WorkloadKind, Design)> = Vec::new();
     for &w in &ctx.workloads {
         points.push((w, Design::Baseline));
@@ -79,7 +114,7 @@ pub fn norm_grid(
             points.push((w, *d));
         }
     }
-    let results = evaluate_grid(&points, &ctx.scale, ctx.cache, ctx.threads);
+    let results = grid_or_err(ctx, &points)?;
     let mut base: HashMap<WorkloadKind, EvalResult> = HashMap::new();
     for r in &results {
         if matches!(r.design, Design::Baseline) {
@@ -97,7 +132,7 @@ pub fn norm_grid(
             r.metrics.normalized_to(&b.metrics),
         );
     }
-    out
+    Ok(out)
 }
 
 fn averaged_series(
@@ -145,14 +180,14 @@ pub fn table1() -> FigureData {
 }
 
 /// Table 4: workload characteristics (footprint and modeled reference time).
-pub fn table4(ctx: &ExperimentCtx) -> FigureData {
+pub fn table4(ctx: &ExperimentCtx) -> Result<FigureData, SweepError> {
     let points: Vec<(WorkloadKind, Design)> = ctx
         .workloads
         .iter()
         .map(|w| (*w, Design::Baseline))
         .collect();
-    let results = evaluate_grid(&points, &ctx.scale, ctx.cache, ctx.threads);
-    FigureData {
+    let results = grid_or_err(ctx, &points)?;
+    Ok(FigureData {
         id: "table4".into(),
         title: "Characteristics of the benchmarks (model scale)".into(),
         x_labels: vec![
@@ -173,12 +208,12 @@ pub fn table4(ctx: &ExperimentCtx) -> FigureData {
                 ],
             })
             .collect(),
-    }
+    })
 }
 
 /// Figures 1 and 2: NMM normalized runtime/energy across N1–N9, averaged
 /// over the benchmarks, one series per NVM technology.
-pub fn fig_nmm(ctx: &ExperimentCtx, metric: Metric) -> FigureData {
+pub fn fig_nmm(ctx: &ExperimentCtx, metric: Metric) -> Result<FigureData, SweepError> {
     let designs: Vec<Design> = n_configs()
         .iter()
         .flat_map(|c| {
@@ -188,7 +223,7 @@ pub fn fig_nmm(ctx: &ExperimentCtx, metric: Metric) -> FigureData {
             })
         })
         .collect();
-    let grid = norm_grid(ctx, &designs);
+    let grid = norm_grid(ctx, &designs)?;
     let x_labels: Vec<String> = n_configs().iter().map(|c| c.name.to_string()).collect();
     let series = Technology::NVM
         .iter()
@@ -214,17 +249,17 @@ pub fn fig_nmm(ctx: &ExperimentCtx, metric: Metric) -> FigureData {
         Metric::Energy => ("fig2", "energy"),
         Metric::Edp => ("fig1-edp", "EDP"),
     };
-    FigureData {
+    Ok(FigureData {
         id: id.into(),
         title: format!("Average of normalized {what} of all benchmarks for NMM"),
         x_labels,
         series,
-    }
+    })
 }
 
 /// Figures 3 and 4: 4LC normalized runtime/energy across EH1–EH8, one
 /// series per LLC technology.
-pub fn fig_4lc(ctx: &ExperimentCtx, metric: Metric) -> FigureData {
+pub fn fig_4lc(ctx: &ExperimentCtx, metric: Metric) -> Result<FigureData, SweepError> {
     let designs: Vec<Design> = eh_configs()
         .iter()
         .flat_map(|c| {
@@ -234,7 +269,7 @@ pub fn fig_4lc(ctx: &ExperimentCtx, metric: Metric) -> FigureData {
             })
         })
         .collect();
-    let grid = norm_grid(ctx, &designs);
+    let grid = norm_grid(ctx, &designs)?;
     let x_labels: Vec<String> = eh_configs().iter().map(|c| c.name.to_string()).collect();
     let series = Technology::FAST_LLC
         .iter()
@@ -260,18 +295,18 @@ pub fn fig_4lc(ctx: &ExperimentCtx, metric: Metric) -> FigureData {
         Metric::Energy => ("fig4", "total energy"),
         Metric::Edp => ("fig3-edp", "EDP"),
     };
-    FigureData {
+    Ok(FigureData {
         id: id.into(),
         title: format!("Average of normalized {what} of all benchmarks for 4LC"),
         x_labels,
         series,
-    }
+    })
 }
 
 /// Figures 5 and 6: 4LCNVM normalized runtime/energy across EH1–EH8. The
 /// series cover both LLC technologies with PCM plus eDRAM with the other
 /// NVMs.
-pub fn fig_4lcnvm(ctx: &ExperimentCtx, metric: Metric) -> FigureData {
+pub fn fig_4lcnvm(ctx: &ExperimentCtx, metric: Metric) -> Result<FigureData, SweepError> {
     let combos: Vec<(Technology, Technology)> = vec![
         (Technology::Edram, Technology::Pcm),
         (Technology::Hmc, Technology::Pcm),
@@ -288,7 +323,7 @@ pub fn fig_4lcnvm(ctx: &ExperimentCtx, metric: Metric) -> FigureData {
             })
         })
         .collect();
-    let grid = norm_grid(ctx, &designs);
+    let grid = norm_grid(ctx, &designs)?;
     let x_labels: Vec<String> = eh_configs().iter().map(|c| c.name.to_string()).collect();
     let series = combos
         .iter()
@@ -315,22 +350,22 @@ pub fn fig_4lcnvm(ctx: &ExperimentCtx, metric: Metric) -> FigureData {
         Metric::Energy => ("fig6", "total energy"),
         Metric::Edp => ("fig5-edp", "EDP"),
     };
-    FigureData {
+    Ok(FigureData {
         id: id.into(),
         title: format!("Average of normalized {what} of all benchmarks for 4LCNVM"),
         x_labels,
         series,
-    }
+    })
 }
 
 /// Figures 7 and 8: NDM normalized runtime/energy per benchmark, one
 /// series per NVM technology.
-pub fn fig_ndm(ctx: &ExperimentCtx, metric: Metric) -> FigureData {
+pub fn fig_ndm(ctx: &ExperimentCtx, metric: Metric) -> Result<FigureData, SweepError> {
     let designs: Vec<Design> = Technology::NVM
         .iter()
         .map(|t| Design::Ndm { nvm: *t })
         .collect();
-    let grid = norm_grid(ctx, &designs);
+    let grid = norm_grid(ctx, &designs)?;
     let x_labels: Vec<String> = ctx.workloads.iter().map(|w| w.name().to_string()).collect();
     let series = Technology::NVM
         .iter()
@@ -351,24 +386,40 @@ pub fn fig_ndm(ctx: &ExperimentCtx, metric: Metric) -> FigureData {
         Metric::Energy => ("fig8", "total energy"),
         Metric::Edp => ("fig7-edp", "EDP"),
     };
-    FigureData {
+    Ok(FigureData {
         id: id.into(),
         title: format!("Normalized {what} per benchmark for the NDM design"),
         x_labels,
         series,
-    }
+    })
 }
 
 /// Figure 9: the runtime heat map over read/write latency multipliers.
-pub fn fig9(ctx: &ExperimentCtx) -> HeatmapData {
+pub fn fig9(ctx: &ExperimentCtx) -> Result<HeatmapData, SweepError> {
     let m = default_multipliers();
-    heatmap(&ctx.workloads, &ctx.scale, ctx.cache, Axis::Latency, &m, &m)
+    heatmap(
+        &ctx.workloads,
+        &ctx.scale,
+        ctx.cache,
+        Axis::Latency,
+        &m,
+        &m,
+        ctx.sweep,
+    )
 }
 
 /// Figure 10: the energy heat map over read/write energy multipliers.
-pub fn fig10(ctx: &ExperimentCtx) -> HeatmapData {
+pub fn fig10(ctx: &ExperimentCtx) -> Result<HeatmapData, SweepError> {
     let m = default_multipliers();
-    heatmap(&ctx.workloads, &ctx.scale, ctx.cache, Axis::Energy, &m, &m)
+    heatmap(
+        &ctx.workloads,
+        &ctx.scale,
+        ctx.cache,
+        Axis::Energy,
+        &m,
+        &m,
+        ctx.sweep,
+    )
 }
 
 #[cfg(test)]
@@ -394,7 +445,7 @@ mod tests {
     #[test]
     fn table4_reports_workloads() {
         let cache = SimCache::new();
-        let t = table4(&quick_ctx(&cache));
+        let t = table4(&quick_ctx(&cache)).unwrap();
         t.validate();
         assert_eq!(t.series.len(), 2);
         for s in &t.series {
@@ -410,7 +461,7 @@ mod tests {
     #[test]
     fn fig_nmm_shape_and_sanity() {
         let cache = SimCache::new();
-        let f = fig_nmm(&quick_ctx(&cache), Metric::Time);
+        let f = fig_nmm(&quick_ctx(&cache), Metric::Time).unwrap();
         f.validate();
         assert_eq!(f.x_labels.len(), 9);
         assert_eq!(f.series.len(), 3);
@@ -435,7 +486,7 @@ mod tests {
     #[test]
     fn fig_4lc_time_band() {
         let cache = SimCache::new();
-        let f = fig_4lc(&quick_ctx(&cache), Metric::Time);
+        let f = fig_4lc(&quick_ctx(&cache), Metric::Time).unwrap();
         f.validate();
         assert_eq!(f.series.len(), 2);
         // 4LC adds a faster level in front of DRAM: runtime stays near 1.0
@@ -454,8 +505,8 @@ mod tests {
     fn edp_metric_produces_distinct_figure() {
         let cache = SimCache::new();
         let ctx = ExperimentCtx::new(Scale::mini(), &cache).with_workloads(&[WorkloadKind::Cg]);
-        let t = fig_nmm(&ctx, Metric::Time);
-        let e = fig_nmm(&ctx, Metric::Edp);
+        let t = fig_nmm(&ctx, Metric::Time).unwrap();
+        let e = fig_nmm(&ctx, Metric::Edp).unwrap();
         assert_eq!(e.id, "fig1-edp");
         // EDP = time × energy ratios: at equal x, EDP differs from time
         // whenever energy differs from 1
@@ -477,7 +528,7 @@ mod tests {
                 nvm: Technology::Pcm,
             },
         ];
-        let grid = norm_grid(&ctx, &designs);
+        let grid = norm_grid(&ctx, &designs).unwrap();
         assert_eq!(grid.len(), 2);
         for d in &designs {
             assert!(
@@ -492,7 +543,7 @@ mod tests {
     fn fig_ndm_per_benchmark() {
         let cache = SimCache::new();
         let ctx = quick_ctx(&cache);
-        let f = fig_ndm(&ctx, Metric::Time);
+        let f = fig_ndm(&ctx, Metric::Time).unwrap();
         f.validate();
         assert_eq!(f.x_labels, vec!["CG".to_string(), "Hash".to_string()]);
         assert_eq!(f.series.len(), 3);

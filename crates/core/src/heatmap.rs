@@ -8,8 +8,9 @@
 
 use crate::configs::n_by_name;
 use crate::design::{sram_costs, Design, MEM_NAME};
+use crate::journal::SweepCtx;
 use crate::model::{LevelCost, Metrics};
-use crate::runner::{evaluate_cached, SimCache};
+use crate::runner::{sweep_point, SimCache, SweepError};
 use crate::scale::Scale;
 use memsim_cache::LevelStats;
 use memsim_tech::{Multipliers, TechParams, Technology};
@@ -55,6 +56,12 @@ pub fn default_multipliers() -> Vec<f64> {
 /// The hypothetical memory is DRAM with the given axis scaled; the DRAM
 /// page cache stays real DRAM; the hierarchy is the paper's NMM at N6
 /// (512 MB, 512 B pages).
+///
+/// The two simulated points per workload (baseline and NMM@N6) go through
+/// [`sweep_point`], so with a sweep context they are journaled, served
+/// from `--resume`, and panic-isolated like grid points; an armed
+/// interrupt stops between workloads.
+#[allow(clippy::too_many_arguments)]
 pub fn heatmap(
     kinds: &[WorkloadKind],
     scale: &Scale,
@@ -62,21 +69,36 @@ pub fn heatmap(
     axis: Axis,
     read_mults: &[f64],
     write_mults: &[f64],
-) -> HeatmapData {
+    sweep: Option<&SweepCtx>,
+) -> Result<HeatmapData, SweepError> {
     let n6 = n_by_name("N6").expect("N6 exists");
     let mut grid = vec![vec![0.0f64; read_mults.len()]; write_mults.len()];
+    let mut failures = Vec::new();
     for kind in kinds {
+        if sweep.is_some_and(SweepCtx::interrupted) {
+            return Err(SweepError::Interrupted);
+        }
         // one simulation (structure of NMM@N6) + baseline per workload
-        let base = evaluate_cached(*kind, scale, &Design::Baseline, cache);
-        let nmm = evaluate_cached(
-            *kind,
-            scale,
-            &Design::Nmm {
-                nvm: Technology::Pcm,
-                config: n6,
-            },
-            cache,
-        );
+        let pair = sweep_point(*kind, scale, &Design::Baseline, cache, sweep).and_then(|base| {
+            sweep_point(
+                *kind,
+                scale,
+                &Design::Nmm {
+                    nvm: Technology::Pcm,
+                    config: n6,
+                },
+                cache,
+                sweep,
+            )
+            .map(|nmm| (base, nmm))
+        });
+        let (base, nmm) = match pair {
+            Ok(p) => p,
+            Err(failed) => {
+                failures.push(failed);
+                continue;
+            }
+        };
         let run = &nmm.run;
         // fixed costs: SRAM levels + the DRAM page cache
         let mut fixed = sram_costs(scale);
@@ -110,7 +132,10 @@ pub fn heatmap(
             }
         }
     }
-    HeatmapData {
+    if !failures.is_empty() {
+        return Err(SweepError::Failed(failures));
+    }
+    Ok(HeatmapData {
         title: match axis {
             Axis::Latency => "Normalized runtime of NMM vs read/write latency ×".into(),
             Axis::Energy => "Normalized energy of NMM vs read/write energy ×".into(),
@@ -118,7 +143,7 @@ pub fn heatmap(
         read_mults: read_mults.to_vec(),
         write_mults: write_mults.to_vec(),
         grid,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -134,7 +159,9 @@ mod tests {
             axis,
             &[1.0, 5.0, 20.0],
             &[1.0, 5.0, 20.0],
+            None,
         )
+        .unwrap()
     }
 
     #[test]

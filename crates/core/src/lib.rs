@@ -45,6 +45,7 @@ mod design;
 pub mod dynamic;
 pub mod experiments;
 pub mod heatmap;
+pub mod journal;
 pub mod model;
 pub mod partition;
 pub mod replay;
@@ -53,7 +54,14 @@ pub mod runner;
 mod scale;
 
 pub use design::{Design, Structure};
+pub use journal::{sweep_fingerprint, JournalRecovery, SweepCtx, SweepJournal, JOURNAL_FILE};
 pub use model::{breakdown, LevelBreakdown, LevelCost, Metrics, NormMetrics};
-pub use replay::{record_workload, replay_grid, replay_structure, RecordSummary};
-pub use runner::{evaluate, simulate_structure, EvalResult, RawRun, SimCache};
+pub use replay::{
+    record_workload, replay_grid, replay_grid_robust, replay_structure, RecordSummary,
+    ReplayFailure, ReplayOutcome,
+};
+pub use runner::{
+    evaluate, simulate_structure, sweep_point, EvalResult, FailedPoint, GridOutcome, RawRun,
+    SimCache, SweepError,
+};
 pub use scale::Scale;

@@ -181,6 +181,42 @@ pub fn trace_workload(path: &Path) -> Result<WorkloadKind, String> {
     })
 }
 
+/// One hierarchy structure whose trace walk did not survive, with every
+/// design that depended on it.
+#[derive(Debug, Clone)]
+pub struct ReplayFailure {
+    /// The structure whose shard failed.
+    pub structure: Structure,
+    /// The designs that would have been costed from that structure's run.
+    pub designs: Vec<Design>,
+    /// The shard's error (decode error, or a panic payload).
+    pub message: String,
+}
+
+impl std::fmt::Display for ReplayFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let labels: Vec<String> = self.designs.iter().map(Design::label).collect();
+        write!(
+            f,
+            "structure {} (designs {}): {}",
+            self.structure.obs_label(),
+            labels.join(", "),
+            self.message
+        )
+    }
+}
+
+/// What a fault-isolated [`replay_grid_robust`] produced: results for every
+/// design whose structure replayed cleanly, plus the per-structure
+/// failures.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Surviving designs' results, in input order.
+    pub results: Vec<EvalResult>,
+    /// Structures that failed to replay, with the designs they strand.
+    pub failures: Vec<ReplayFailure>,
+}
+
 /// Evaluate a grid of designs against one recorded trace, sharded in
 /// parallel: the distinct hierarchy *structures* among `designs` are
 /// replayed concurrently (each worker streams the file independently, so
@@ -188,12 +224,18 @@ pub fn trace_workload(path: &Path) -> Result<WorkloadKind, String> {
 /// costed analytically from its structure's replayed run — the same
 /// two-phase split as the live `evaluate_grid`, with the workload
 /// execution replaced by a trace walk.
-pub fn replay_grid(
+///
+/// Fault-isolated: a shard that fails to decode (corrupt chunk, truncated
+/// file mid-walk) or panics strands only the designs sharing its
+/// structure; every other shard completes and its designs are costed.
+/// Errors that precede the walk (unreadable header, invalid design) still
+/// fail the whole call.
+pub fn replay_grid_robust(
     path: &Path,
     designs: &[Design],
     scale: &Scale,
     threads: Option<usize>,
-) -> Result<Vec<EvalResult>, String> {
+) -> Result<ReplayOutcome, String> {
     let _span = memsim_obs::span!("replay");
     for d in designs {
         d.validate()?;
@@ -236,9 +278,19 @@ pub fn replay_grid(
                 if i >= structures.len() {
                     break;
                 }
-                let run = replay_structure_shard(path, scale, &structures[i], Some(i))
-                    .map(Arc::new)
-                    .map_err(|e| e.to_string());
+                // Isolate panics per shard for the same reason as the live
+                // grid: an unwinding worker must not take the completed
+                // shards' results down with the scope.
+                let run = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    replay_structure_shard(path, scale, &structures[i], Some(i))
+                })) {
+                    Ok(Ok(run)) => Ok(Arc::new(run)),
+                    Ok(Err(e)) => Err(e.to_string()),
+                    Err(payload) => Err(format!(
+                        "shard panicked: {}",
+                        crate::runner::panic_message(payload)
+                    )),
+                };
                 slots[i].set(run).expect("replay slot written twice");
                 if obs_on {
                     memsim_obs::global().counter("progress.shards_done").inc();
@@ -246,21 +298,58 @@ pub fn replay_grid(
             });
         }
     });
-    let runs: Vec<Arc<RawRun>> = slots
+    let runs: Vec<Result<Arc<RawRun>, String>> = slots
         .into_iter()
         .map(|slot| slot.into_inner().expect("missing replay result"))
-        .collect::<Result<_, _>>()?;
+        .collect();
 
-    Ok(designs
-        .iter()
-        .map(|d| {
-            let idx = structures
-                .iter()
-                .position(|s| *s == d.structure(scale))
-                .expect("structure recorded for every design");
-            evaluate_run(kind, scale, d, Arc::clone(&runs[idx]))
-        })
-        .collect())
+    let mut results = Vec::new();
+    let mut failures: Vec<ReplayFailure> = Vec::new();
+    for d in designs {
+        let idx = structures
+            .iter()
+            .position(|s| *s == d.structure(scale))
+            .expect("structure recorded for every design");
+        match &runs[idx] {
+            Ok(run) => results.push(evaluate_run(kind, scale, d, Arc::clone(run))),
+            Err(message) => {
+                if let Some(f) = failures.iter_mut().find(|f| f.structure == structures[idx]) {
+                    f.designs.push(*d);
+                } else {
+                    failures.push(ReplayFailure {
+                        structure: structures[idx],
+                        designs: vec![*d],
+                        message: message.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(ReplayOutcome { results, failures })
+}
+
+/// Strict [`replay_grid_robust`]: any failed shard turns the whole grid
+/// into an `Err` naming every stranded structure and design.
+pub fn replay_grid(
+    path: &Path,
+    designs: &[Design],
+    scale: &Scale,
+    threads: Option<usize>,
+) -> Result<Vec<EvalResult>, String> {
+    let outcome = replay_grid_robust(path, designs, scale, threads)?;
+    if !outcome.failures.is_empty() {
+        let list: Vec<String> = outcome
+            .failures
+            .iter()
+            .map(ReplayFailure::to_string)
+            .collect();
+        return Err(format!(
+            "{} replay shard(s) failed: {}",
+            outcome.failures.len(),
+            list.join("; ")
+        ));
+    }
+    Ok(outcome.results)
 }
 
 #[cfg(test)]

@@ -324,14 +324,160 @@ pub fn evaluate(kind: WorkloadKind, scale: &Scale, design: &Design) -> EvalResul
     evaluate_cached(kind, scale, design, &SimCache::new())
 }
 
+/// Identity and cause of a grid point that did not produce a result.
+#[derive(Debug, Clone)]
+pub struct FailedPoint {
+    /// The workload of the failed point.
+    pub workload: WorkloadKind,
+    /// The design of the failed point.
+    pub design: Design,
+    /// The panic payload (or shard error) that killed it.
+    pub message: String,
+}
+
+impl std::fmt::Display for FailedPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} × {}: {}",
+            self.workload.name(),
+            self.design.label(),
+            self.message
+        )
+    }
+}
+
+/// Why a sweep-level entry point (a table/figure builder) could not
+/// produce its artifact.
+#[derive(Debug)]
+pub enum SweepError {
+    /// An armed interrupt flag stopped the run before every point
+    /// completed; the journal holds everything that finished.
+    Interrupted,
+    /// One or more points panicked. Every other point completed (and was
+    /// journaled, when journaling was on).
+    Failed(Vec<FailedPoint>),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Interrupted => write!(f, "sweep interrupted"),
+            SweepError::Failed(points) => {
+                write!(f, "{} sweep point(s) failed:", points.len())?;
+                for p in points {
+                    write!(f, "\n  {p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Everything a fault-isolated grid run produced: per-point results
+/// (aligned with the input points, `None` where the point failed or was
+/// never claimed before an interrupt), the failures, and how the run ended.
+#[derive(Debug)]
+pub struct GridOutcome {
+    /// One slot per input point, in input order.
+    pub results: Vec<Option<EvalResult>>,
+    /// Points that panicked, with their payloads.
+    pub failures: Vec<FailedPoint>,
+    /// Points served from the sweep journal instead of simulation.
+    pub skipped: usize,
+    /// True when an armed interrupt flag stopped the run before every
+    /// point was claimed.
+    pub interrupted: bool,
+}
+
+impl GridOutcome {
+    /// The completed results in input order, dropping failed/unclaimed
+    /// slots.
+    pub fn completed(self) -> Vec<EvalResult> {
+        self.results.into_iter().flatten().collect()
+    }
+}
+
+/// Turn a caught panic payload into a displayable message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Evaluate one sweep point with journal lookup/record: a point already in
+/// the resume map is served from it (no simulation); a freshly evaluated
+/// point is journaled before being returned. Panics are *not* caught here
+/// — grid workers wrap this in `catch_unwind`; serial callers (heatmap)
+/// do their own wrapping via [`sweep_point`].
+pub(crate) fn evaluate_sweep_point(
+    kind: WorkloadKind,
+    scale: &Scale,
+    design: &Design,
+    cache: &SimCache,
+    sweep: Option<&crate::journal::SweepCtx>,
+) -> EvalResult {
+    if let Some(ctx) = sweep {
+        if let Some(hit) = ctx.lookup(kind, design) {
+            return hit;
+        }
+    }
+    let r = evaluate_cached(kind, scale, design, cache);
+    if let Some(ctx) = sweep {
+        ctx.record(&r);
+    }
+    r
+}
+
+/// Fault-isolated serial evaluation of one point, for callers outside the
+/// grid (the heatmap path): journal lookup, `catch_unwind` around the
+/// simulation, failure recorded in the journal and returned as a
+/// [`FailedPoint`].
+pub fn sweep_point(
+    kind: WorkloadKind,
+    scale: &Scale,
+    design: &Design,
+    cache: &SimCache,
+    sweep: Option<&crate::journal::SweepCtx>,
+) -> Result<EvalResult, FailedPoint> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        evaluate_sweep_point(kind, scale, design, cache, sweep)
+    }))
+    .map_err(|payload| {
+        let message = panic_message(payload);
+        if let Some(ctx) = sweep {
+            ctx.record_failure(kind, design, &message);
+        }
+        FailedPoint {
+            workload: kind,
+            design: *design,
+            message,
+        }
+    })
+}
+
 /// Evaluate a grid of points in parallel over `threads` workers (defaults
 /// to the available parallelism when `None`), sharing one simulation memo.
-pub fn evaluate_grid(
+///
+/// Fault-isolated: a panicking point is caught in its worker, recorded as
+/// a [`FailedPoint`] (and journaled, when a sweep context is given), and
+/// the remaining points still run to completion. With a sweep context,
+/// journaled points are skipped and fresh completions are appended as they
+/// land; an armed interrupt flag makes workers stop claiming new points
+/// while in-flight ones finish and journal.
+pub fn evaluate_grid_sweep(
     points: &[(WorkloadKind, Design)],
     scale: &Scale,
     cache: &SimCache,
     threads: Option<usize>,
-) -> Vec<EvalResult> {
+    sweep: Option<&crate::journal::SweepCtx>,
+) -> GridOutcome {
     let _span = memsim_obs::span!("grid");
     let threads = threads
         .unwrap_or_else(|| {
@@ -345,23 +491,97 @@ pub fn evaluate_grid(
     // from the `next` counter, so publishing a result is a lock-free
     // single-writer `OnceLock::set` instead of a contended mutex around
     // the whole vector.
-    let slots: Vec<OnceLock<EvalResult>> = (0..points.len()).map(|_| OnceLock::new()).collect();
+    let slots: Vec<OnceLock<Result<EvalResult, FailedPoint>>> =
+        (0..points.len()).map(|_| OnceLock::new()).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
+                if sweep.is_some_and(|ctx| ctx.interrupted()) {
+                    break;
+                }
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= points.len() {
                     break;
                 }
                 let (kind, design) = points[i];
-                let r = evaluate_cached(kind, scale, &design, cache);
-                slots[i].set(r).expect("result slot written twice");
+                // Catch the panic *inside* the worker: letting it unwind
+                // through `thread::scope` would re-raise on join and drop
+                // every completed slot with it.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    evaluate_sweep_point(kind, scale, &design, cache, sweep)
+                }))
+                .map_err(|payload| {
+                    let message = panic_message(payload);
+                    if let Some(ctx) = sweep {
+                        ctx.record_failure(kind, &design, &message);
+                    }
+                    FailedPoint {
+                        workload: kind,
+                        design,
+                        message,
+                    }
+                });
+                slots[i].set(outcome).expect("result slot written twice");
             });
         }
     });
-    slots
+    let mut results = Vec::with_capacity(points.len());
+    let mut failures = Vec::new();
+    let mut unclaimed = 0usize;
+    let mut skipped = 0usize;
+    for slot in slots {
+        match slot.into_inner() {
+            None => {
+                unclaimed += 1;
+                results.push(None);
+            }
+            Some(Ok(r)) => {
+                if sweep.is_some_and(|ctx| ctx.was_skipped(r.workload, &r.design)) {
+                    skipped += 1;
+                }
+                results.push(Some(r));
+            }
+            Some(Err(failed)) => {
+                failures.push(failed);
+                results.push(None);
+            }
+        }
+    }
+    GridOutcome {
+        results,
+        failures,
+        skipped,
+        interrupted: unclaimed > 0 && sweep.is_some_and(|ctx| ctx.interrupted()),
+    }
+}
+
+/// Evaluate a grid of points in parallel, panicking if any point fails —
+/// the strict interface for callers (tests, benches, examples) that treat
+/// a failed point as a bug. For fault isolation and checkpoint/resume use
+/// [`evaluate_grid_sweep`].
+pub fn evaluate_grid(
+    points: &[(WorkloadKind, Design)],
+    scale: &Scale,
+    cache: &SimCache,
+    threads: Option<usize>,
+) -> Vec<EvalResult> {
+    let outcome = evaluate_grid_sweep(points, scale, cache, threads, None);
+    if !outcome.failures.is_empty() {
+        let list: Vec<String> = outcome
+            .failures
+            .iter()
+            .map(FailedPoint::to_string)
+            .collect();
+        panic!(
+            "{} grid point(s) failed: {}",
+            outcome.failures.len(),
+            list.join("; ")
+        );
+    }
+    outcome
+        .results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("missing result"))
+        .map(|slot| slot.expect("missing result"))
         .collect()
 }
 

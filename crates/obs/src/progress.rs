@@ -14,6 +14,7 @@
 //!   used for the ETA extrapolation and the `shards a/b` display.
 
 use crate::registry::MetricValue;
+use std::io::IsTerminal;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -29,6 +30,11 @@ pub struct ProgressSampler {
 }
 
 const SAMPLE_EVERY: Duration = Duration::from_millis(250);
+
+/// Without a terminal each sample is a permanent log line, not an
+/// overwrite — emit one every `NON_TTY_EVERY` ticks (every 2 s) so a
+/// captured log stays readable.
+const NON_TTY_EVERY: u32 = 8;
 
 impl ProgressSampler {
     /// Start sampling the global registry, labelling the line `label`.
@@ -50,20 +56,36 @@ impl Drop for ProgressSampler {
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
-        // Clear the status line so the final report starts clean.
-        eprint!("\r\x1b[2K");
+        // Clear the status line so the final report starts clean — but only
+        // where there is a line to clear; in a pipe or CI log the escape
+        // sequence would just be noise in the capture.
+        if std::io::stderr().is_terminal() {
+            eprint!("\r\x1b[2K");
+        }
     }
 }
 
 fn sample_loop(label: &str, stop: &AtomicBool) {
+    let tty = std::io::stderr().is_terminal();
     let start = Instant::now();
     let mut last_events = 0u64;
     let mut last_t = start;
+    let mut tick = 0u32;
     while !stop.load(Ordering::Relaxed) {
         thread::sleep(SAMPLE_EVERY);
+        tick += 1;
+        if !tty && tick % NON_TTY_EVERY != 0 {
+            continue;
+        }
         let now = Instant::now();
         let line = render_line(label, start, now, &mut last_events, &mut last_t);
-        eprint!("\r\x1b[2K{line}");
+        if tty {
+            // overwrite the status line in place
+            eprint!("\r\x1b[2K{line}");
+        } else {
+            // append-only plain lines: no carriage returns, no escapes
+            eprintln!("{line}");
+        }
     }
 }
 
@@ -78,7 +100,12 @@ fn render_line(
     let events = reg.counter_value("progress.events").unwrap_or(0);
     let chunks = reg.counter_value("progress.chunks").unwrap_or(0);
     let dt = now.duration_since(*last_t).as_secs_f64().max(1e-9);
+    // The windowed rate is what the run is doing *right now* — good for the
+    // Mev/s display, hopeless for an ETA (one slow window between samples
+    // whipsaws the estimate by minutes). The ETA uses the cumulative
+    // average rate instead, which converges as the run progresses.
     let rate = events.saturating_sub(*last_events) as f64 / dt;
+    let avg_rate = events as f64 / now.duration_since(start).as_secs_f64().max(1e-9);
     *last_events = events;
     *last_t = now;
 
@@ -112,16 +139,33 @@ fn render_line(
             }
         }
         // ETA by extrapolating completed-shard cost over remaining shards.
-        if shards_done > 0 && shards_done < shards_total && rate > 0.0 {
+        if shards_done > 0 && shards_done < shards_total && avg_rate > 0.0 {
             let per_shard = events as f64 / shards_done as f64;
             let remaining = per_shard * (shards_total - shards_done) as f64;
-            line.push_str(&format!(" | eta {:.0}s", remaining / rate));
+            line.push_str(&format!(" | eta {:.0}s", remaining / avg_rate));
         }
-    } else if rate > 0.0 {
+    } else if avg_rate > 0.0 {
         // Single-phase ETA if a total is known.
         let total = reg.gauge_value("progress.total").unwrap_or(0);
         if total > events {
-            line.push_str(&format!(" | eta {:.0}s", (total - events) as f64 / rate));
+            line.push_str(&format!(
+                " | eta {:.0}s",
+                (total - events) as f64 / avg_rate
+            ));
+        }
+    }
+
+    // Sweep-level state (reproduce / journaled table-figure-heatmap runs).
+    let pts_done = reg.counter_value("sweep.points_done").unwrap_or(0);
+    let pts_skipped = reg.counter_value("sweep.points_skipped").unwrap_or(0);
+    let pts_failed = reg.counter_value("sweep.points_failed").unwrap_or(0);
+    if pts_done + pts_skipped + pts_failed > 0 {
+        line.push_str(&format!(" | points {pts_done} done"));
+        if pts_skipped > 0 {
+            line.push_str(&format!(", {pts_skipped} resumed"));
+        }
+        if pts_failed > 0 {
+            line.push_str(&format!(", {pts_failed} failed"));
         }
     }
     line
@@ -158,6 +202,52 @@ mod tests {
         let line = render_line("replay", t0, Instant::now(), &mut last_events, &mut last_t);
         assert!(line.contains("events"), "{line}");
         assert!(line.contains("shards 1/4"), "{line}");
+        crate::reset();
+    }
+
+    #[test]
+    fn eta_uses_cumulative_rate_not_the_last_window() {
+        let _lock = crate::test_lock();
+        crate::reset();
+        let reg = crate::global();
+        // 10M events over 10s: the average rate is a steady 1 Mev/s
+        reg.counter("progress.events").add(10_000_000);
+        reg.gauge("progress.total").set(20_000_000);
+        let now = Instant::now();
+        let start = now - Duration::from_secs(10);
+        // ...but the last 250ms window was completely stalled
+        let mut last_events = 10_000_000;
+        let mut last_t = now - Duration::from_millis(250);
+        let line = render_line("reproduce", start, now, &mut last_events, &mut last_t);
+        // the instantaneous display reflects the stall
+        assert!(line.contains("| 0.0 Mev/s"), "{line}");
+        // the ETA does not whipsaw to infinity with it: 10M left at 1 Mev/s
+        assert!(line.contains("eta 10s"), "{line}");
+        crate::reset();
+    }
+
+    #[test]
+    fn render_line_shows_sweep_point_counters() {
+        let _lock = crate::test_lock();
+        crate::reset();
+        let reg = crate::global();
+        reg.counter("sweep.points_done").add(12);
+        reg.counter("sweep.points_skipped").add(30);
+        reg.counter("sweep.points_failed").add(1);
+        let t0 = Instant::now();
+        let mut last_events = 0;
+        let mut last_t = t0;
+        let line = render_line(
+            "reproduce",
+            t0,
+            Instant::now(),
+            &mut last_events,
+            &mut last_t,
+        );
+        assert!(
+            line.contains("points 12 done, 30 resumed, 1 failed"),
+            "{line}"
+        );
         crate::reset();
     }
 

@@ -56,6 +56,7 @@ mod replay;
 mod varint;
 mod writer;
 
+pub use crc32::crc32;
 pub use format::{TraceError, TraceHeader, FORMAT_VERSION, MAGIC, TRACE_CHUNK_EVENTS};
 pub use reader::TraceReader;
 pub use replay::{encode_to_vec, replay_into, replay_into_all, summarize, TraceSummary};

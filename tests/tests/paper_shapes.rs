@@ -20,7 +20,7 @@ fn ctx(cache: &SimCache) -> ExperimentCtx<'_> {
 #[test]
 fn fourlc_runtime_shape() {
     let cache = SimCache::new();
-    let f = experiments::fig_4lc(&ctx(&cache), Metric::Time);
+    let f = experiments::fig_4lc(&ctx(&cache), Metric::Time).unwrap();
     let edram = &f.series.iter().find(|s| s.name == "eDRAM").unwrap().values;
     let hmc = &f.series.iter().find(|s| s.name == "HMC").unwrap().values;
     for (e, h) in edram.iter().zip(hmc) {
@@ -39,7 +39,7 @@ fn fourlc_runtime_shape() {
 #[test]
 fn fourlc_small_pages_save_energy() {
     let cache = SimCache::new();
-    let f = experiments::fig_4lc(&ctx(&cache), Metric::Energy);
+    let f = experiments::fig_4lc(&ctx(&cache), Metric::Energy).unwrap();
     for s in &f.series {
         let eh1 = s.values[0];
         let eh6 = s.values[5];
@@ -194,7 +194,7 @@ fn heatmap_read_dominance_and_bounded_corner() {
     // own it sits at the loads == stores boundary)
     let c = ExperimentCtx::new(test_scale(), &cache)
         .with_workloads(&[WorkloadKind::Cg, WorkloadKind::Graph500]);
-    let h = experiments::fig9(&c);
+    let h = experiments::fig9(&c).unwrap();
     let n = h.read_mults.len() - 1;
     let read_only = h.at(n, 0);
     let write_only = h.at(0, n);
@@ -220,16 +220,16 @@ fn all_figures_build() {
     let cache = SimCache::new();
     let c = ctx(&cache);
     for f in [
-        experiments::fig_nmm(&c, Metric::Time),
-        experiments::fig_nmm(&c, Metric::Energy),
-        experiments::fig_4lc(&c, Metric::Time),
-        experiments::fig_4lc(&c, Metric::Energy),
-        experiments::fig_4lcnvm(&c, Metric::Time),
-        experiments::fig_4lcnvm(&c, Metric::Energy),
-        experiments::fig_ndm(&c, Metric::Time),
-        experiments::fig_ndm(&c, Metric::Energy),
+        experiments::fig_nmm(&c, Metric::Time).unwrap(),
+        experiments::fig_nmm(&c, Metric::Energy).unwrap(),
+        experiments::fig_4lc(&c, Metric::Time).unwrap(),
+        experiments::fig_4lc(&c, Metric::Energy).unwrap(),
+        experiments::fig_4lcnvm(&c, Metric::Time).unwrap(),
+        experiments::fig_4lcnvm(&c, Metric::Energy).unwrap(),
+        experiments::fig_ndm(&c, Metric::Time).unwrap(),
+        experiments::fig_ndm(&c, Metric::Energy).unwrap(),
         experiments::table1(),
-        experiments::table4(&c),
+        experiments::table4(&c).unwrap(),
     ] {
         f.validate();
         assert!(!f.series.is_empty());
