@@ -86,4 +86,46 @@ for f in "$smoke_dir"/clean/*.md "$smoke_dir"/clean/*.csv; do
 done
 echo "interrupt/resume reproduction is byte-identical ($(ls "$smoke_dir"/clean/*.md | wc -l) artifacts)"
 
+echo "== sharded engine: golden parity at shards=1/2/N + obs-export diff vs sequential"
+# the dedicated parity suites (golden tests, proptest, zero-steal pin)
+cargo test -p memsim-integration-tests --offline -q --test sharded_parity
+# end-to-end: a live run per engine, exported metrics diffed field by field.
+# Telemetry that legitimately depends on event adjacency (mru_hits, the L1
+# line-buffer split, progress.* and per-shard queue/claim/steal counters)
+# is excluded; the ten LevelStats fields and memory counters must be exact.
+ncores=$(nproc 2>/dev/null || echo 4)
+for shards in 1 2 "$ncores"; do
+    MEMSIM_OBS_DETERMINISTIC=1 "$BIN" reproduce --out "$smoke_dir/sharded-$shards" \
+        --scale mini --workloads cg,hash --shards "$shards" 2>/dev/null
+    for f in "$smoke_dir"/clean/*.md "$smoke_dir"/clean/*.csv; do
+        cmp "$f" "$smoke_dir/sharded-$shards/$(basename "$f")"
+    done
+done
+echo "sharded reproduce artifacts byte-identical to sequential at shards=1/2/$ncores"
+if command -v python3 >/dev/null 2>&1; then
+    MEMSIM_OBS_DETERMINISTIC=1 "$BIN" replay "$smoke_dir/hash.trace" --designs baseline,nmm \
+        --shards seq --quiet --metrics-out "$smoke_dir/replay-seq.json"
+    MEMSIM_OBS_DETERMINISTIC=1 "$BIN" replay "$smoke_dir/hash.trace" --designs baseline,nmm \
+        --shards 2 --quiet --metrics-out "$smoke_dir/replay-sharded.json"
+    python3 - "$smoke_dir/replay-seq.json" "$smoke_dir/replay-sharded.json" <<'PY'
+import json, sys
+seq = json.load(open(sys.argv[1]))["counters"]
+shd = json.load(open(sys.argv[2]))["counters"]
+skip = ("mru_hits", "line_buffer", "lb_hits")
+def stat_keys(c):
+    return {k for k in c
+            if not k.startswith("progress.")
+            and ".shard" not in k
+            and ".reader." not in k
+            and not any(s in k for s in skip)}
+keys = stat_keys(seq)
+assert keys == stat_keys(shd), keys ^ stat_keys(shd)
+diffs = [(k, seq[k], shd[k]) for k in sorted(keys) if seq[k] != shd[k]]
+assert not diffs, diffs
+print("obs export parity: {} exported stat counters identical across engines".format(len(keys)))
+PY
+else
+    echo "python3 not found; skipping obs export parity diff"
+fi
+
 echo "ci.sh: all checks passed"

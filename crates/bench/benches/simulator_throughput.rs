@@ -5,13 +5,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use memsim_bench::bench_scale;
-use memsim_cache::{Cache, CacheConfig, CountingMemory, Hierarchy};
+use memsim_cache::{Cache, CacheConfig, CountingMemory, Hierarchy, ShardedHierarchy};
 use memsim_trace::{ChunkBuffer, TraceEvent, TraceSink};
 use memsim_tracefile::{replay_into, TraceHeader, TraceReader, TraceWriter};
 use memsim_workloads::WorkloadKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn full_hierarchy(scale: &memsim_core::Scale) -> Hierarchy<CountingMemory> {
     let caches = vec![
@@ -40,9 +41,151 @@ fn full_hierarchy(scale: &memsim_core::Scale) -> Hierarchy<CountingMemory> {
     Hierarchy::new(caches, CountingMemory::default())
 }
 
+/// Interleaved min-of-N harness: every case runs one warmup pass, then the
+/// rounds proceed round-robin across the cases so a host-frequency dip hits
+/// all of them equally; each case keeps its best ns/event. Minima are what
+/// `BENCH_throughput.json` records — robust to the throttling that swings
+/// criterion medians on shared hosts.
+const MIN_OF_N_EVENTS: u64 = 1_000_000;
+const MIN_OF_N_ROUNDS: usize = 12;
+
+/// One named measurement pass in the min-of-N harness.
+type MinOfNCase<'a> = (&'a str, Box<dyn FnMut() + 'a>);
+
+fn min_of_n_report(cases: &mut [MinOfNCase<'_>]) {
+    for (_, pass) in cases.iter_mut() {
+        pass();
+    }
+    let mut best = vec![f64::INFINITY; cases.len()];
+    for _ in 0..MIN_OF_N_ROUNDS {
+        for (i, (_, pass)) in cases.iter_mut().enumerate() {
+            let t = Instant::now();
+            pass();
+            best[i] = best[i].min(t.elapsed().as_nanos() as f64 / MIN_OF_N_EVENTS as f64);
+        }
+    }
+    for ((name, _), ns) in cases.iter().zip(&best) {
+        println!(
+            "SIM_THROUGHPUT {name}: {ns:.3} ns/ref, {:.1} Mrefs/s (min of {MIN_OF_N_ROUNDS} x {MIN_OF_N_EVENTS} events, interleaved)",
+            1e3 / ns
+        );
+    }
+}
+
+/// The hit-heavy / streaming / random event streams shared by the criterion
+/// cases and the min-of-N harness.
+fn l1_hit_event(i: u64) -> TraceEvent {
+    TraceEvent::load((i % 512) * 64, 8)
+}
+
 fn bench(c: &mut Criterion) {
     let scale = bench_scale();
     const N: u64 = 100_000;
+
+    // --- interleaved min-of-N minima (primary numbers) ---
+    {
+        let mut h_l1 = full_hierarchy(&scale);
+        let mut h_l1c = full_hierarchy(&scale);
+        let mut h_str = full_hierarchy(&scale);
+        let mut h_chk = full_hierarchy(&scale);
+        let mut h_rnd = full_hierarchy(&scale);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (mut pos_str, mut pos_chk) = (0u64, 0u64);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut sh_auto = ShardedHierarchy::new(
+            full_hierarchy(&scale).levels().to_vec(),
+            CountingMemory::default(),
+            cores,
+            None,
+        );
+        let mut sh_four = ShardedHierarchy::new(
+            full_hierarchy(&scale).levels().to_vec(),
+            CountingMemory::default(),
+            4,
+            None,
+        );
+        let sh_auto_label = format!("sharded{}_l1_hits", sh_auto.shards());
+        let sh_four_label = format!("sharded{}_l1_hits", sh_four.shards());
+        let mut cases: Vec<MinOfNCase<'_>> = vec![
+            (
+                "l1_hits",
+                Box::new(|| {
+                    for i in 0..MIN_OF_N_EVENTS {
+                        h_l1.access(l1_hit_event(i));
+                    }
+                    black_box(h_l1.total_refs());
+                }),
+            ),
+            (
+                "l1_hits_chunked",
+                Box::new(|| {
+                    let sink: &mut dyn TraceSink = &mut h_l1c;
+                    let mut buf = ChunkBuffer::new(sink);
+                    for i in 0..MIN_OF_N_EVENTS {
+                        buf.access(l1_hit_event(i));
+                    }
+                    buf.drain();
+                }),
+            ),
+            (
+                "streaming",
+                Box::new(|| {
+                    for _ in 0..MIN_OF_N_EVENTS {
+                        h_str.access(TraceEvent::load(pos_str % (256 << 20), 8));
+                        pos_str += 8;
+                    }
+                    black_box(h_str.total_refs());
+                }),
+            ),
+            (
+                "chunked_stream",
+                Box::new(|| {
+                    let sink: &mut dyn TraceSink = &mut h_chk;
+                    let mut buf = ChunkBuffer::new(sink);
+                    for _ in 0..MIN_OF_N_EVENTS {
+                        buf.access(TraceEvent::load(pos_chk % (256 << 20), 8));
+                        pos_chk += 8;
+                    }
+                    buf.drain();
+                }),
+            ),
+            (
+                "random",
+                Box::new(|| {
+                    for _ in 0..MIN_OF_N_EVENTS {
+                        let addr = rng.random_range(0u64..(256 << 20)) & !7;
+                        let ev = if rng.random_bool(0.3) {
+                            TraceEvent::store(addr, 8)
+                        } else {
+                            TraceEvent::load(addr, 8)
+                        };
+                        h_rnd.access(ev);
+                    }
+                    black_box(h_rnd.total_refs());
+                }),
+            ),
+            (
+                &sh_auto_label,
+                Box::new(|| {
+                    for i in 0..MIN_OF_N_EVENTS {
+                        sh_auto.access(l1_hit_event(i));
+                    }
+                }),
+            ),
+            (
+                &sh_four_label,
+                Box::new(|| {
+                    for i in 0..MIN_OF_N_EVENTS {
+                        sh_four.access(l1_hit_event(i));
+                    }
+                }),
+            ),
+        ];
+        min_of_n_report(&mut cases);
+        drop(cases);
+        black_box(sh_auto.finish().total_refs);
+        black_box(sh_four.finish().total_refs);
+    }
 
     let mut g = c.benchmark_group("simulator_throughput");
     g.throughput(Throughput::Elements(N));
@@ -56,6 +199,39 @@ fn bench(c: &mut Criterion) {
             }
             black_box(h.total_refs())
         })
+    });
+
+    // the same L1-resident stream delivered through the chunk API: the
+    // batched tag-word probe consumes runs of single-block hits with the
+    // per-event dispatch and outcome branching hoisted out of the loop
+    g.bench_function("l1_hits_chunked", |b| {
+        let mut h = full_hierarchy(&scale);
+        b.iter(|| {
+            {
+                let sink: &mut dyn TraceSink = &mut h;
+                let mut buf = ChunkBuffer::new(sink);
+                for i in 0..N {
+                    buf.access(l1_hit_event(i));
+                }
+                buf.drain();
+            }
+            black_box(h.total_refs())
+        })
+    });
+
+    // the L1-resident stream through the set-sharded engine (one worker
+    // per detected core): measures chunk fan-out + queue hand-off cost on
+    // this host, and aggregate speedup where cores exist
+    g.bench_function("sharded_l1_hits", |b| {
+        let levels = full_hierarchy(&scale).levels().to_vec();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut sh = ShardedHierarchy::new(levels, CountingMemory::default(), cores, None);
+        b.iter(|| {
+            for i in 0..N {
+                sh.access(l1_hit_event(i));
+            }
+        });
+        black_box(sh.finish().total_refs);
     });
 
     // sequential sweep over a large range: every level fills steadily

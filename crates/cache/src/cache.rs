@@ -3,7 +3,7 @@
 use crate::config::{CacheConfig, WritebackMissPolicy};
 use crate::policy::PolicyState;
 use crate::stats::LevelStats;
-use memsim_trace::AccessKind;
+use memsim_trace::{AccessKind, TraceEvent};
 
 const FLAG_VALID: u64 = 0b01;
 const FLAG_DIRTY: u64 = 0b10;
@@ -220,6 +220,15 @@ impl Cache {
         addr >> self.block_shift << self.block_shift
     }
 
+    /// The bit range `[lo, hi)` of the address field that selects this
+    /// cache's set: `lo` is the block offset width, `hi - lo` the set index
+    /// width. The set-sharded engine intersects these ranges across levels
+    /// to find address bits that pick the same shard at every level.
+    #[inline]
+    pub fn set_index_bits(&self) -> (u32, u32) {
+        (self.block_shift, self.block_shift + self.set_shift)
+    }
+
     #[inline]
     fn locate(&self, addr: u64) -> (usize, u64) {
         let block = addr >> self.block_shift;
@@ -415,6 +424,77 @@ impl Cache {
             }
             AccessOutcome::Miss { evicted_dirty }
         }
+    }
+
+    /// Process the longest prefix of `events` that resolves entirely on the
+    /// demand hit path, returning how many leading events were consumed.
+    /// The batch stops (without consuming the event) at the first reference
+    /// that misses, spans more than one block, or has size zero — those fall
+    /// back to the caller's scalar walk, which owns misses, splitting, and
+    /// the line-buffer bookkeeping for empty references.
+    ///
+    /// Per consumed event the bookkeeping is exactly [`Cache::access`]'s hit
+    /// path — hit/byte counters, dirty flag and sector mask on stores, MRU
+    /// update, policy promotion in stream order — but the counter updates
+    /// accumulate in locals and land once per batch, and the probe loop runs
+    /// over the contiguous packed tag words with no virtual dispatch, which
+    /// is what makes chunked delivery fast on hit-heavy streams.
+    pub(crate) fn access_hit_batch(&mut self, events: &[TraceEvent]) -> usize {
+        let mut load_hits = 0u64;
+        let mut store_hits = 0u64;
+        let mut bytes_loaded = 0u64;
+        let mut bytes_stored = 0u64;
+        let mut mru_hits = 0u64;
+        let mut taken = 0usize;
+        for &ev in events {
+            let first = ev.addr >> self.block_shift;
+            let last = ev.end().saturating_sub(1) >> self.block_shift;
+            if ev.size == 0 || first != last {
+                break;
+            }
+            let set = (first & self.set_mask) as usize;
+            let tag = first >> self.set_shift;
+            let base = set * self.ways;
+            let want = (tag << 2) | FLAG_VALID;
+            let set_lines = &self.lines[base..base + self.ways];
+            let mru = (self.mru[set] as usize).min(self.ways - 1);
+            let next = if mru + 1 == self.ways { 0 } else { mru + 1 };
+            // same probe order as `find`/`probe`: ring successor, MRU way,
+            // then the linear scan — and the same FLAG_DIRTY masking, so
+            // stores earlier in the batch never perturb later decisions
+            let way = if set_lines[next] & !FLAG_DIRTY == want {
+                mru_hits += 1;
+                next
+            } else if set_lines[mru] & !FLAG_DIRTY == want {
+                mru_hits += 1;
+                mru
+            } else if let Some(w) = set_lines.iter().position(|&l| l & !FLAG_DIRTY == want) {
+                w
+            } else {
+                break;
+            };
+            match ev.kind {
+                AccessKind::Load => {
+                    load_hits += 1;
+                    bytes_loaded += u64::from(ev.size);
+                }
+                AccessKind::Store => {
+                    store_hits += 1;
+                    bytes_stored += u64::from(ev.size);
+                    self.lines[base + way] |= FLAG_DIRTY;
+                    self.mark_dirty_sectors(base + way, ev.addr, ev.size);
+                }
+            }
+            self.mru[set] = way as u32;
+            self.policy.on_hit(set, way);
+            taken += 1;
+        }
+        self.counters.load_hits += load_hits;
+        self.counters.store_hits += store_hits;
+        self.counters.bytes_loaded += bytes_loaded;
+        self.counters.bytes_stored += bytes_stored;
+        self.counters.mru_hits += mru_hits;
+        taken
     }
 
     /// Fast re-hit for the hierarchy's L1 line buffer: the caller guarantees

@@ -342,9 +342,17 @@ impl<M: MainMemory> Hierarchy<M> {
         }
         // A size-0 event must not arm the buffer: when it sits at a block
         // boundary the split loop touches nothing, so `last` (the block
-        // *before* the address) was not necessarily referenced.
+        // *before* the address) was not necessarily referenced. It must
+        // clear the buffer instead of leaving it: a size-0 probe can still
+        // miss and install, evicting the very block the buffer points at,
+        // and a stale buffer would then count a false re-hit. Clearing a
+        // *valid* buffer is free (the probe path books the same counters),
+        // so the invariant stays simple: an armed buffer is always
+        // resident and most-recent.
         if ev.size > 0 {
             self.lb_block = last;
+        } else {
+            self.lb_block = u64::MAX;
         }
     }
 
@@ -405,10 +413,36 @@ impl<M: MainMemory> TraceSink for Hierarchy<M> {
         }
     }
 
-    /// Batched delivery: one virtual call, then a tight monomorphic loop.
+    /// Batched delivery: one virtual call, then alternating runs of the L1
+    /// batched hit probe and the scalar walk. `access_hit_batch` consumes
+    /// leading events while each stays in one L1 block and hits; the first
+    /// event it rejects (miss, straddler, or size 0) takes the scalar path,
+    /// and the loop resumes batching behind it. Per-event bookkeeping is
+    /// identical to the scalar path, so `LevelStats` are bit-equal to
+    /// event-at-a-time delivery; only the line-buffer/MRU-ring telemetry
+    /// split differs (batched events probe the ring instead of the buffer).
     fn access_chunk(&mut self, events: &[TraceEvent]) {
-        for &ev in events {
-            self.process_event(ev);
+        if self.levels.is_empty() {
+            for &ev in events {
+                self.process_event(ev);
+            }
+        } else {
+            debug_assert!(!self.drained, "stream continued after flush()");
+            let mut i = 0;
+            while i < events.len() {
+                let n = self.levels[0].access_hit_batch(&events[i..]);
+                if n > 0 {
+                    i += n;
+                    // every batched event is a size>0 single-block hit, so
+                    // re-arming from the last one mirrors the scalar path:
+                    // its block is resident and most-recent in its set
+                    self.lb_block = events[i - 1].addr >> self.l1_shift;
+                }
+                if i < events.len() {
+                    self.process_event(events[i]);
+                    i += 1;
+                }
+            }
         }
         if self.probes.is_some() {
             self.probe_chunk(events.len() as u64);

@@ -40,6 +40,7 @@ mod config;
 mod hierarchy;
 mod policy;
 pub mod probes;
+mod sharded;
 mod stats;
 
 pub use cache::{AccessOutcome, Cache, CounterValues, WritebackOutcome};
@@ -47,4 +48,5 @@ pub use config::{Associativity, CacheConfig, WritebackMissPolicy};
 pub use hierarchy::{CountingMemory, Hierarchy, MainMemory};
 pub use policy::ReplacementPolicy;
 pub use probes::{HierarchyProbes, LevelProbes};
+pub use sharded::{shard_class_bits, ShardMerge, ShardedHierarchy, ShardedRun, CHUNK_EVENTS};
 pub use stats::LevelStats;

@@ -1,0 +1,676 @@
+//! Set-sharded parallel front-end over [`Hierarchy`].
+//!
+//! Set-associative state is independent per set: two references that index
+//! different sets at *every* level never read or write the same line, MRU
+//! word, or replacement state. This module exploits that to run one
+//! hierarchy replica per worker shard, each consuming only the slice of the
+//! event stream whose addresses it owns, and to merge the per-shard
+//! [`LevelStats`] into totals that are bit-identical to a sequential run.
+//!
+//! # Routing
+//!
+//! [`shard_class_bits`] intersects every level's set-index field (see
+//! [`Cache::set_index_bits`]) into one address-bit range `[lo, hi)` that is
+//! a sub-field of each of them. Addresses that differ in those bits index
+//! different sets at every level, so the *class* `(addr >> lo) & mask`
+//! partitions the stream into mutually non-interacting slices:
+//!
+//! * demand probes in different classes touch disjoint sets;
+//! * a miss fill installs at the probed address's set — same class;
+//! * an evicted victim shares its set (hence its class bits) with the block
+//!   that displaced it, so writebacks walk down within the class too.
+//!
+//! A shard owns `class % nshards`. Per-class event order is preserved by
+//! in-order queue delivery, so every `(level, set)` evolves exactly as it
+//! would sequentially, and the merged stats follow by plain addition.
+//!
+//! # Fan-out
+//!
+//! The front-end implements [`TraceSink`]: it buffers events into chunks of
+//! [`CHUNK_EVENTS`] and broadcasts each chunk (an `Arc<[TraceEvent]>`, so
+//! the broadcast is a refcount bump, not a copy) to every shard's bounded
+//! queue. Shards filter locally: a single-block event is kept only by its
+//! owner, a block-straddling event is split at L1-block granularity exactly
+//! like the sequential split loop with each part routed separately, and a
+//! block-aligned size-0 event is dropped everywhere because the sequential
+//! engine touches nothing for it. Shard-side filtering keeps the producer
+//! branch-free and gives every worker a sequential scan over shared memory.
+//!
+//! # Work stealing — deliberately absent
+//!
+//! A shard's cache state is bound to its address classes, so no other
+//! worker *can* take its work: stealing a chunk would mean probing sets
+//! whose lines live in another replica. The per-shard `steals` counter is
+//! registered anyway and pinned at zero — an honest, tested invariant
+//! rather than an unimplemented feature.
+//!
+//! # Determinism
+//!
+//! [`ShardedHierarchy::finish`] joins workers in shard order and merges
+//! with the saturating [`LevelStats::merge`], so the merged totals are
+//! independent of thread scheduling. Only telemetry that depends on
+//! cross-class adjacency (line-buffer and MRU-ring hit splits) may differ
+//! from the sequential engine; the ten `LevelStats` fields may not.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use memsim_obs::{Counter, Gauge};
+use memsim_trace::{TraceEvent, TraceSink};
+
+use crate::cache::Cache;
+use crate::hierarchy::{CountingMemory, Hierarchy, MainMemory};
+use crate::stats::LevelStats;
+
+/// Events buffered per broadcast chunk — matches the trace-file chunk size
+/// so replayed chunks forward without re-buffering.
+pub const CHUNK_EVENTS: usize = 4096;
+
+/// Chunks a shard queue may hold before the producer blocks.
+const QUEUE_BOUND: usize = 8;
+
+/// Cap on class bits: 2^16 classes is already far beyond any useful shard
+/// count, and the cap keeps the class mask well-formed for degenerate
+/// configurations with very wide common set-index fields.
+const MAX_CLASS_BITS: u32 = 16;
+
+/// Terminal memories that can fold a sibling shard replica's counters into
+/// their own when a sharded run is merged.
+///
+/// Implementations must make merging equivalent to having observed both
+/// replicas' traffic on one instance: counter fields add, configuration
+/// fields (which are identical across replicas, as every shard is cloned
+/// from one prototype) are kept. Shard replicas start from the same freshly
+/// constructed state, so any non-zero initial counts would be double
+/// counted — callers hand [`ShardedHierarchy::new`] a new memory, exactly
+/// as they would a sequential [`Hierarchy`].
+pub trait ShardMerge {
+    /// Fold `other`'s counters into `self`.
+    fn merge_shard(&mut self, other: &Self);
+}
+
+impl ShardMerge for CountingMemory {
+    fn merge_shard(&mut self, other: &Self) {
+        self.loads = self.loads.saturating_add(other.loads);
+        self.stores = self.stores.saturating_add(other.stores);
+        self.bytes_loaded = self.bytes_loaded.saturating_add(other.bytes_loaded);
+        self.bytes_stored = self.bytes_stored.saturating_add(other.bytes_stored);
+    }
+}
+
+/// The address-bit range `[lo, hi)` usable for set sharding: the
+/// intersection of every level's set-index field. `lo` is the widest block
+/// offset, `hi` the smallest top of a set-index field, clamped so
+/// `hi >= lo`. `hi == lo` (no common bits — e.g. a level with a single
+/// set, or no levels at all) forces a single shard.
+pub fn shard_class_bits(levels: &[Cache]) -> (u32, u32) {
+    if levels.is_empty() {
+        return (0, 0);
+    }
+    let mut lo = 0u32;
+    let mut hi = u32::MAX;
+    for c in levels {
+        let (l, h) = c.set_index_bits();
+        lo = lo.max(l);
+        hi = hi.min(h);
+    }
+    (lo, hi.max(lo))
+}
+
+/// Per-shard routing data: which events this shard keeps out of a
+/// broadcast chunk.
+#[derive(Clone, Copy)]
+struct ShardFilter {
+    class_shift: u32,
+    class_mask: u64,
+    nshards: u64,
+    shard: u64,
+    l1_shift: u32,
+    /// With one shard the filter forwards chunks unmodified: shard 0 *is*
+    /// the sequential engine (this also covers cache-less hierarchies,
+    /// where there is no block size to split against).
+    pass_through: bool,
+}
+
+impl ShardFilter {
+    #[inline]
+    fn owns(&self, addr: u64) -> bool {
+        ((addr >> self.class_shift) & self.class_mask) % self.nshards == self.shard
+    }
+
+    /// Copy this shard's slice of `events` into `out`, splitting
+    /// block-straddlers exactly like the sequential split loop.
+    fn filter_chunk(&self, events: &[TraceEvent], out: &mut Vec<TraceEvent>) {
+        out.clear();
+        for &ev in events {
+            let first = ev.addr >> self.l1_shift;
+            let last = ev.end().saturating_sub(1) >> self.l1_shift;
+            if first == last {
+                // Single block, including the unaligned size-0 probe: the
+                // sequential engine probes block `first`, so its owner does.
+                if self.owns(ev.addr) {
+                    out.push(ev);
+                }
+            } else if ev.size == 0 {
+                // Block-aligned size-0: the sequential split loop touches
+                // nothing, so no shard sees it.
+            } else {
+                // Straddler: split at L1-block granularity exactly as the
+                // sequential engine does, keeping only own-class parts.
+                // Classes cannot split finer than L1 blocks, so each part
+                // has exactly one owner.
+                let block = 1u64 << self.l1_shift;
+                let mask = block - 1;
+                let mut addr = ev.addr;
+                let mut remaining = u64::from(ev.size);
+                while remaining > 0 {
+                    let in_block = (block - (addr & mask)).min(remaining);
+                    if self.owns(addr) {
+                        out.push(TraceEvent {
+                            addr,
+                            size: in_block as u32,
+                            kind: ev.kind,
+                        });
+                    }
+                    addr += in_block;
+                    remaining -= in_block;
+                }
+            }
+        }
+    }
+}
+
+/// A message to one shard worker.
+enum Msg {
+    /// A broadcast chunk; the worker filters it down to its own slice.
+    Chunk(Arc<[TraceEvent]>),
+    /// End of stream: drain, report, exit.
+    Flush,
+}
+
+struct QueueInner {
+    buf: VecDeque<Msg>,
+    /// Set by a panicking worker so the producer stops blocking on a queue
+    /// nobody will ever drain; the panic itself resurfaces at join.
+    poisoned: bool,
+}
+
+/// A bounded MPSC channel built on `Mutex` + `Condvar` (the workspace has
+/// no channel dependency, and two condvars are all this needs).
+struct ShardQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    depth: Option<Arc<Gauge>>,
+}
+
+impl ShardQueue {
+    fn new(depth: Option<Arc<Gauge>>) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                buf: VecDeque::with_capacity(QUEUE_BOUND + 1),
+                poisoned: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Producer side: block while full. A poisoned queue silently drops
+    /// the message — the worker is gone and its panic is re-raised when
+    /// the run is finished (or joined on drop).
+    fn push(&self, msg: Msg) {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.buf.len() >= QUEUE_BOUND && !inner.poisoned {
+            inner = self.not_full.wait(inner).unwrap();
+        }
+        if inner.poisoned {
+            return;
+        }
+        inner.buf.push_back(msg);
+        if let Some(g) = &self.depth {
+            g.set(inner.buf.len() as u64);
+        }
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Shutdown push: ignores the bound so a full queue can never deadlock
+    /// the flush handshake against a worker that already exited.
+    fn push_flush(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.poisoned {
+            inner.buf.push_back(Msg::Flush);
+        }
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Worker side: block while empty.
+    fn pop(&self) -> Msg {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.buf.is_empty() {
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+        let msg = inner.buf.pop_front().unwrap();
+        if let Some(g) = &self.depth {
+            g.set(inner.buf.len() as u64);
+        }
+        drop(inner);
+        self.not_full.notify_one();
+        msg
+    }
+
+    /// Mark the queue dead after a worker panic: wake and unblock everyone.
+    fn poison(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.poisoned = true;
+        inner.buf.clear();
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Per-shard observability handles (only built when a prefix was given and
+/// the global registry is enabled).
+struct ShardObs {
+    claims: Arc<Counter>,
+    events: Arc<Counter>,
+    total_events: Arc<Counter>,
+}
+
+/// What one worker hands back at flush.
+struct WorkerOut<M> {
+    levels: Vec<LevelStats>,
+    total_refs: u64,
+    demand_bytes: u64,
+    line_buffer_hits: u64,
+    memory: M,
+}
+
+/// The merged outcome of a sharded run: per-level stats, terminal memory,
+/// and stream totals, all summed across shards in shard order.
+#[derive(Debug, Clone)]
+pub struct ShardedRun<M> {
+    /// Per-level statistics, top-down, bit-identical to a sequential run
+    /// over the same stream.
+    pub levels: Vec<LevelStats>,
+    /// The merged terminal memory.
+    pub memory: M,
+    /// Total demand references consumed (Equation 2's denominator).
+    pub total_refs: u64,
+    /// Total demand bytes moved by the reference stream.
+    pub demand_bytes: u64,
+    /// Line-buffer fast-path hits summed across shards. Telemetry only:
+    /// the split between buffer re-hits and full probes depends on
+    /// cross-class adjacency, so it legitimately differs from sequential.
+    pub line_buffer_hits: u64,
+}
+
+fn run_worker<M: MainMemory>(
+    mut hierarchy: Hierarchy<M>,
+    queue: &ShardQueue,
+    filter: ShardFilter,
+    obs: Option<ShardObs>,
+) -> WorkerOut<M> {
+    let mut slice: Vec<TraceEvent> = Vec::with_capacity(CHUNK_EVENTS);
+    while let Msg::Chunk(events) = queue.pop() {
+        let kept = if filter.pass_through {
+            hierarchy.access_chunk(&events);
+            events.len()
+        } else {
+            filter.filter_chunk(&events, &mut slice);
+            hierarchy.access_chunk(&slice);
+            slice.len()
+        };
+        if let Some(o) = &obs {
+            o.claims.inc();
+            o.events.add(kept as u64);
+            o.total_events.add(kept as u64);
+        }
+    }
+    hierarchy.drain();
+    hierarchy.assert_consistent();
+    WorkerOut {
+        levels: hierarchy.levels().iter().map(|c| c.stats()).collect(),
+        total_refs: hierarchy.total_refs(),
+        demand_bytes: hierarchy.demand_bytes(),
+        line_buffer_hits: hierarchy.line_buffer_hits(),
+        memory: hierarchy.into_memory(),
+    }
+}
+
+/// Parallel drop-in for [`Hierarchy`]: implements [`TraceSink`], fans
+/// chunks out to set-bound worker shards, and merges their results into a
+/// [`ShardedRun`] whose `LevelStats` are bit-identical to the sequential
+/// engine's.
+///
+/// The requested shard count is capped at the number of address classes
+/// the configuration supports ([`shard_class_bits`]); [`Self::shards`]
+/// reports the effective count. With one effective shard the single worker
+/// runs the unmodified sequential engine, so degenerate configurations
+/// (cache-less hierarchies, single-set levels) stay correct.
+pub struct ShardedHierarchy<M> {
+    queues: Vec<Arc<ShardQueue>>,
+    workers: Vec<JoinHandle<WorkerOut<M>>>,
+    buf: Vec<TraceEvent>,
+    result: Option<ShardedRun<M>>,
+    chunks: Option<Arc<Counter>>,
+}
+
+impl<M: MainMemory + ShardMerge + Clone + Send + 'static> ShardedHierarchy<M> {
+    /// Build a sharded engine over up to `shards` workers (at least one;
+    /// capped at the configuration's class count), cloning one hierarchy
+    /// replica per shard from `levels` and a freshly constructed `memory`.
+    ///
+    /// With `obs_prefix` set and the global registry enabled, registers
+    /// per-shard telemetry under `{prefix}.shard{i}.` (`queue_depth`,
+    /// `claims`, `steals`) plus `progress.shard{i}.events`,
+    /// `progress.events`, and `progress.chunks`. The `steals` counter is
+    /// registered but stays at zero: set-bound shards make work stealing
+    /// structurally impossible (see the module docs).
+    pub fn new(levels: Vec<Cache>, memory: M, shards: usize, obs_prefix: Option<&str>) -> Self {
+        let (lo, hi) = shard_class_bits(&levels);
+        let bits = (hi - lo).min(MAX_CLASS_BITS);
+        let classes = 1u64 << bits;
+        let nshards = shards.max(1).min(classes as usize);
+        let l1_shift = levels.first().map_or(0, |c| c.set_index_bits().0);
+        let obs_prefix = obs_prefix.filter(|_| memsim_obs::enabled());
+        let reg = memsim_obs::global();
+        let chunks = obs_prefix.map(|_| reg.counter("progress.chunks"));
+        let total_events = obs_prefix.map(|_| reg.counter("progress.events"));
+        let mut queues = Vec::with_capacity(nshards);
+        let mut workers = Vec::with_capacity(nshards);
+        for i in 0..nshards {
+            let filter = ShardFilter {
+                class_shift: lo,
+                class_mask: classes - 1,
+                nshards: nshards as u64,
+                shard: i as u64,
+                l1_shift,
+                pass_through: nshards == 1,
+            };
+            let (depth, obs) = match obs_prefix {
+                Some(p) => {
+                    // registered but never incremented — see module docs
+                    let _ = reg.counter(&format!("{p}.shard{i}.steals"));
+                    (
+                        Some(reg.gauge(&format!("{p}.shard{i}.queue_depth"))),
+                        Some(ShardObs {
+                            claims: reg.counter(&format!("{p}.shard{i}.claims")),
+                            events: reg.counter(&format!("progress.shard{i}.events")),
+                            total_events: Arc::clone(total_events.as_ref().unwrap()),
+                        }),
+                    )
+                }
+                None => (None, None),
+            };
+            let queue = Arc::new(ShardQueue::new(depth));
+            let replica = Hierarchy::new(levels.clone(), memory.clone());
+            let worker_queue = Arc::clone(&queue);
+            let handle = std::thread::Builder::new()
+                .name(format!("memsim-shard{i}"))
+                .spawn(move || {
+                    let out = panic::catch_unwind(AssertUnwindSafe(|| {
+                        run_worker(replica, &worker_queue, filter, obs)
+                    }));
+                    match out {
+                        Ok(out) => out,
+                        Err(payload) => {
+                            // unblock the producer before re-raising; the
+                            // payload surfaces again at join
+                            worker_queue.poison();
+                            panic::resume_unwind(payload);
+                        }
+                    }
+                })
+                .expect("spawn shard worker");
+            queues.push(queue);
+            workers.push(handle);
+        }
+        Self {
+            queues,
+            workers,
+            buf: Vec::with_capacity(CHUNK_EVENTS),
+            result: None,
+            chunks,
+        }
+    }
+
+    /// The effective shard (worker) count after class capping.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn send(&self, chunk: Arc<[TraceEvent]>) {
+        for q in &self.queues {
+            q.push(Msg::Chunk(Arc::clone(&chunk)));
+        }
+        if let Some(c) = &self.chunks {
+            c.inc();
+        }
+    }
+
+    fn broadcast_buf(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let chunk: Arc<[TraceEvent]> = Arc::from(self.buf.as_slice());
+        self.buf.clear();
+        self.send(chunk);
+    }
+
+    /// Flush buffered events, stop the workers, and merge their results in
+    /// shard order. Idempotent via the cached result; a worker panic is
+    /// re-raised here (after every worker has been joined).
+    fn finish_inner(&mut self) {
+        if self.result.is_some() || self.workers.is_empty() {
+            return;
+        }
+        self.broadcast_buf();
+        for q in &self.queues {
+            q.push_flush();
+        }
+        let mut merged: Option<ShardedRun<M>> = None;
+        let mut panic_payload = None;
+        for handle in self.workers.drain(..) {
+            let out = match handle.join() {
+                Ok(out) => out,
+                Err(payload) => {
+                    panic_payload.get_or_insert(payload);
+                    continue;
+                }
+            };
+            match &mut merged {
+                None => {
+                    merged = Some(ShardedRun {
+                        levels: out.levels,
+                        memory: out.memory,
+                        total_refs: out.total_refs,
+                        demand_bytes: out.demand_bytes,
+                        line_buffer_hits: out.line_buffer_hits,
+                    });
+                }
+                Some(run) => {
+                    debug_assert_eq!(run.levels.len(), out.levels.len());
+                    for (acc, s) in run.levels.iter_mut().zip(out.levels.iter()) {
+                        acc.merge(s);
+                    }
+                    run.memory.merge_shard(&out.memory);
+                    run.total_refs = run.total_refs.saturating_add(out.total_refs);
+                    run.demand_bytes = run.demand_bytes.saturating_add(out.demand_bytes);
+                    run.line_buffer_hits =
+                        run.line_buffer_hits.saturating_add(out.line_buffer_hits);
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            panic::resume_unwind(payload);
+        }
+        self.result = merged;
+    }
+
+    /// Consume the engine and return the merged run. Drives the flush
+    /// handshake if [`TraceSink::flush`] was not already called.
+    pub fn finish(mut self) -> ShardedRun<M> {
+        self.finish_inner();
+        self.result
+            .take()
+            .expect("sharded hierarchy yields a merged result after flush")
+    }
+}
+
+impl<M: MainMemory + ShardMerge + Clone + Send + 'static> TraceSink for ShardedHierarchy<M> {
+    fn access(&mut self, ev: TraceEvent) {
+        self.buf.push(ev);
+        if self.buf.len() >= CHUNK_EVENTS {
+            self.broadcast_buf();
+        }
+    }
+
+    fn access_chunk(&mut self, events: &[TraceEvent]) {
+        // Replay delivers full-size chunks; forward those without
+        // re-buffering (the Arc build is the only copy).
+        if self.buf.is_empty() && events.len() >= CHUNK_EVENTS {
+            self.send(Arc::from(events));
+            return;
+        }
+        self.buf.extend_from_slice(events);
+        if self.buf.len() >= CHUNK_EVENTS {
+            self.broadcast_buf();
+        }
+    }
+
+    fn flush(&mut self) {
+        self.finish_inner();
+    }
+}
+
+impl<M> Drop for ShardedHierarchy<M> {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        // Abandoned without finish(): stop the workers without blocking on
+        // full queues, and swallow join results — a worker panic must not
+        // double-panic during unwinding.
+        for q in &self.queues {
+            q.push_flush();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use memsim_trace::AccessKind;
+
+    fn small_levels() -> Vec<Cache> {
+        vec![
+            Cache::new(CacheConfig::new("L1", 1024, 64, 2)),
+            Cache::new(CacheConfig::new("L2", 4096, 64, 4)),
+        ]
+    }
+
+    fn stream() -> Vec<TraceEvent> {
+        // mixed hits, misses, straddlers, and size-0 probes across blocks
+        let mut evs = Vec::new();
+        for i in 0..5000u64 {
+            let addr = (i * 37) % 16384;
+            let kind = if i % 3 == 0 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            let size = match i % 7 {
+                0 => 0,
+                1 => 100, // straddles 64B blocks
+                _ => 8,
+            };
+            evs.push(TraceEvent { addr, size, kind });
+        }
+        evs
+    }
+
+    fn sequential(events: &[TraceEvent]) -> (Vec<LevelStats>, CountingMemory, u64, u64) {
+        let mut h = Hierarchy::new(small_levels(), CountingMemory::default());
+        for chunk in events.chunks(64) {
+            h.access_chunk(chunk);
+        }
+        h.drain();
+        h.assert_consistent();
+        (
+            h.levels().iter().map(|c| c.stats()).collect(),
+            *h.memory(),
+            h.total_refs(),
+            h.demand_bytes(),
+        )
+    }
+
+    #[test]
+    fn class_bits_intersect_levels() {
+        let levels = small_levels();
+        // L1: 1024/64/2 -> 8 sets, offset 6, index [6, 9)
+        // L2: 4096/64/4 -> 16 sets, index [6, 10)
+        assert_eq!(shard_class_bits(&levels), (6, 9));
+        assert_eq!(shard_class_bits(&[]), (0, 0));
+    }
+
+    #[test]
+    fn sharded_matches_sequential() {
+        let events = stream();
+        let (seq_levels, seq_mem, seq_refs, seq_bytes) = sequential(&events);
+        for shards in [1usize, 2, 3, 8, 64] {
+            let mut sh =
+                ShardedHierarchy::new(small_levels(), CountingMemory::default(), shards, None);
+            assert!(sh.shards() >= 1 && sh.shards() <= 8); // 3 class bits
+            for chunk in events.chunks(100) {
+                sh.access_chunk(chunk);
+            }
+            let run = sh.finish();
+            assert_eq!(run.levels, seq_levels, "shards={shards}");
+            assert_eq!(run.memory, seq_mem, "shards={shards}");
+            assert_eq!(run.total_refs, seq_refs, "shards={shards}");
+            assert_eq!(run.demand_bytes, seq_bytes, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn uncached_hierarchy_collapses_to_one_shard() {
+        let events = stream();
+        let mut seq = Hierarchy::new(Vec::new(), CountingMemory::default());
+        seq.access_chunk(&events);
+        seq.drain();
+        let mut sh = ShardedHierarchy::new(Vec::new(), CountingMemory::default(), 4, None);
+        assert_eq!(sh.shards(), 1);
+        sh.access_chunk(&events);
+        let run = sh.finish();
+        assert_eq!(run.memory, *seq.memory());
+        assert_eq!(run.total_refs, seq.total_refs());
+    }
+
+    #[test]
+    fn drop_without_finish_joins_workers() {
+        let sh = ShardedHierarchy::new(small_levels(), CountingMemory::default(), 2, None);
+        drop(sh); // must not hang or panic
+    }
+
+    #[test]
+    fn flush_then_finish_is_idempotent() {
+        let events = stream();
+        let mut sh = ShardedHierarchy::new(small_levels(), CountingMemory::default(), 2, None);
+        sh.access_chunk(&events);
+        sh.flush();
+        let run = sh.finish();
+        let (seq_levels, ..) = sequential(&events);
+        assert_eq!(run.levels, seq_levels);
+    }
+}

@@ -25,7 +25,7 @@ use memsim_core::configs::{eh_by_name, eh_configs, n_by_name, n_configs};
 use memsim_core::experiments::{self, ExperimentCtx, Metric};
 use memsim_core::heatmap::HeatmapData;
 use memsim_core::report::{heatmap_to_csv, heatmap_to_markdown, FigureData};
-use memsim_core::{evaluate, Design, Scale, SimCache, SweepCtx, SweepError, JOURNAL_FILE};
+use memsim_core::{evaluate, Design, Engine, Scale, SimCache, SweepCtx, SweepError, JOURNAL_FILE};
 use memsim_obs::json;
 use memsim_tech::Technology;
 use memsim_tracefile::TraceReader;
@@ -84,7 +84,7 @@ impl From<&str> for CliError {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [--resume] [options]\n  memsim analyze --workload <W> [options]\n  memsim record <W> -o FILE [options]      record W's address stream to a trace file\n  memsim replay <FILE> [--designs a,b,c]   evaluate designs against a recorded trace\n  memsim trace-info <FILE>                 inspect a trace file\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --out DIR                 journal completed sweep points to DIR/sweep.journal.jsonl\n                            (table4/figure/heatmap; reproduce always journals)\n  --resume                  skip points already journaled in --out DIR\n  --csv                     CSV instead of markdown\n  --json                    one JSON object instead of human text (run/replay/record/trace-info)\n  --quiet                   suppress stdout (run/replay/record/trace-info)\n  --progress                live progress line + end-of-run phase timings (run/replay/record/reproduce)\n  --metrics-out FILE        write the metrics/span dump as deterministic JSON (run/replay/record/reproduce)"
+    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [--resume] [options]\n  memsim analyze --workload <W> [options]\n  memsim record <W> -o FILE [options]      record W's address stream to a trace file\n  memsim replay <FILE> [--designs a,b,c]   evaluate designs against a recorded trace\n  memsim trace-info <FILE>                 inspect a trace file\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --shards N|auto|seq       simulation engine: N set shards, auto-detected cores,\n                            or the sequential walk (reproduce/figure/heatmap/replay)\n  --out DIR                 journal completed sweep points to DIR/sweep.journal.jsonl\n                            (table4/figure/heatmap; reproduce always journals)\n  --resume                  skip points already journaled in --out DIR\n  --csv                     CSV instead of markdown\n  --json                    one JSON object instead of human text (run/replay/record/trace-info)\n  --quiet                   suppress stdout (run/replay/record/trace-info)\n  --progress                live progress line + end-of-run phase timings (run/replay/record/reproduce)\n  --metrics-out FILE        write the metrics/span dump as deterministic JSON (run/replay/record/reproduce)"
 }
 
 /// Minimal flag parser: `--key value` pairs after the positional arguments.
@@ -205,6 +205,22 @@ impl Opts {
                 .map_err(|_| format!("bad thread count '{t}'")),
         }
     }
+
+    /// `--shards`: "auto" (the default) picks for this host, "seq" forces
+    /// the sequential engine, N >= 1 requests that many set shards. Zero
+    /// is rejected (a zero-worker engine cannot make progress) and
+    /// duplicates are already rejected by [`Opts::parse`].
+    fn shards(&self) -> Result<Engine, String> {
+        match self.get("shards").unwrap_or("auto") {
+            "auto" => Ok(Engine::auto()),
+            "seq" => Ok(Engine::Sequential),
+            n => match n.parse::<usize>() {
+                Ok(0) => Err("--shards must be at least 1 (or 'auto'/'seq')".into()),
+                Ok(n) => Ok(Engine::Sharded(n)),
+                Err(_) => Err(format!("bad shard count '{n}' (want N, 'auto', or 'seq')")),
+            },
+        }
+    }
 }
 
 /// Per-command observability lifecycle: armed by `--metrics-out` or
@@ -292,7 +308,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "figure" => {
             opts.expect(
                 "figure",
-                &["scale", "workloads", "threads", "out"],
+                &["scale", "workloads", "threads", "shards", "out"],
                 &["csv", "resume"],
             )?;
             cmd_figure(&opts)
@@ -316,7 +332,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "heatmap" => {
             opts.expect(
                 "heatmap",
-                &["scale", "workloads", "threads", "out"],
+                &["scale", "workloads", "threads", "shards", "out"],
                 &["csv", "resume"],
             )?;
             cmd_heatmap(&opts)
@@ -324,7 +340,14 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "reproduce" => {
             opts.expect(
                 "reproduce",
-                &["out", "scale", "workloads", "threads", "metrics-out"],
+                &[
+                    "out",
+                    "scale",
+                    "workloads",
+                    "threads",
+                    "shards",
+                    "metrics-out",
+                ],
                 &["resume", "progress"],
             )?;
             cmd_reproduce(&opts)
@@ -344,7 +367,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "replay" => {
             opts.expect(
                 "replay",
-                &["designs", "scale", "threads", "metrics-out"],
+                &["designs", "scale", "threads", "shards", "metrics-out"],
                 &["json", "quiet", "progress"],
             )?;
             cmd_replay(&opts)
@@ -569,9 +592,13 @@ fn cmd_figure(opts: &Opts) -> Result<(), CliError> {
         .first()
         .ok_or("figure needs an id (fig1..fig10)")?;
     let scale = opts.scale()?;
-    let sweep = start_sweep_opt(opts, &scale)?;
+    let engine = opts.shards()?;
+    let mut sweep = start_sweep_opt(opts, &scale)?;
+    if let Some(s) = sweep.as_mut() {
+        s.set_shards(engine.journal_shards());
+    }
     let cache = SimCache::new();
-    let mut ctx = ExperimentCtx::new(scale, &cache);
+    let mut ctx = ExperimentCtx::new(scale, &cache).with_engine(engine);
     if let Some(s) = &sweep {
         ctx = ctx.with_sweep(s);
     }
@@ -930,12 +957,17 @@ fn build_artifact(ctx: &ExperimentCtx, name: &str) -> Result<(String, String), S
 fn cmd_reproduce(opts: &Opts) -> Result<(), CliError> {
     let out = PathBuf::from(opts.get("out").unwrap_or("reproduction"));
     let scale = opts.scale()?;
-    let sweep = start_sweep(&out, &scale, opts.has("resume"))?;
+    let engine = opts.shards()?;
+    let mut sweep = start_sweep(&out, &scale, opts.has("resume"))?;
+    sweep.set_shards(engine.journal_shards());
     let mut obs = ObsSession::start(opts, "reproduce");
     obs.annotate("scale", scale.class.name().to_string());
     obs.annotate("out", out.display().to_string());
+    obs.annotate("engine", engine.to_string());
     let cache = SimCache::new();
-    let mut ctx = ExperimentCtx::new(scale, &cache).with_sweep(&sweep);
+    let mut ctx = ExperimentCtx::new(scale, &cache)
+        .with_sweep(&sweep)
+        .with_engine(engine);
     ctx.workloads = opts.workloads()?;
     ctx.threads = opts.threads()?;
 
@@ -1131,11 +1163,13 @@ fn cmd_replay(opts: &Opts) -> Result<(), CliError> {
     let mut grid = vec![Design::Baseline];
     grid.extend(designs.iter().filter(|d| **d != Design::Baseline).copied());
 
+    let engine = opts.shards()?;
     let mut rep = Report::new(opts.report_mode()?);
     let mut obs = ObsSession::start(opts, "replay");
     obs.annotate("trace", file.to_string());
     obs.annotate("workload", header.workload.clone());
     obs.annotate("scale", scale.class.name().to_string());
+    obs.annotate("engine", engine.to_string());
     obs.annotate(
         "designs",
         grid.iter().map(|d| d.label()).collect::<Vec<_>>().join(","),
@@ -1144,7 +1178,8 @@ fn cmd_replay(opts: &Opts) -> Result<(), CliError> {
     // Fault-isolated: a shard that fails to decode (corrupt chunk,
     // truncation mid-walk) or panics strands only its own designs; the
     // surviving rows still print, and the exit is non-zero.
-    let outcome = memsim_core::replay_grid_robust(path, &grid, &scale, opts.threads()?)?;
+    let outcome =
+        memsim_core::replay_grid_robust_engine(path, &grid, &scale, opts.threads()?, engine)?;
     let stranded: Vec<Design> = outcome
         .failures
         .iter()
@@ -1334,9 +1369,13 @@ fn cmd_heatmap(opts: &Opts) -> Result<(), CliError> {
         .map(|s| s.as_str())
         .unwrap_or("latency");
     let scale = opts.scale()?;
-    let sweep = start_sweep_opt(opts, &scale)?;
+    let engine = opts.shards()?;
+    let mut sweep = start_sweep_opt(opts, &scale)?;
+    if let Some(s) = sweep.as_mut() {
+        s.set_shards(engine.journal_shards());
+    }
     let cache = SimCache::new();
-    let mut ctx = ExperimentCtx::new(scale, &cache);
+    let mut ctx = ExperimentCtx::new(scale, &cache).with_engine(engine);
     if let Some(s) = &sweep {
         ctx = ctx.with_sweep(s);
     }
@@ -1467,6 +1506,29 @@ mod tests {
     fn bad_thread_count_errors() {
         let o = Opts::parse(&args(&["--threads", "lots"])).unwrap();
         assert!(o.threads().is_err());
+    }
+
+    #[test]
+    fn shards_parsing() {
+        // default is auto-detection (machine-dependent, but never 0 shards)
+        let default = Opts::parse(&args(&[])).unwrap();
+        match default.shards().unwrap() {
+            Engine::Sequential => {}
+            Engine::Sharded(n) => assert!(n >= 2),
+        }
+        assert_eq!(default.shards().unwrap(), Engine::auto());
+        let auto = Opts::parse(&args(&["--shards", "auto"])).unwrap();
+        assert_eq!(auto.shards().unwrap(), Engine::auto());
+        let seq = Opts::parse(&args(&["--shards", "seq"])).unwrap();
+        assert_eq!(seq.shards().unwrap(), Engine::Sequential);
+        let four = Opts::parse(&args(&["--shards", "4"])).unwrap();
+        assert_eq!(four.shards().unwrap(), Engine::Sharded(4));
+        let zero = Opts::parse(&args(&["--shards", "0"])).unwrap();
+        assert!(zero.shards().unwrap_err().contains("at least 1"));
+        let junk = Opts::parse(&args(&["--shards", "many"])).unwrap();
+        assert!(junk.shards().is_err());
+        // a repeated --shards is ambiguous, like any duplicate flag
+        assert!(Opts::parse(&args(&["--shards", "2", "--shards", "4"])).is_err());
     }
 
     #[test]

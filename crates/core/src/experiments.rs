@@ -10,7 +10,7 @@ use crate::heatmap::{default_multipliers, heatmap, Axis, HeatmapData};
 use crate::journal::SweepCtx;
 use crate::model::NormMetrics;
 use crate::report::{FigureData, Series};
-use crate::runner::{evaluate_grid_sweep, EvalResult, SimCache, SweepError};
+use crate::runner::{evaluate_grid_sweep_engine, Engine, EvalResult, SimCache, SweepError};
 use crate::scale::Scale;
 use memsim_tech::{TechParams, Technology};
 use memsim_workloads::WorkloadKind;
@@ -29,6 +29,9 @@ pub struct ExperimentCtx<'a> {
     /// Journal/resume/interrupt state shared across the suite (None =
     /// plain run, no checkpointing).
     pub sweep: Option<&'a SweepCtx>,
+    /// Which engine walks each structure simulation (results are
+    /// engine-independent; this is a throughput choice).
+    pub engine: Engine,
 }
 
 impl<'a> ExperimentCtx<'a> {
@@ -40,6 +43,7 @@ impl<'a> ExperimentCtx<'a> {
             cache,
             threads: None,
             sweep: None,
+            engine: Engine::Sequential,
         }
     }
 
@@ -56,6 +60,12 @@ impl<'a> ExperimentCtx<'a> {
         self.sweep = Some(sweep);
         self
     }
+
+    /// Choose the simulation engine (default sequential).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
 }
 
 /// Run a grid under the context's sweep state and lift the outcome into a
@@ -66,7 +76,14 @@ fn grid_or_err(
     ctx: &ExperimentCtx,
     points: &[(WorkloadKind, Design)],
 ) -> Result<Vec<EvalResult>, SweepError> {
-    let outcome = evaluate_grid_sweep(points, &ctx.scale, ctx.cache, ctx.threads, ctx.sweep);
+    let outcome = evaluate_grid_sweep_engine(
+        points,
+        &ctx.scale,
+        ctx.cache,
+        ctx.threads,
+        ctx.sweep,
+        ctx.engine,
+    );
     if outcome.interrupted {
         return Err(SweepError::Interrupted);
     }
@@ -405,6 +422,7 @@ pub fn fig9(ctx: &ExperimentCtx) -> Result<HeatmapData, SweepError> {
         &m,
         &m,
         ctx.sweep,
+        ctx.engine,
     )
 }
 
@@ -419,6 +437,7 @@ pub fn fig10(ctx: &ExperimentCtx) -> Result<HeatmapData, SweepError> {
         &m,
         &m,
         ctx.sweep,
+        ctx.engine,
     )
 }
 

@@ -10,7 +10,7 @@ use crate::configs::n_by_name;
 use crate::design::{sram_costs, Design, MEM_NAME};
 use crate::journal::SweepCtx;
 use crate::model::{LevelCost, Metrics};
-use crate::runner::{sweep_point, SimCache, SweepError};
+use crate::runner::{sweep_point_engine, Engine, SimCache, SweepError};
 use crate::scale::Scale;
 use memsim_cache::LevelStats;
 use memsim_tech::{Multipliers, TechParams, Technology};
@@ -70,6 +70,7 @@ pub fn heatmap(
     read_mults: &[f64],
     write_mults: &[f64],
     sweep: Option<&SweepCtx>,
+    engine: Engine,
 ) -> Result<HeatmapData, SweepError> {
     let n6 = n_by_name("N6").expect("N6 exists");
     let mut grid = vec![vec![0.0f64; read_mults.len()]; write_mults.len()];
@@ -79,19 +80,21 @@ pub fn heatmap(
             return Err(SweepError::Interrupted);
         }
         // one simulation (structure of NMM@N6) + baseline per workload
-        let pair = sweep_point(*kind, scale, &Design::Baseline, cache, sweep).and_then(|base| {
-            sweep_point(
-                *kind,
-                scale,
-                &Design::Nmm {
-                    nvm: Technology::Pcm,
-                    config: n6,
-                },
-                cache,
-                sweep,
-            )
-            .map(|nmm| (base, nmm))
-        });
+        let pair = sweep_point_engine(*kind, scale, &Design::Baseline, cache, sweep, engine)
+            .and_then(|base| {
+                sweep_point_engine(
+                    *kind,
+                    scale,
+                    &Design::Nmm {
+                        nvm: Technology::Pcm,
+                        config: n6,
+                    },
+                    cache,
+                    sweep,
+                    engine,
+                )
+                .map(|nmm| (base, nmm))
+            });
         let (base, nmm) = match pair {
             Ok(p) => p,
             Err(failed) => {
@@ -160,6 +163,7 @@ mod tests {
             &[1.0, 5.0, 20.0],
             &[1.0, 5.0, 20.0],
             None,
+            Engine::Sequential,
         )
         .unwrap()
     }

@@ -139,10 +139,15 @@ fn run_json(r: &RawRun) -> String {
     o.finish()
 }
 
-fn point_payload(fingerprint: &str, scale: &Scale, res: &EvalResult) -> String {
+fn point_payload(fingerprint: &str, scale: &Scale, res: &EvalResult, shards: u64) -> String {
     let mut o = json::Obj::new();
     o.u64("v", JOURNAL_VERSION)
         .str("fp", fingerprint)
+        // provenance only (0 = sequential engine): the decoder ignores it,
+        // and it is deliberately NOT part of the sweep fingerprint — both
+        // engines journal bit-identical stats, so a resume may freely mix
+        // shard counts (asserted by `shard_count_never_gates_resume`)
+        .u64("shards", shards)
         .str("scale", scale.class.name())
         .str("workload", res.workload.name())
         .str("design", &res.design.label())
@@ -702,6 +707,10 @@ pub struct SweepCtx {
     journal: Option<SweepJournal>,
     resumed: HashMap<PointKey, RestoredPoint>,
     interrupt: Option<Arc<AtomicBool>>,
+    /// Shard count journaled with each point for provenance (0 =
+    /// sequential engine). Never part of the fingerprint: results are
+    /// engine-independent, so resume must not refuse on a mismatch.
+    shards: u64,
     state: Mutex<CtxState>,
 }
 
@@ -715,6 +724,7 @@ impl SweepCtx {
             journal: None,
             resumed: HashMap::new(),
             interrupt: None,
+            shards: 0,
             state: Mutex::new(CtxState::default()),
         }
     }
@@ -750,6 +760,12 @@ impl SweepCtx {
     /// once `flag` is set; in-flight points finish and are journaled.
     pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
         self.interrupt = Some(flag);
+    }
+
+    /// Record the engine's shard count (0 = sequential) in every journaled
+    /// point, as provenance only — see [`crate::runner::Engine`].
+    pub fn set_shards(&mut self, shards: u64) {
+        self.shards = shards;
     }
 
     /// Has the interrupt flag been raised?
@@ -820,6 +836,7 @@ impl SweepCtx {
                 &self.fingerprint,
                 &self.scale,
                 res,
+                self.shards,
             )));
         }
     }
@@ -904,7 +921,7 @@ mod tests {
             },
         );
         let fp = sweep_fingerprint(&scale);
-        let line = envelope(&point_payload(&fp, &scale, &res));
+        let line = envelope(&point_payload(&fp, &scale, &res, 3));
         let (key, point, got_fp) = decode_line(&line).unwrap();
         assert_eq!(got_fp, fp);
         assert_eq!(key.0, "Hash");
@@ -924,11 +941,48 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_never_gates_resume() {
+        // The shard count is provenance, not identity: a point journaled
+        // by the sharded engine must decode to the same RestoredPoint as a
+        // sequential one, and a resume with a different shard count must
+        // accept it (results are engine-independent by the parity tests).
+        let scale = Scale::mini();
+        let res = evaluate(WorkloadKind::Hash, &scale, &Design::Baseline);
+        let fp = sweep_fingerprint(&scale);
+        let seq_line = envelope(&point_payload(&fp, &scale, &res, 0));
+        let sharded_line = envelope(&point_payload(&fp, &scale, &res, 4));
+        let (seq_key, seq_point, seq_fp) = decode_line(&seq_line).unwrap();
+        let (sh_key, sh_point, sh_fp) = decode_line(&sharded_line).unwrap();
+        assert_eq!(seq_fp, sh_fp, "fingerprint must not encode the engine");
+        assert_eq!(seq_key, sh_key);
+        let (seq_point, sh_point) = (seq_point.unwrap(), sh_point.unwrap());
+        assert_eq!(seq_point.run.caches, sh_point.run.caches);
+        assert_eq!(seq_point.run.mem, sh_point.run.mem);
+        assert_eq!(
+            seq_point.metrics.time_s.to_bits(),
+            sh_point.metrics.time_s.to_bits()
+        );
+
+        // end to end: journal under shards=4, resume with the default
+        // (sequential) context — the point must be served, not refused
+        let path = temp_path("xengine.journal.jsonl");
+        {
+            let mut ctx = SweepCtx::fresh(&scale, &path).unwrap();
+            ctx.set_shards(4);
+            ctx.record(&res);
+        }
+        let (ctx, rec) = SweepCtx::resume(&scale, &path).unwrap();
+        assert_eq!(rec.points.len(), 1, "sharded entry refused on resume");
+        assert!(ctx.lookup(WorkloadKind::Hash, &Design::Baseline).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn corrupt_lines_fail_closed() {
         let scale = Scale::mini();
         let res = evaluate(WorkloadKind::Hash, &scale, &Design::Baseline);
         let fp = sweep_fingerprint(&scale);
-        let line = envelope(&point_payload(&fp, &scale, &res));
+        let line = envelope(&point_payload(&fp, &scale, &res, 0));
 
         // truncation at any prefix length must never decode
         for cut in [0, 1, 9, 20, line.len() / 2, line.len() - 2] {
@@ -965,7 +1019,7 @@ mod tests {
                 .open(&path)
                 .unwrap();
             writeln!(f, "{{\"crc\":\"00000000\",\"p\":{{garbage").unwrap();
-            let foreign = envelope(&point_payload("ffffffff", &scale, &good));
+            let foreign = envelope(&point_payload("ffffffff", &scale, &good, 0));
             f.write_all(foreign.as_bytes()).unwrap();
         }
         let rec = load_journal(&path, &sweep_fingerprint(&scale)).unwrap();

@@ -57,11 +57,12 @@ pub use design::{Design, Structure};
 pub use journal::{sweep_fingerprint, JournalRecovery, SweepCtx, SweepJournal, JOURNAL_FILE};
 pub use model::{breakdown, LevelBreakdown, LevelCost, Metrics, NormMetrics};
 pub use replay::{
-    record_workload, replay_grid, replay_grid_robust, replay_structure, RecordSummary,
+    record_workload, replay_grid, replay_grid_engine, replay_grid_robust,
+    replay_grid_robust_engine, replay_structure, replay_structure_engine, RecordSummary,
     ReplayFailure, ReplayOutcome,
 };
 pub use runner::{
-    evaluate, simulate_structure, sweep_point, EvalResult, FailedPoint, GridOutcome, RawRun,
-    SimCache, SweepError,
+    evaluate, simulate_structure, simulate_structure_engine, sweep_point, sweep_point_engine,
+    Engine, EvalResult, FailedPoint, GridOutcome, RawRun, SimCache, SweepError,
 };
 pub use scale::Scale;

@@ -12,9 +12,12 @@
 //! from (the `record_replay` integration tests pin this).
 
 use crate::design::{Design, Structure};
-use crate::runner::{build_caches, evaluate_run, raw_run_from_hierarchy, EvalResult, RawRun};
+use crate::runner::{
+    build_caches, evaluate_run, raw_run_from_hierarchy, raw_run_from_parts, Engine, EvalResult,
+    RawRun,
+};
 use crate::scale::Scale;
-use memsim_cache::{Hierarchy, HierarchyProbes};
+use memsim_cache::{Hierarchy, HierarchyProbes, ShardedHierarchy};
 use memsim_memory::PartitionedMemory;
 use memsim_tech::Technology;
 use memsim_tracefile::{replay_into, TraceError, TraceHeader, TraceReader, TraceWriter};
@@ -109,17 +112,32 @@ pub fn replay_structure(
     scale: &Scale,
     structure: &Structure,
 ) -> Result<RawRun, TraceError> {
-    replay_structure_shard(path, scale, structure, None)
+    replay_structure_shard(path, scale, structure, None, Engine::Sequential)
+}
+
+/// [`replay_structure`] with an explicit engine: the set-sharded engine
+/// fans the file's 4096-event chunks out across its workers and merges at
+/// drain, producing the same [`RawRun`] counters as the sequential walk.
+pub fn replay_structure_engine(
+    path: &Path,
+    scale: &Scale,
+    structure: &Structure,
+    engine: Engine,
+) -> Result<RawRun, TraceError> {
+    replay_structure_shard(path, scale, structure, None, engine)
 }
 
 /// [`replay_structure`] with observability shard attribution: `shard`
 /// names this walk's `progress.shard{i}.events` counter and span, so the
-/// sampler can show per-shard lag across `replay_grid` workers.
+/// sampler can show per-shard lag across `replay_grid` workers. (With the
+/// set-sharded engine the engine's own per-shard counters take over that
+/// role instead.)
 fn replay_structure_shard(
     path: &Path,
     scale: &Scale,
     structure: &Structure,
     shard: Option<usize>,
+    engine: Engine,
 ) -> Result<RawRun, TraceError> {
     let mut span = match shard {
         Some(i) => memsim_obs::span!("replay.shard{}", i),
@@ -131,6 +149,30 @@ fn replay_structure_shard(
     let regions = reader.header().regions.clone();
     let caches = build_caches(scale, structure);
     let terminal = PartitionedMemory::new(&regions, Technology::Pcm);
+
+    if let Engine::Sharded(shards) = engine {
+        let mut sharded = ShardedHierarchy::new(caches, terminal, shards, obs_prefix.as_deref());
+        replay_into(&mut reader, &mut sharded)?;
+        let run = sharded.finish();
+        if let Some(prefix) = &obs_prefix {
+            let reg = memsim_obs::global();
+            let store = |field: &str, v: u64| {
+                reg.counter(&format!("{prefix}.reader.{field}")).store(v);
+            };
+            store("chunks", reader.chunks_read());
+            store("crc_verified_chunks", reader.crc_verified_chunks());
+            store("payload_bytes", reader.payload_bytes());
+        }
+        span.add_events(run.total_refs);
+        return Ok(raw_run_from_parts(
+            run.levels,
+            run.memory,
+            &regions,
+            run.total_refs,
+            obs_prefix.as_deref(),
+        ));
+    }
+
     let mut hierarchy = Hierarchy::new(caches, terminal);
     if let Some(prefix) = &obs_prefix {
         let reg = memsim_obs::global();
@@ -236,6 +278,18 @@ pub fn replay_grid_robust(
     scale: &Scale,
     threads: Option<usize>,
 ) -> Result<ReplayOutcome, String> {
+    replay_grid_robust_engine(path, designs, scale, threads, Engine::Sequential)
+}
+
+/// [`replay_grid_robust`] with an explicit engine for each structure's
+/// trace walk.
+pub fn replay_grid_robust_engine(
+    path: &Path,
+    designs: &[Design],
+    scale: &Scale,
+    threads: Option<usize>,
+    engine: Engine,
+) -> Result<ReplayOutcome, String> {
     let _span = memsim_obs::span!("replay");
     for d in designs {
         d.validate()?;
@@ -282,7 +336,7 @@ pub fn replay_grid_robust(
                 // grid: an unwinding worker must not take the completed
                 // shards' results down with the scope.
                 let run = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    replay_structure_shard(path, scale, &structures[i], Some(i))
+                    replay_structure_shard(path, scale, &structures[i], Some(i), engine)
                 })) {
                     Ok(Ok(run)) => Ok(Arc::new(run)),
                     Ok(Err(e)) => Err(e.to_string()),
@@ -336,7 +390,18 @@ pub fn replay_grid(
     scale: &Scale,
     threads: Option<usize>,
 ) -> Result<Vec<EvalResult>, String> {
-    let outcome = replay_grid_robust(path, designs, scale, threads)?;
+    replay_grid_engine(path, designs, scale, threads, Engine::Sequential)
+}
+
+/// Strict [`replay_grid`] with an explicit engine choice.
+pub fn replay_grid_engine(
+    path: &Path,
+    designs: &[Design],
+    scale: &Scale,
+    threads: Option<usize>,
+    engine: Engine,
+) -> Result<Vec<EvalResult>, String> {
+    let outcome = replay_grid_robust_engine(path, designs, scale, threads, engine)?;
     if !outcome.failures.is_empty() {
         let list: Vec<String> = outcome
             .failures
@@ -391,6 +456,23 @@ mod tests {
             assert_eq!(r.run.mem, live.run.mem, "{}", d.label());
             assert_eq!(r.run.total_refs, live.run.total_refs);
             assert!((r.metrics.time_s - live.metrics.time_s).abs() < 1e-15);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_replay_matches_sequential_replay() {
+        let scale = Scale::mini();
+        let path = temp_trace("hash-sharded.trace");
+        record_workload(WorkloadKind::Hash, Class::Mini, &path).unwrap();
+        let st = Structure::ThreeLevel;
+        let seq = replay_structure(&path, &scale, &st).unwrap();
+        for shards in [2usize, 7] {
+            let sh = replay_structure_engine(&path, &scale, &st, Engine::Sharded(shards)).unwrap();
+            assert_eq!(sh.caches, seq.caches, "shards={shards}");
+            assert_eq!(sh.mem, seq.mem, "shards={shards}");
+            assert_eq!(sh.per_region, seq.per_region, "shards={shards}");
+            assert_eq!(sh.total_refs, seq.total_refs, "shards={shards}");
         }
         std::fs::remove_file(&path).ok();
     }

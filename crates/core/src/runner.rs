@@ -11,7 +11,7 @@ use crate::design::{Design, Structure, MEM_NAME};
 use crate::model::Metrics;
 use crate::partition::{self, Placement};
 use crate::scale::Scale;
-use memsim_cache::{Cache, CacheConfig, Hierarchy, HierarchyProbes, LevelStats};
+use memsim_cache::{Cache, CacheConfig, Hierarchy, HierarchyProbes, LevelStats, ShardedHierarchy};
 use memsim_memory::{PartitionedMemory, RegionTraffic};
 use memsim_tech::Technology;
 use memsim_workloads::WorkloadKind;
@@ -46,6 +46,51 @@ impl RawRun {
             .iter()
             .chain(std::iter::once(&self.mem))
             .collect()
+    }
+}
+
+/// Which engine walks the reference stream through the hierarchy.
+///
+/// Both engines produce bit-identical [`LevelStats`] (asserted by the
+/// parity tests), so the choice affects throughput only — which is why
+/// [`SimCache`] does not key on it and the sweep journal accepts resumed
+/// points across engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The single-threaded [`Hierarchy`] walk.
+    #[default]
+    Sequential,
+    /// The set-sharded parallel engine with this many requested worker
+    /// shards (at least 1; capped at the structure's address-class count).
+    Sharded(usize),
+}
+
+impl Engine {
+    /// Auto-detect: shard across the available cores, or stay sequential
+    /// on a single-core host where fan-out only adds queue overhead.
+    pub fn auto() -> Self {
+        match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => Engine::Sharded(n.get()),
+            _ => Engine::Sequential,
+        }
+    }
+
+    /// The shard count recorded in sweep journals: 0 for the sequential
+    /// engine, the requested worker count otherwise.
+    pub fn journal_shards(&self) -> u64 {
+        match self {
+            Engine::Sequential => 0,
+            Engine::Sharded(n) => *n as u64,
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Sequential => write!(f, "seq"),
+            Engine::Sharded(n) => write!(f, "sharded({n})"),
+        }
     }
 }
 
@@ -141,6 +186,20 @@ pub(crate) fn raw_run_from_hierarchy(
     let total_refs = hierarchy.total_refs();
     let cache_stats: Vec<LevelStats> = hierarchy.levels().iter().map(|c| c.stats()).collect();
     let mem_part = hierarchy.into_memory();
+    raw_run_from_parts(cache_stats, mem_part, regions, total_refs, obs_prefix)
+}
+
+/// Assemble a [`RawRun`] from already-harvested pieces — the common tail
+/// of the sequential ([`raw_run_from_hierarchy`]) and sharded (merged
+/// [`memsim_cache::ShardedRun`]) engines, so both publish and report
+/// identically.
+pub(crate) fn raw_run_from_parts(
+    cache_stats: Vec<LevelStats>,
+    mem_part: PartitionedMemory,
+    regions: &[memsim_trace::Region],
+    total_refs: u64,
+    obs_prefix: Option<&str>,
+) -> RawRun {
     let mut mem = mem_part.dram_stats().clone();
     mem.name = MEM_NAME.to_string();
 
@@ -162,10 +221,24 @@ pub(crate) fn raw_run_from_hierarchy(
     }
 }
 
-/// Simulate `kind` (at `scale.class`) through `structure`. This is the
-/// expensive step: every memory reference of the workload walks the
-/// hierarchy.
+/// Simulate `kind` (at `scale.class`) through `structure` with the
+/// sequential engine. This is the expensive step: every memory reference
+/// of the workload walks the hierarchy.
 pub fn simulate_structure(kind: WorkloadKind, scale: &Scale, structure: &Structure) -> RawRun {
+    simulate_structure_engine(kind, scale, structure, Engine::Sequential)
+}
+
+/// Simulate `kind` (at `scale.class`) through `structure` with the chosen
+/// `engine`. Both engines yield bit-identical [`RawRun`] counters; the
+/// sharded engine trades the sequential path's per-epoch probe publication
+/// for per-shard progress telemetry, with the identical finals published
+/// at drain either way.
+pub fn simulate_structure_engine(
+    kind: WorkloadKind,
+    scale: &Scale,
+    structure: &Structure,
+    engine: Engine,
+) -> RawRun {
     let obs_prefix =
         memsim_obs::enabled().then(|| format!("sim.{}.{}", kind.name(), structure.obs_label()));
     let mut span = memsim_obs::span!("sim.{}.{}", kind.name(), structure.obs_label());
@@ -181,6 +254,33 @@ pub fn simulate_structure(kind: WorkloadKind, scale: &Scale, structure: &Structu
     // placed on the DRAM side
     let regions = workload.space().regions().to_vec();
     let terminal = PartitionedMemory::new(&regions, Technology::Pcm);
+
+    if let Engine::Sharded(shards) = engine {
+        let mut sharded = ShardedHierarchy::new(caches, terminal, shards, obs_prefix.as_deref());
+        {
+            let _s = memsim_obs::span!("simulate");
+            workload.run(&mut sharded);
+        }
+        let run = {
+            let _s = memsim_obs::span!("drain");
+            sharded.finish()
+        };
+        {
+            let _s = memsim_obs::span!("verify");
+            workload
+                .verify()
+                .unwrap_or_else(|e| panic!("{} failed self-verification: {e}", workload.name()));
+        }
+        span.add_events(run.total_refs);
+        return raw_run_from_parts(
+            run.levels,
+            run.memory,
+            &regions,
+            run.total_refs,
+            obs_prefix.as_deref(),
+        );
+    }
+
     let mut hierarchy = Hierarchy::new(caches, terminal);
     if let Some(prefix) = &obs_prefix {
         let names: Vec<String> = hierarchy
@@ -235,14 +335,31 @@ impl SimCache {
         Self::default()
     }
 
-    /// Fetch or simulate.
+    /// Fetch or simulate with the sequential engine.
     pub fn get(&self, kind: WorkloadKind, scale: &Scale, structure: &Structure) -> Arc<RawRun> {
+        self.get_engine(kind, scale, structure, Engine::Sequential)
+    }
+
+    /// Fetch or simulate with the chosen engine. The memo key deliberately
+    /// excludes the engine: both produce bit-identical runs, so whichever
+    /// requester arrives first fills the cell for everyone.
+    pub fn get_engine(
+        &self,
+        kind: WorkloadKind,
+        scale: &Scale,
+        structure: &Structure,
+        engine: Engine,
+    ) -> Arc<RawRun> {
         let key = (kind, *scale, *structure);
         let cell = {
             let mut map = self.map.lock().expect("sim cache poisoned");
             Arc::clone(map.entry(key).or_default())
         };
-        Arc::clone(cell.get_or_init(|| Arc::new(simulate_structure(kind, scale, structure))))
+        Arc::clone(
+            cell.get_or_init(|| {
+                Arc::new(simulate_structure_engine(kind, scale, structure, engine))
+            }),
+        )
     }
 
     /// Number of memoized runs (including any still simulating).
@@ -314,8 +431,20 @@ pub fn evaluate_cached(
     design: &Design,
     cache: &SimCache,
 ) -> EvalResult {
+    evaluate_cached_engine(kind, scale, design, cache, Engine::Sequential)
+}
+
+/// Evaluate one design point with the chosen engine, memoizing the
+/// simulation in `cache`.
+pub fn evaluate_cached_engine(
+    kind: WorkloadKind,
+    scale: &Scale,
+    design: &Design,
+    cache: &SimCache,
+    engine: Engine,
+) -> EvalResult {
     design.validate().expect("invalid design");
-    let run = cache.get(kind, scale, &design.structure(scale));
+    let run = cache.get_engine(kind, scale, &design.structure(scale), engine);
     evaluate_run(kind, scale, design, run)
 }
 
@@ -422,13 +551,14 @@ pub(crate) fn evaluate_sweep_point(
     design: &Design,
     cache: &SimCache,
     sweep: Option<&crate::journal::SweepCtx>,
+    engine: Engine,
 ) -> EvalResult {
     if let Some(ctx) = sweep {
         if let Some(hit) = ctx.lookup(kind, design) {
             return hit;
         }
     }
-    let r = evaluate_cached(kind, scale, design, cache);
+    let r = evaluate_cached_engine(kind, scale, design, cache, engine);
     if let Some(ctx) = sweep {
         ctx.record(&r);
     }
@@ -446,8 +576,20 @@ pub fn sweep_point(
     cache: &SimCache,
     sweep: Option<&crate::journal::SweepCtx>,
 ) -> Result<EvalResult, FailedPoint> {
+    sweep_point_engine(kind, scale, design, cache, sweep, Engine::Sequential)
+}
+
+/// [`sweep_point`] with an explicit engine choice.
+pub fn sweep_point_engine(
+    kind: WorkloadKind,
+    scale: &Scale,
+    design: &Design,
+    cache: &SimCache,
+    sweep: Option<&crate::journal::SweepCtx>,
+    engine: Engine,
+) -> Result<EvalResult, FailedPoint> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        evaluate_sweep_point(kind, scale, design, cache, sweep)
+        evaluate_sweep_point(kind, scale, design, cache, sweep, engine)
     }))
     .map_err(|payload| {
         let message = panic_message(payload);
@@ -477,6 +619,19 @@ pub fn evaluate_grid_sweep(
     cache: &SimCache,
     threads: Option<usize>,
     sweep: Option<&crate::journal::SweepCtx>,
+) -> GridOutcome {
+    evaluate_grid_sweep_engine(points, scale, cache, threads, sweep, Engine::Sequential)
+}
+
+/// [`evaluate_grid_sweep`] with an explicit engine choice for each point's
+/// structure simulation.
+pub fn evaluate_grid_sweep_engine(
+    points: &[(WorkloadKind, Design)],
+    scale: &Scale,
+    cache: &SimCache,
+    threads: Option<usize>,
+    sweep: Option<&crate::journal::SweepCtx>,
+    engine: Engine,
 ) -> GridOutcome {
     let _span = memsim_obs::span!("grid");
     let threads = threads
@@ -508,7 +663,7 @@ pub fn evaluate_grid_sweep(
                 // through `thread::scope` would re-raise on join and drop
                 // every completed slot with it.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    evaluate_sweep_point(kind, scale, &design, cache, sweep)
+                    evaluate_sweep_point(kind, scale, &design, cache, sweep, engine)
                 }))
                 .map_err(|payload| {
                     let message = panic_message(payload);
@@ -623,6 +778,41 @@ mod tests {
         assert!(run.mem.loads < run.caches[2].load_misses);
         // with 1 KiB pages, memory fills move 1 KiB each
         assert_eq!(run.mem.bytes_loaded, run.mem.loads * 1024);
+    }
+
+    #[test]
+    fn sharded_engine_matches_sequential_golden() {
+        for st in [
+            Structure::ThreeLevel,
+            Structure::WithL4 {
+                capacity_bytes: 1 << 20,
+                page_bytes: 1024,
+            },
+        ] {
+            let seq = simulate_structure(WorkloadKind::Cg, &scale(), &st);
+            for shards in [2usize, 7] {
+                let sh = simulate_structure_engine(
+                    WorkloadKind::Cg,
+                    &scale(),
+                    &st,
+                    Engine::Sharded(shards),
+                );
+                assert_eq!(sh.caches, seq.caches, "{st:?} shards={shards}");
+                assert_eq!(sh.mem, seq.mem, "{st:?} shards={shards}");
+                assert_eq!(sh.per_region, seq.per_region, "{st:?} shards={shards}");
+                assert_eq!(sh.total_refs, seq.total_refs, "{st:?} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_journal_shards() {
+        assert_eq!(Engine::Sequential.journal_shards(), 0);
+        assert_eq!(Engine::Sharded(4).journal_shards(), 4);
+        match Engine::auto() {
+            Engine::Sequential => {}
+            Engine::Sharded(n) => assert!(n > 1),
+        }
     }
 
     #[test]

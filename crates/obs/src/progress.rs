@@ -9,9 +9,12 @@
 //! Counter conventions (all under the global registry):
 //! * `progress.events` — cumulative demand events processed, all workers.
 //! * `progress.chunks` — cumulative trace chunks consumed/produced.
-//! * `progress.shard<i>.events` — per-shard cumulative events (replay).
+//! * `progress.shard<i>.events` — per-shard cumulative events (replay and
+//!   the set-sharded engine).
 //! * `progress.shards_total` / `progress.shards_done` — gauge/counter pair
 //!   used for the ETA extrapolation and the `shards a/b` display.
+//! * `<prefix>.shard<i>.queue_depth` — set-sharded engine ingress queue
+//!   occupancy gauges; the line shows the deepest queue.
 
 use crate::registry::MetricValue;
 use std::io::IsTerminal;
@@ -119,15 +122,27 @@ fn render_line(
     }
     line.push_str(&format!(" | {:.1} Mev/s", rate / 1e6));
 
-    // Per-shard lag: spread between slowest and fastest shard.
+    // Per-shard lag: spread between slowest and fastest shard. The same
+    // pass picks up the set-sharded engine's ingress queue-depth gauges
+    // (`*.shard<i>.queue_depth`): a queue pinned at its bound means the
+    // producer outruns that shard and back-pressure is throttling the walk.
     let mut shard_events: Vec<u64> = Vec::new();
+    let mut queue_depth_max: Option<u64> = None;
     for (name, value) in reg.snapshot() {
-        if let (true, MetricValue::Counter(v)) = (
-            name.starts_with("progress.shard") && name.ends_with(".events"),
-            value,
-        ) {
-            shard_events.push(v);
+        match value {
+            MetricValue::Counter(v)
+                if name.starts_with("progress.shard") && name.ends_with(".events") =>
+            {
+                shard_events.push(v);
+            }
+            MetricValue::Gauge(v) if name.ends_with(".queue_depth") => {
+                queue_depth_max = Some(queue_depth_max.map_or(v, |m| m.max(v)));
+            }
+            _ => {}
         }
+    }
+    if let Some(depth) = queue_depth_max {
+        line.push_str(&format!(" | q max {depth}"));
     }
     let shards_total = reg.gauge_value("progress.shards_total").unwrap_or(0);
     let shards_done = reg.counter_value("progress.shards_done").unwrap_or(0);
@@ -249,6 +264,27 @@ mod tests {
             "{line}"
         );
         crate::reset();
+    }
+
+    #[test]
+    fn render_line_shows_deepest_shard_queue() {
+        let _lock = crate::test_lock();
+        crate::reset();
+        let reg = crate::global();
+        reg.counter("progress.events").add(1_000);
+        reg.gauge("run.sim.shard0.queue_depth").set(2);
+        reg.gauge("run.sim.shard1.queue_depth").set(7);
+        reg.gauge("run.sim.shard2.queue_depth").set(0);
+        let t0 = Instant::now();
+        let mut last_events = 0;
+        let mut last_t = t0;
+        let line = render_line("figure", t0, Instant::now(), &mut last_events, &mut last_t);
+        assert!(line.contains("q max 7"), "{line}");
+        crate::reset();
+
+        // without any queue gauges the segment stays off the line
+        let line = render_line("figure", t0, Instant::now(), &mut last_events, &mut last_t);
+        assert!(!line.contains("q max"), "{line}");
     }
 
     #[test]
