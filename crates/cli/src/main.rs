@@ -23,8 +23,7 @@ mod output;
 
 use memsim_core::configs::{eh_by_name, eh_configs, n_by_name, n_configs};
 use memsim_core::experiments::{self, ExperimentCtx, Metric};
-use memsim_core::heatmap::HeatmapData;
-use memsim_core::report::{heatmap_to_csv, heatmap_to_markdown, FigureData};
+use memsim_core::report::{heatmap_to_csv, heatmap_to_markdown};
 use memsim_core::{evaluate, Design, Engine, Scale, SimCache, SweepCtx, SweepError, JOURNAL_FILE};
 use memsim_obs::json;
 use memsim_tech::Technology;
@@ -84,7 +83,7 @@ impl From<&str> for CliError {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [--resume] [options]\n  memsim analyze --workload <W> [options]\n  memsim record <W> -o FILE [options]      record W's address stream to a trace file\n  memsim replay <FILE> [--designs a,b,c]   evaluate designs against a recorded trace\n  memsim trace-info <FILE>                 inspect a trace file\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --shards N|auto|seq       simulation engine: N set shards, auto-detected cores,\n                            or the sequential walk (reproduce/figure/heatmap/replay)\n  --out DIR                 journal completed sweep points to DIR/sweep.journal.jsonl\n                            (table4/figure/heatmap; reproduce always journals)\n  --resume                  skip points already journaled in --out DIR\n  --csv                     CSV instead of markdown\n  --json                    one JSON object instead of human text (run/replay/record/trace-info)\n  --quiet                   suppress stdout (run/replay/record/trace-info)\n  --progress                live progress line + end-of-run phase timings (run/replay/record/reproduce)\n  --metrics-out FILE        write the metrics/span dump as deterministic JSON (run/replay/record/reproduce)"
+    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [--resume] [options]\n  memsim analyze --workload <W> [options]\n  memsim record <W> -o FILE [options]      record W's address stream to a trace file\n  memsim replay <FILE> [--designs a,b,c]   evaluate designs against a recorded trace\n  memsim trace-info <FILE>                 inspect a trace file\n  memsim serve [--port P|auto] [--state DIR] [--threads N] [--queue N]\n                                           run the simulation-as-a-service daemon\n  memsim submit --addr H:P --artifact A | --replay W [--designs a,b] [options]\n                                           submit a job, wait, print/fetch the result\n  memsim status <JOB-ID> --addr H:P        query one job's status\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --shards N|auto|seq       simulation engine: N set shards, auto-detected cores,\n                            or the sequential walk (reproduce/figure/heatmap/replay)\n  --out DIR                 journal completed sweep points to DIR/sweep.journal.jsonl\n                            (table4/figure/heatmap; reproduce always journals)\n  --resume                  skip points already journaled in --out DIR\n  --csv                     CSV instead of markdown\n  --json                    one JSON object instead of human text (run/replay/record/trace-info)\n  --quiet                   suppress stdout (run/replay/record/trace-info)\n  --progress                live progress line + end-of-run phase timings (run/replay/record/reproduce)\n  --metrics-out FILE        write the metrics/span dump as deterministic JSON (run/replay/record/reproduce)"
 }
 
 /// Minimal flag parser: `--key value` pairs after the positional arguments.
@@ -376,6 +375,31 @@ fn run(args: &[String]) -> Result<(), CliError> {
             opts.expect("trace-info", &[], &["json", "quiet"])?;
             cmd_trace_info(&opts).map_err(CliError::from)
         }
+        "serve" => {
+            opts.expect("serve", &["port", "state", "threads", "queue"], &[])?;
+            cmd_serve(&opts)
+        }
+        "submit" => {
+            opts.expect(
+                "submit",
+                &[
+                    "addr",
+                    "artifact",
+                    "replay",
+                    "designs",
+                    "scale",
+                    "workloads",
+                    "shards",
+                    "out",
+                ],
+                &["json", "quiet"],
+            )?;
+            cmd_submit(&opts)
+        }
+        "status" => {
+            opts.expect("status", &["addr"], &["json"])?;
+            cmd_status(&opts).map_err(CliError::from)
+        }
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -575,16 +599,7 @@ fn cmd_table(opts: &Opts) -> Result<(), CliError> {
     Ok(())
 }
 
-/// A figure rendered both ways, so sweep commands can print one form and
-/// write both next to the journal.
-fn render_fig(f: &FigureData) -> (String, String) {
-    (f.to_markdown(), f.to_csv())
-}
-
-/// [`render_fig`] for the heat-map figures.
-fn render_heat(h: &HeatmapData) -> (String, String) {
-    (heatmap_to_markdown(h), heatmap_to_csv(h))
-}
+use memsim_core::artifacts::{render_figure as render_fig, render_heatmap as render_heat};
 
 fn cmd_figure(opts: &Opts) -> Result<(), CliError> {
     let which = opts
@@ -917,32 +932,11 @@ fn human_capacity(bytes: u64) -> String {
     }
 }
 
-/// The simulated artifacts `reproduce` regenerates, in order. `table1` is
-/// static and handled separately.
-const REPRODUCE_ARTIFACTS: [&str; 12] = [
-    "table4", "fig1", "fig2", "fig1_edp", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10",
-];
-
-/// Build one `reproduce` artifact as (markdown, CSV).
+/// Build one `reproduce` artifact as (markdown, CSV) through the shared
+/// artifact registry (`memsim_core::artifacts`) — the same code path the
+/// server's jobs use, which is what keeps them byte-identical.
 fn build_artifact(ctx: &ExperimentCtx, name: &str) -> Result<(String, String), SweepError> {
-    let fig = |f: Result<FigureData, SweepError>| f.map(|f| render_fig(&f));
-    let heat = |h: Result<HeatmapData, SweepError>| h.map(|h| render_heat(&h));
-    match name {
-        "table4" => fig(experiments::table4(ctx)),
-        "fig1" => fig(experiments::fig_nmm(ctx, Metric::Time)),
-        "fig2" => fig(experiments::fig_nmm(ctx, Metric::Energy)),
-        "fig1_edp" => fig(experiments::fig_nmm(ctx, Metric::Edp)),
-        "fig3" => fig(experiments::fig_4lc(ctx, Metric::Time)),
-        "fig4" => fig(experiments::fig_4lc(ctx, Metric::Energy)),
-        "fig5" => fig(experiments::fig_4lcnvm(ctx, Metric::Time)),
-        "fig6" => fig(experiments::fig_4lcnvm(ctx, Metric::Energy)),
-        "fig7" => fig(experiments::fig_ndm(ctx, Metric::Time)),
-        "fig8" => fig(experiments::fig_ndm(ctx, Metric::Energy)),
-        "fig9" => heat(experiments::fig9(ctx)),
-        "fig10" => heat(experiments::fig10(ctx)),
-        other => unreachable!("unknown reproduce artifact '{other}'"),
-    }
+    memsim_core::build_artifact(ctx, name)
 }
 
 /// Regenerate every table and figure into `--out DIR` (markdown + CSV),
@@ -985,7 +979,7 @@ fn cmd_reproduce(opts: &Opts) -> Result<(), CliError> {
     // builds. Only an interrupt stops the loop.
     let mut failed: Vec<String> = Vec::new();
     let mut interrupted = false;
-    for name in REPRODUCE_ARTIFACTS {
+    for name in memsim_core::ARTIFACT_NAMES {
         if sweep.interrupted() {
             interrupted = true;
             break;
@@ -1087,39 +1081,10 @@ fn cmd_record(opts: &Opts) -> Result<(), String> {
 }
 
 /// The design grid `replay` evaluates by default: one representative per
-/// architecture family, at the configs the paper highlights.
+/// architecture family, at the configs the paper highlights (shared with
+/// the server's design-grid jobs).
 fn default_replay_designs() -> Vec<(&'static str, Design)> {
-    vec![
-        ("baseline", Design::Baseline),
-        (
-            "4lc",
-            Design::FourLc {
-                llc: Technology::Edram,
-                config: eh_by_name("EH1").expect("EH1 exists"),
-            },
-        ),
-        (
-            "nmm",
-            Design::Nmm {
-                nvm: Technology::Pcm,
-                config: n_by_name("N6").expect("N6 exists"),
-            },
-        ),
-        (
-            "4lcnvm",
-            Design::FourLcNvm {
-                llc: Technology::Edram,
-                nvm: Technology::Pcm,
-                config: eh_by_name("EH1").expect("EH1 exists"),
-            },
-        ),
-        (
-            "ndm",
-            Design::Ndm {
-                nvm: Technology::Pcm,
-            },
-        ),
-    ]
+    memsim_core::named_designs()
 }
 
 fn cmd_replay(opts: &Opts) -> Result<(), CliError> {
@@ -1402,6 +1367,160 @@ fn cmd_heatmap(opts: &Opts) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parse a required-positive integer option, rejecting 0 and junk the
+/// same way the `--shards` parser does.
+fn positive_opt(opts: &Opts, key: &str, default: usize) -> Result<usize, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => Err(format!("--{key} must be at least 1")),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!("bad --{key} value '{v}'")),
+        },
+    }
+}
+
+/// `--port`: `auto` (the default) binds an ephemeral kernel-assigned
+/// port (written to `<state>/server.port`); otherwise a literal port.
+/// Zero is rejected — say `auto` when you mean "pick one for me".
+fn serve_port(opts: &Opts) -> Result<u16, String> {
+    match opts.get("port").unwrap_or("auto") {
+        "auto" => Ok(0),
+        p => match p.parse::<u16>() {
+            Ok(0) => Err("--port must be 1-65535 (or 'auto' for ephemeral)".into()),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!("bad --port value '{p}' (want 1-65535 or 'auto')")),
+        },
+    }
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
+    let port = serve_port(opts)?;
+    let workers = positive_opt(opts, "threads", 2)?;
+    let queue_depth = positive_opt(opts, "queue", 16)?;
+    let state_dir = PathBuf::from(opts.get("state").unwrap_or("memsim-state"));
+    std::fs::create_dir_all(&state_dir)
+        .map_err(|e| format!("cannot create state dir {}: {e}", state_dir.display()))?;
+
+    // The daemon always collects metrics — /metrics is part of its API.
+    memsim_obs::set_enabled(true);
+    if std::env::var_os("MEMSIM_OBS_DETERMINISTIC").is_some() {
+        memsim_obs::set_deterministic(true);
+    }
+
+    let mut config = memsim_server::ServerConfig::new(state_dir.clone());
+    config.port = port;
+    config.workers = workers;
+    config.queue_depth = queue_depth;
+    let server = memsim_server::Server::start(config).map_err(CliError::runtime)?;
+    println!("memsim-server listening on {}", server.addr());
+    println!("state dir: {}", state_dir.display());
+    for id in server.resumed() {
+        println!("resumed job {id}");
+    }
+
+    let stop = interrupt::install();
+    while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("interrupt: draining in-flight points and shutting down");
+    server.shutdown();
+    Ok(())
+}
+
+/// Build the job-spec JSON a `submit` invocation describes, validating
+/// it client-side with the same parser the server uses.
+fn submit_spec(opts: &Opts) -> Result<String, String> {
+    let mut o = json::Obj::new();
+    match (opts.get("artifact"), opts.get("replay")) {
+        (Some(_), Some(_)) => return Err("give --artifact or --replay, not both".into()),
+        (None, None) => return Err("submit needs --artifact or --replay".into()),
+        (Some(a), None) => {
+            o.str("artifact", a);
+            if let Some(w) = opts.get("workloads") {
+                o.str("workloads", w);
+            }
+        }
+        (None, Some(w)) => {
+            o.str("replay", w);
+            if let Some(d) = opts.get("designs") {
+                o.str("designs", d);
+            }
+        }
+    }
+    if let Some(s) = opts.get("scale") {
+        o.str("scale", s);
+    }
+    if let Some(s) = opts.get("shards") {
+        o.str("shards", s);
+    }
+    let spec = o.finish();
+    memsim_server::jobs::parse_spec_bytes(spec.as_bytes())?;
+    Ok(spec)
+}
+
+fn cmd_submit(opts: &Opts) -> Result<(), CliError> {
+    let addr = opts.get("addr").ok_or("submit needs --addr HOST:PORT")?;
+    let spec = submit_spec(opts)?;
+    let client = memsim_server::client::Client::new(addr);
+    let id = client.submit(&spec).map_err(CliError::runtime)?;
+    if !opts.has("quiet") {
+        eprintln!("submitted {id}");
+    }
+    let state = client
+        .wait(&id, std::time::Duration::from_secs(3600))
+        .map_err(CliError::runtime)?;
+    if state != "done" {
+        let status = client.status(&id).map_err(CliError::runtime)?;
+        return Err(CliError::runtime(format!(
+            "job {id} ended {state}: {status}"
+        )));
+    }
+    let result = client.result(&id).map_err(CliError::runtime)?;
+    let text =
+        String::from_utf8(result).map_err(|_| CliError::runtime("non-UTF-8 result".into()))?;
+    if opts.has("json") {
+        if !opts.has("quiet") {
+            println!("{text}");
+        }
+        return Ok(());
+    }
+    let v = memsim_core::jsontext::parse_json(&text).map_err(CliError::runtime)?;
+    let obj = v
+        .as_obj()
+        .ok_or_else(|| CliError::runtime("result is not an object".into()))?;
+    let md = memsim_core::jsontext::get_str(obj, "markdown").map_err(CliError::runtime)?;
+    let csv = memsim_core::jsontext::get_str(obj, "csv").map_err(CliError::runtime)?;
+    if !opts.has("quiet") {
+        print!("{md}");
+    }
+    if let Some(out) = opts.get("out") {
+        // Same layout as `reproduce --out`: the fetched artifact lands as
+        // <name>.md / <name>.csv, byte-comparable against the batch run.
+        let name = obj
+            .get("artifact")
+            .and_then(|a| a.as_str())
+            .unwrap_or("replay");
+        let dir = Path::new(out);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::runtime(format!("cannot create {out}: {e}")))?;
+        write_artifact(dir, name, md, csv)?;
+        if !opts.has("quiet") {
+            eprintln!("wrote {name}.md and {name}.csv to {out}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_status(opts: &Opts) -> Result<(), String> {
+    let id = opts.positional.first().ok_or("status needs a job id")?;
+    let addr = opts.get("addr").ok_or("status needs --addr HOST:PORT")?;
+    let client = memsim_server::client::Client::new(addr);
+    let doc = client.status(id)?;
+    println!("{doc}");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1476,6 +1595,71 @@ mod tests {
         );
         // --resume is appended exactly once even when already present
         assert_eq!(resume_hint("reproduce", &o).matches("--resume").count(), 1);
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        // unknown flags for serve fail loudly
+        assert!(run(&args(&["serve", "--designs", "nmm"])).is_err());
+        assert!(run(&args(&["serve", "--csv"])).is_err());
+        // port: 0 and junk rejected, 'auto' and literals accepted
+        for bad in ["0", "junk", "70000", "-1"] {
+            let o = Opts::parse(&args(&["--port", bad])).unwrap();
+            assert!(serve_port(&o).is_err(), "--port {bad} accepted");
+        }
+        let auto = Opts::parse(&args(&[])).unwrap();
+        assert_eq!(serve_port(&auto).unwrap(), 0);
+        let fixed = Opts::parse(&args(&["--port", "8191"])).unwrap();
+        assert_eq!(serve_port(&fixed).unwrap(), 8191);
+        // worker/queue counts: zero-sized pools cannot make progress
+        for key in ["threads", "queue"] {
+            for bad in ["0", "junk"] {
+                let o = Opts::parse(&args(&[&format!("--{key}"), bad])).unwrap();
+                assert!(positive_opt(&o, key, 2).is_err(), "--{key} {bad} accepted");
+            }
+            let o = Opts::parse(&args(&[&format!("--{key}"), "3"])).unwrap();
+            assert_eq!(positive_opt(&o, key, 2).unwrap(), 3);
+        }
+        let default = Opts::parse(&args(&[])).unwrap();
+        assert_eq!(positive_opt(&default, "queue", 16).unwrap(), 16);
+    }
+
+    #[test]
+    fn submit_spec_validation() {
+        // --artifact and --replay are mutually exclusive and required
+        let both = Opts::parse(&args(&["--artifact", "table4", "--replay", "hash"])).unwrap();
+        assert!(submit_spec(&both).is_err());
+        let neither = Opts::parse(&args(&[])).unwrap();
+        assert!(submit_spec(&neither).is_err());
+        // a good artifact spec round-trips through the server's parser
+        let ok = Opts::parse(&args(&[
+            "--artifact",
+            "table4",
+            "--workloads",
+            "hash,bt",
+            "--scale",
+            "mini",
+            "--shards",
+            "seq",
+        ]))
+        .unwrap();
+        let spec = submit_spec(&ok).unwrap();
+        assert!(spec.contains("\"artifact\":\"table4\""));
+        // bad values are caught client-side before any network I/O
+        let bad = Opts::parse(&args(&["--artifact", "warp"])).unwrap();
+        assert!(submit_spec(&bad).is_err());
+        let bad_shards = Opts::parse(&args(&["--artifact", "table4", "--shards", "0"])).unwrap();
+        assert!(submit_spec(&bad_shards).is_err());
+        // replay spec with designs
+        let replay =
+            Opts::parse(&args(&["--replay", "hash", "--designs", "baseline,nmm"])).unwrap();
+        assert!(submit_spec(&replay)
+            .unwrap()
+            .contains("\"replay\":\"hash\""));
+        // submit/status require --addr; duplicate flags still rejected
+        assert!(run(&args(&["submit", "--artifact", "table4"])).is_err());
+        assert!(run(&args(&["status", "j1-abc"])).is_err());
+        assert!(Opts::parse(&args(&["--addr", "a", "--addr", "b"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Named, reproducible artifacts: the paper's tables and figures as
+//! (markdown, CSV) pairs addressable by a stable name.
+//!
+//! Extracted from the CLI's `reproduce` command so every front end — the
+//! batch CLI, the `memsim-server` daemon, examples, CI — builds artifacts
+//! through the same code path. That is what makes the parity pins
+//! meaningful: a grid submitted to the server must produce bytes
+//! identical to the batch run, which is only testable if both render
+//! through one function.
+
+use crate::design::Design;
+use crate::experiments::{self, ExperimentCtx, Metric};
+use crate::heatmap::HeatmapData;
+use crate::report::{heatmap_to_csv, heatmap_to_markdown, FigureData};
+use crate::runner::SweepError;
+use memsim_tech::Technology;
+
+/// The simulated artifacts `reproduce` (and server jobs) can build, in
+/// the order the reproduction writes them. `table1` is static and handled
+/// separately by the CLI.
+pub const ARTIFACT_NAMES: [&str; 12] = [
+    "table4", "fig1", "fig2", "fig1_edp", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10",
+];
+
+/// Is `name` a buildable artifact?
+pub fn is_artifact(name: &str) -> bool {
+    ARTIFACT_NAMES.contains(&name)
+}
+
+/// A figure rendered both ways, so callers can print one form and persist
+/// both next to the journal.
+pub fn render_figure(f: &FigureData) -> (String, String) {
+    (f.to_markdown(), f.to_csv())
+}
+
+/// [`render_figure`] for the heat-map figures.
+pub fn render_heatmap(h: &HeatmapData) -> (String, String) {
+    (heatmap_to_markdown(h), heatmap_to_csv(h))
+}
+
+/// Build one named artifact as (markdown, CSV). Unknown names are an
+/// `Err`, not a panic — the server feeds this straight from request
+/// bodies.
+pub fn build_artifact(ctx: &ExperimentCtx, name: &str) -> Result<(String, String), SweepError> {
+    let fig = |f: Result<FigureData, SweepError>| f.map(|f| render_figure(&f));
+    let heat = |h: Result<HeatmapData, SweepError>| h.map(|h| render_heatmap(&h));
+    match name {
+        "table4" => fig(experiments::table4(ctx)),
+        "fig1" => fig(experiments::fig_nmm(ctx, Metric::Time)),
+        "fig2" => fig(experiments::fig_nmm(ctx, Metric::Energy)),
+        "fig1_edp" => fig(experiments::fig_nmm(ctx, Metric::Edp)),
+        "fig3" => fig(experiments::fig_4lc(ctx, Metric::Time)),
+        "fig4" => fig(experiments::fig_4lc(ctx, Metric::Energy)),
+        "fig5" => fig(experiments::fig_4lcnvm(ctx, Metric::Time)),
+        "fig6" => fig(experiments::fig_4lcnvm(ctx, Metric::Energy)),
+        "fig7" => fig(experiments::fig_ndm(ctx, Metric::Time)),
+        "fig8" => fig(experiments::fig_ndm(ctx, Metric::Energy)),
+        "fig9" => heat(experiments::fig9(ctx)),
+        "fig10" => heat(experiments::fig10(ctx)),
+        other => Err(SweepError::Failed(vec![crate::runner::FailedPoint {
+            workload: memsim_workloads::WorkloadKind::Cg,
+            design: Design::Baseline,
+            message: format!("unknown artifact '{other}'"),
+        }])),
+    }
+}
+
+/// The named representative designs (one per architecture family, at the
+/// configs the paper highlights) that `replay --designs` and server
+/// design-grid jobs accept by name.
+pub fn named_designs() -> Vec<(&'static str, Design)> {
+    use crate::configs::{eh_by_name, n_by_name};
+    vec![
+        ("baseline", Design::Baseline),
+        (
+            "4lc",
+            Design::FourLc {
+                llc: Technology::Edram,
+                config: eh_by_name("EH1").expect("EH1 exists"),
+            },
+        ),
+        (
+            "nmm",
+            Design::Nmm {
+                nvm: Technology::Pcm,
+                config: n_by_name("N6").expect("N6 exists"),
+            },
+        ),
+        (
+            "4lcnvm",
+            Design::FourLcNvm {
+                llc: Technology::Edram,
+                nvm: Technology::Pcm,
+                config: eh_by_name("EH1").expect("EH1 exists"),
+            },
+        ),
+        (
+            "ndm",
+            Design::Ndm {
+                nvm: Technology::Pcm,
+            },
+        ),
+    ]
+}
+
+/// Resolve a comma-separated list of design names against
+/// [`named_designs`], preserving order.
+pub fn parse_design_list(list: &str) -> Result<Vec<Design>, String> {
+    let all = named_designs();
+    list.split(',')
+        .map(|name| {
+            all.iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, d)| *d)
+                .ok_or_else(|| format!("unknown design '{name}'"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::SimCache;
+    use crate::scale::Scale;
+    use memsim_workloads::WorkloadKind;
+
+    #[test]
+    fn artifact_names_are_buildable_and_unknown_rejected() {
+        for name in ARTIFACT_NAMES {
+            assert!(is_artifact(name));
+        }
+        assert!(!is_artifact("table1"));
+        let cache = SimCache::new();
+        let ctx = ExperimentCtx::new(Scale::mini(), &cache);
+        assert!(build_artifact(&ctx, "nope").is_err());
+    }
+
+    #[test]
+    fn table4_builds_and_matches_direct_call() {
+        let cache = SimCache::new();
+        let ctx = ExperimentCtx::new(Scale::mini(), &cache).with_workloads(&[WorkloadKind::Hash]);
+        let (md, csv) = build_artifact(&ctx, "table4").unwrap();
+        let direct = experiments::table4(&ctx).unwrap();
+        assert_eq!(md, direct.to_markdown());
+        assert_eq!(csv, direct.to_csv());
+    }
+
+    #[test]
+    fn design_list_parses_names_and_rejects_junk() {
+        let d = parse_design_list("baseline,nmm").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], Design::Baseline);
+        assert!(parse_design_list("warp").is_err());
+        assert!(parse_design_list("").is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! Minimal JSON reader for the workspace's own JSON dialects.
+//!
+//! Every JSON producer in the workspace (`memsim_obs::json`, the sweep
+//! journal, the server's job documents) emits only objects, arrays,
+//! strings, unsigned integers, and `null` — so that is all this reader
+//! accepts. Anything else (floats, signs, exponents, trailing bytes) is
+//! rejected, which doubles as a corruption check for the journal and a
+//! hostile-input guard for the server: the parser returns `Err`, never
+//! panics, on arbitrary bytes.
+//!
+//! Extracted from the sweep journal (PR 4) so the server's request-body
+//! and job-document decoding share the exact same hardened reader.
+
+use std::collections::HashMap;
+
+/// Parsed JSON value. Only the shapes the workspace's writers emit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JVal {
+    /// `null`.
+    Null,
+    /// An unsigned integer (the writers never emit floats or signs).
+    U64(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JVal>),
+    /// An object.
+    Obj(HashMap<String, JVal>),
+}
+
+impl JVal {
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JVal::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JVal::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[JVal]> {
+        match self {
+            JVal::Arr(a) => Some(a.as_slice()),
+            _ => None,
+        }
+    }
+    /// The value as an object map, if it is an object.
+    pub fn as_obj(&self) -> Option<&HashMap<String, JVal>> {
+        match self {
+            JVal::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JVal, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JVal::Str(self.string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(JVal::Null)
+                } else {
+                    Err(format!("bad literal at byte {}", self.pos))
+                }
+            }
+            Some(b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn number(&mut self) -> Result<JVal, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        // The writers never emit floats, signs, or exponents; seeing one
+        // means the document is not ours.
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
+            return Err(format!("non-integer number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(JVal::U64)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // advance one UTF-8 scalar
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JVal, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JVal::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                _ => return Err(format!("bad array at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JVal, String> {
+        self.eat(b'{')?;
+        let mut map = HashMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JVal::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JVal::Obj(map));
+                }
+                _ => return Err(format!("bad object at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parse one complete JSON value from `s`; trailing non-whitespace bytes
+/// are an error (a truncation/concatenation guard).
+pub fn parse_json(s: &str) -> Result<JVal, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after value at {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Fetch a required field from an object map.
+pub fn get<'a>(obj: &'a HashMap<String, JVal>, key: &str) -> Result<&'a JVal, String> {
+    obj.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+/// Fetch a required unsigned-integer field.
+pub fn get_u64(obj: &HashMap<String, JVal>, key: &str) -> Result<u64, String> {
+    get(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field '{key}' is not an integer"))
+}
+
+/// Fetch a required string field.
+pub fn get_str<'a>(obj: &'a HashMap<String, JVal>, key: &str) -> Result<&'a str, String> {
+    get(obj, key)?
+        .as_str()
+        .ok_or_else(|| format!("field '{key}' is not a string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_writers_shapes() {
+        let v = parse_json(r#"{"s":"a\"b","n":7,"a":[1,2],"z":null}"#).unwrap();
+        let o = v.as_obj().unwrap();
+        assert_eq!(get_str(o, "s").unwrap(), "a\"b");
+        assert_eq!(get_u64(o, "n").unwrap(), 7);
+        assert_eq!(o["a"].as_arr().unwrap().len(), 2);
+        assert_eq!(o["z"], JVal::Null);
+    }
+
+    #[test]
+    fn rejects_foreign_shapes() {
+        for bad in [
+            "{\"x\":1.5}",
+            "{\"x\":-3}",
+            "{\"x\":1e9}",
+            "{\"x\":true}",
+            "{\"x\":1}garbage",
+            "",
+            "{\"x\"",
+            "[1,",
+            "\"unterminated",
+        ] {
+            assert!(parse_json(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn never_panics_on_prefixes() {
+        let doc = r#"{"s":"aAb","n":18446744073709551615,"a":[{"k":"v"},null]}"#;
+        assert!(parse_json(doc).is_ok());
+        for cut in 0..doc.len() {
+            if doc.is_char_boundary(cut) {
+                let _ = parse_json(&doc[..cut]);
+            }
+        }
+    }
+}

@@ -40,12 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod configs;
 mod design;
 pub mod dynamic;
 pub mod experiments;
 pub mod heatmap;
 pub mod journal;
+pub mod jsontext;
 pub mod model;
 pub mod partition;
 pub mod replay;
@@ -53,6 +55,7 @@ pub mod report;
 pub mod runner;
 mod scale;
 
+pub use artifacts::{build_artifact, named_designs, parse_design_list, ARTIFACT_NAMES};
 pub use design::{Design, Structure};
 pub use journal::{sweep_fingerprint, JournalRecovery, SweepCtx, SweepJournal, JOURNAL_FILE};
 pub use model::{breakdown, LevelBreakdown, LevelCost, Metrics, NormMetrics};

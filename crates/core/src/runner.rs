@@ -343,6 +343,12 @@ impl SimCache {
     /// Fetch or simulate with the chosen engine. The memo key deliberately
     /// excludes the engine: both produce bit-identical runs, so whichever
     /// requester arrives first fills the cell for everyone.
+    ///
+    /// When observability is on, every call lands in exactly one of the
+    /// `sim.memo.hits` / `sim.memo.misses` counters: concurrent requesters
+    /// blocked on the same in-flight cell count as hits, because the
+    /// overlap was simulated once — the property the server's job
+    /// coalescing asserts.
     pub fn get_engine(
         &self,
         kind: WorkloadKind,
@@ -355,11 +361,18 @@ impl SimCache {
             let mut map = self.map.lock().expect("sim cache poisoned");
             Arc::clone(map.entry(key).or_default())
         };
-        Arc::clone(
-            cell.get_or_init(|| {
-                Arc::new(simulate_structure_engine(kind, scale, structure, engine))
-            }),
-        )
+        let mut simulated = false;
+        let run = Arc::clone(cell.get_or_init(|| {
+            simulated = true;
+            Arc::new(simulate_structure_engine(kind, scale, structure, engine))
+        }));
+        if memsim_obs::enabled() {
+            let field = if simulated { "misses" } else { "hits" };
+            memsim_obs::global()
+                .counter(&format!("sim.memo.{field}"))
+                .inc();
+        }
+        run
     }
 
     /// Number of memoized runs (including any still simulating).

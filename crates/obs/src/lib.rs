@@ -83,6 +83,14 @@ pub fn global() -> &'static MetricsRegistry {
     &GLOBAL
 }
 
+/// Export the global registry as the deterministic `memsim-obs/1` JSON
+/// document — the `/metrics` endpoint hook for long-lived processes (the
+/// `memsim-server` daemon serves these bytes verbatim). Equivalent to
+/// `export_json(manifest, global())`.
+pub fn export_global(manifest: &[(&str, String)]) -> String {
+    export_json(manifest, &GLOBAL)
+}
+
 /// Clear the global registry and the span tree (not the flags). Call
 /// before enabling observability for a fresh run in a long-lived process.
 pub fn reset() {

@@ -1,0 +1,196 @@
+//! Minimal blocking HTTP client for the job API.
+//!
+//! Hand-rolled over `std::net::TcpStream` like everything else in the
+//! workspace: one request per connection (the server answers
+//! `Connection: close`), explicit timeouts, and status+body returned
+//! raw so callers decode with [`memsim_core::jsontext`].
+
+use memsim_core::jsontext::{get_str, parse_json, JVal};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A client bound to one daemon address (`host:port`).
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `127.0.0.1:8191`) with a 10 s
+    /// per-request timeout.
+    pub fn new(addr: &str) -> Client {
+        Client {
+            addr: addr.to_string(),
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// One round trip: returns `(status, body)`.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, Vec<u8>), String> {
+        let stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connecting {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| format!("timeout: {e}"))?;
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(|e| format!("timeout: {e}"))?;
+        let mut out = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        let body_bytes = body.unwrap_or("").as_bytes();
+        write!(
+            out,
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.addr,
+            body_bytes.len()
+        )
+        .map_err(|e| format!("writing request: {e}"))?;
+        out.write_all(body_bytes)
+            .map_err(|e| format!("writing body: {e}"))?;
+        out.flush().map_err(|e| format!("flush: {e}"))?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader
+            .read_line(&mut status_line)
+            .map_err(|e| format!("reading status: {e}"))?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut line = String::new();
+            reader
+                .read_line(&mut line)
+                .map_err(|e| format!("reading headers: {e}"))?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok();
+                }
+            }
+        }
+        let mut body = Vec::new();
+        match content_length {
+            Some(n) => {
+                body.resize(n, 0);
+                reader
+                    .read_exact(&mut body)
+                    .map_err(|e| format!("reading body: {e}"))?;
+            }
+            None => {
+                reader
+                    .read_to_end(&mut body)
+                    .map_err(|e| format!("reading body: {e}"))?;
+            }
+        }
+        Ok((status, body))
+    }
+
+    fn json_field(body: &[u8], field: &str) -> Result<String, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "non-UTF-8 response".to_string())?;
+        let v = parse_json(text)?;
+        let obj = v.as_obj().ok_or("response is not an object")?;
+        Ok(get_str(obj, field)?.to_string())
+    }
+
+    /// Submit a job spec (raw JSON); returns the job id.
+    pub fn submit(&self, spec_json: &str) -> Result<String, String> {
+        let (status, body) = self.request("POST", "/jobs", Some(spec_json))?;
+        if status != 202 {
+            return Err(format!(
+                "submit refused ({status}): {}",
+                String::from_utf8_lossy(&body)
+            ));
+        }
+        Self::json_field(&body, "id")
+    }
+
+    /// Fetch a job's status document (raw JSON).
+    pub fn status(&self, id: &str) -> Result<String, String> {
+        let (status, body) = self.request("GET", &format!("/jobs/{id}"), None)?;
+        if status != 200 {
+            return Err(format!(
+                "status failed ({status}): {}",
+                String::from_utf8_lossy(&body)
+            ));
+        }
+        String::from_utf8(body).map_err(|_| "non-UTF-8 status".into())
+    }
+
+    /// Poll until the job reaches a terminal state (or `timeout`
+    /// elapses); returns that state's name.
+    pub fn wait(&self, id: &str, timeout: Duration) -> Result<String, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let doc = self.status(id)?;
+            let v = parse_json(&doc)?;
+            let state = v
+                .as_obj()
+                .and_then(|o| o.get("state"))
+                .and_then(JVal::as_str)
+                .ok_or("status missing 'state'")?
+                .to_string();
+            if matches!(state.as_str(), "done" | "failed" | "cancelled") {
+                return Ok(state);
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("timed out waiting for {id} (last state {state})"));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Fetch a finished job's result document.
+    pub fn result(&self, id: &str) -> Result<Vec<u8>, String> {
+        let (status, body) = self.request("GET", &format!("/jobs/{id}/result"), None)?;
+        if status != 200 {
+            return Err(format!(
+                "result not available ({status}): {}",
+                String::from_utf8_lossy(&body)
+            ));
+        }
+        Ok(body)
+    }
+
+    /// Cancel a job; returns the resulting state name.
+    pub fn cancel(&self, id: &str) -> Result<String, String> {
+        let (status, body) = self.request("DELETE", &format!("/jobs/{id}"), None)?;
+        if status != 200 {
+            return Err(format!(
+                "cancel failed ({status}): {}",
+                String::from_utf8_lossy(&body)
+            ));
+        }
+        Self::json_field(&body, "state")
+    }
+
+    /// Fetch the `/metrics` export (raw JSON).
+    pub fn metrics(&self) -> Result<String, String> {
+        let (status, body) = self.request("GET", "/metrics", None)?;
+        if status != 200 {
+            return Err(format!("metrics failed ({status})"));
+        }
+        String::from_utf8(body).map_err(|_| "non-UTF-8 metrics".into())
+    }
+
+    /// Liveness probe: `Ok` when `/healthz` answers 200.
+    pub fn healthz(&self) -> Result<(), String> {
+        let (status, _) = self.request("GET", "/healthz", None)?;
+        if status == 200 {
+            Ok(())
+        } else {
+            Err(format!("unhealthy ({status})"))
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! A hardened, minimal HTTP/1.1 reader and writer.
+//!
+//! The daemon listens on a plain TCP port, so every byte it reads must be
+//! treated as hostile. This parser is written to *never* panic and to map
+//! every malformed, oversized, truncated, or stalled input onto a 4xx
+//! response:
+//!
+//! | condition | status |
+//! |---|---|
+//! | request line over [`MAX_REQUEST_LINE`] bytes | 414 |
+//! | more than [`MAX_HEADERS`] headers, or one over [`MAX_HEADER_LINE`] | 431 |
+//! | declared body over [`MAX_BODY`] bytes | 413 |
+//! | malformed request line / header / Content-Length (incl. duplicates) | 400 |
+//! | truncated body or mid-request EOF | 400 |
+//! | socket read timeout (slow-loris) | 408 |
+//! | method other than GET/POST/DELETE | 405 |
+//!
+//! Reading is generic over [`BufRead`] so the entire grammar is testable
+//! (and fuzzable with proptest) against in-memory byte slices — no socket
+//! required.
+
+use std::io::{BufRead, ErrorKind, Write};
+
+/// Longest accepted request line (`GET /path HTTP/1.1\r\n`), in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Longest accepted single header line, in bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// The request methods the job API serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Read a resource (status, result, metrics, health).
+    Get,
+    /// Submit a job.
+    Post,
+    /// Cancel a job.
+    Delete,
+}
+
+impl Method {
+    fn parse(token: &str) -> Result<Method, HttpError> {
+        match token {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            "DELETE" => Ok(Method::Delete),
+            // Anything else — HEAD, PUT, gibberish — is refused uniformly.
+            _ => Err(HttpError::MethodNotAllowed),
+        }
+    }
+}
+
+/// A fully-read request: method, path (query stripped), lower-cased
+/// headers in arrival order, and the exact declared body.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Parsed method.
+    pub method: Method,
+    /// Request path with any `?query` removed.
+    pub path: String,
+    /// `(name, value)` pairs; names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes, exactly `Content-Length` of them.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lower-case) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Everything that can go wrong while reading a request, each mapping to
+/// one response status.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// 400 — malformed framing, bad Content-Length, truncated body.
+    BadRequest(String),
+    /// 405 — method not one of GET/POST/DELETE.
+    MethodNotAllowed,
+    /// 408 — the peer stalled past the socket read timeout.
+    Timeout,
+    /// 413 — declared body larger than [`MAX_BODY`].
+    PayloadTooLarge,
+    /// 414 — request line larger than [`MAX_REQUEST_LINE`].
+    UriTooLong,
+    /// 431 — too many or too-long headers.
+    HeadersTooLarge,
+    /// The peer closed before sending anything: not an error worth
+    /// answering, just drop the connection.
+    Closed,
+}
+
+impl HttpError {
+    /// The response this error answers with, or `None` for a silent drop.
+    pub fn response(&self) -> Option<Response> {
+        let (status, msg) = match self {
+            HttpError::BadRequest(m) => (400, m.as_str()),
+            HttpError::MethodNotAllowed => (405, "method not allowed"),
+            HttpError::Timeout => (408, "request timeout"),
+            HttpError::PayloadTooLarge => (413, "body too large"),
+            HttpError::UriTooLong => (414, "request line too long"),
+            HttpError::HeadersTooLarge => (431, "headers too large"),
+            HttpError::Closed => return None,
+        };
+        Some(Response::error(status, msg))
+    }
+}
+
+/// Classify an I/O failure mid-request: timeouts get 408 so a slow-loris
+/// peer is answered and disconnected, everything else is a plain 400.
+fn io_err(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::BadRequest(format!("read failed: {}", e.kind())),
+    }
+}
+
+/// Read one `\n`-terminated line of at most `max` bytes (terminator
+/// included). `Ok(None)` is clean EOF before any byte.
+fn read_line_limited<R: BufRead>(
+    r: &mut R,
+    max: usize,
+    over: HttpError,
+) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = r.fill_buf().map_err(io_err)?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::BadRequest("truncated request".into()));
+        }
+        let nl = buf.iter().position(|&b| b == b'\n');
+        let take = nl.map(|i| i + 1).unwrap_or(buf.len());
+        if line.len() + take > max {
+            return Err(over);
+        }
+        line.extend_from_slice(&buf[..take]);
+        r.consume(take);
+        if nl.is_some() {
+            // Strip \n and an optional preceding \r.
+            line.pop();
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let text = String::from_utf8(line)
+                .map_err(|_| HttpError::BadRequest("non-UTF-8 request bytes".into()))?;
+            return Ok(Some(text));
+        }
+    }
+}
+
+/// Read and validate one request from `r`. See the module table for how
+/// hostile inputs are answered; this function never panics.
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
+    let line = match read_line_limited(r, MAX_REQUEST_LINE, HttpError::UriTooLong)? {
+        Some(l) => l,
+        None => return Err(HttpError::Closed),
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::BadRequest("malformed request line".into())),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!("bad version '{version}'")));
+    }
+    let method = Method::parse(method)?;
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest("path must start with '/'".into()));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        let line = read_line_limited(r, MAX_HEADER_LINE, HttpError::HeadersTooLarge)?
+            .ok_or_else(|| HttpError::BadRequest("truncated headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest("malformed header".into()))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest("malformed header name".into()));
+        }
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            let n: usize = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length '{value}'")))?;
+            // Duplicate Content-Length headers are a request-smuggling
+            // vector; refuse them even when the values agree.
+            if content_length.is_some() {
+                return Err(HttpError::BadRequest("duplicate content-length".into()));
+            }
+            if n > MAX_BODY {
+                return Err(HttpError::PayloadTooLarge);
+            }
+            content_length = Some(n);
+        }
+        if name == "transfer-encoding" {
+            // The job API never needs chunked bodies; refusing the header
+            // outright removes the whole smuggling class.
+            return Err(HttpError::BadRequest(
+                "transfer-encoding unsupported".into(),
+            ));
+        }
+        headers.push((name, value));
+    }
+
+    let mut body = vec![0u8; content_length.unwrap_or(0)];
+    if !body.is_empty() {
+        let mut filled = 0;
+        while filled < body.len() {
+            let buf = r.fill_buf().map_err(io_err)?;
+            if buf.is_empty() {
+                return Err(HttpError::BadRequest("truncated body".into()));
+            }
+            let take = buf.len().min(body.len() - filled);
+            body[filled..filled + take].copy_from_slice(&buf[..take]);
+            r.consume(take);
+            filled += take;
+        }
+    }
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// A response ready to serialize: status, content type, body, and the
+/// optional `Retry-After` used by queue backpressure. Connections are
+/// always `Connection: close` — one request per connection keeps the
+/// state machine (and its attack surface) trivial.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// `Retry-After` seconds (503 backpressure).
+    pub retry_after: Option<u32>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// A JSON error envelope: `{"error":"..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut o = memsim_obs::json::Obj::new();
+        o.str("error", message);
+        Response::json(status, o.finish())
+    }
+
+    /// Standard reason phrase for the handful of statuses the API emits.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            414 => "URI Too Long",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+
+    /// Serialize onto `w` (headers + body, `Connection: close`).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        if let Some(secs) = self.retry_after {
+            write!(w, "retry-after: {secs}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_basic_get() {
+        let req = read(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_body_and_strips_query() {
+        let req = read(b"POST /jobs?x=1 HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_oversized_request_line() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE));
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert_eq!(read(&raw), Err(HttpError::UriTooLong));
+    }
+
+    #[test]
+    fn rejects_oversized_header_and_too_many_headers() {
+        let mut raw = b"GET / HTTP/1.1\r\nh: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'v', MAX_HEADER_LINE));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(read(&raw), Err(HttpError::HeadersTooLarge));
+
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..=MAX_HEADERS {
+            raw.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert_eq!(read(&raw), Err(HttpError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn rejects_bad_content_length() {
+        for bad in ["-1", "4x", "", "18446744073709551616"] {
+            let raw = format!("POST /jobs HTTP/1.1\r\ncontent-length: {bad}\r\n\r\n");
+            assert!(
+                matches!(read(raw.as_bytes()), Err(HttpError::BadRequest(_))),
+                "{bad}"
+            );
+        }
+        let raw = format!(
+            "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(read(raw.as_bytes()), Err(HttpError::PayloadTooLarge));
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length() {
+        let raw = b"POST /jobs HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 2\r\n\r\nab";
+        assert!(matches!(read(raw), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_body_and_headers() {
+        assert!(matches!(
+            read(b"POST /jobs HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            read(b"GET / HTTP/1.1\r\nhost: x"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_method_and_bad_version() {
+        assert_eq!(
+            read(b"BREW /coffee HTTP/1.1\r\n\r\n"),
+            Err(HttpError::MethodNotAllowed)
+        );
+        assert!(matches!(
+            read(b"GET / HTTP/9.9\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_transfer_encoding() {
+        assert!(matches!(
+            read(b"POST /jobs HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_error() {
+        assert_eq!(read(b""), Err(HttpError::Closed));
+    }
+
+    #[test]
+    fn response_serializes_with_retry_after() {
+        let mut r = Response::error(503, "queue full");
+        r.retry_after = Some(2);
+        let mut out = Vec::new();
+        r.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+}

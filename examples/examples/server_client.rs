@@ -1,0 +1,68 @@
+//! Simulation-as-a-service round trip: submit, poll, fetch, verify.
+//!
+//! Starts an in-process [`memsim_server::Server`] on an ephemeral port,
+//! drives it exactly like an external tool would — over plain TCP with
+//! the zero-dependency [`Client`] — and then proves the service lane is
+//! honest: the fetched Table 4 artifact is compared byte for byte
+//! against the same table built directly through the library API.
+//!
+//! ```text
+//! cargo run --release -p memsim-examples --example server_client
+//! ```
+
+use memsim_core::experiments::ExperimentCtx;
+use memsim_core::jsontext::{get_str, parse_json};
+use memsim_core::{build_artifact, Scale, SimCache};
+use memsim_server::client::Client;
+use memsim_server::{Server, ServerConfig};
+use memsim_workloads::WorkloadKind;
+use std::time::Duration;
+
+const WORKLOADS: &str = "hash,bt";
+
+fn main() {
+    // 1. Stand the daemon up, exactly as `memsim serve` would.
+    let state = std::env::temp_dir().join(format!("memsim-server-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state);
+    std::fs::create_dir_all(&state).expect("create state dir");
+    let server = Server::start(ServerConfig::new(state.clone())).expect("start server");
+    println!("daemon listening on {}", server.addr());
+
+    // 2. Submit the Table 4 grid over the wire.
+    let client = Client::new(&server.addr().to_string());
+    let spec = format!(r#"{{"artifact":"table4","workloads":"{WORKLOADS}","scale":"mini"}}"#);
+    let id = client.submit(&spec).expect("submit job");
+    println!("submitted {id}: {spec}");
+
+    // 3. Poll until the job reaches a terminal state.
+    let status = client
+        .wait(&id, Duration::from_secs(600))
+        .expect("wait for job");
+    println!("finished: {}", status.trim_end());
+
+    // 4. Fetch the result and unwrap the rendered artifact.
+    let result = client.result(&id).expect("fetch result");
+    let result = String::from_utf8(result).expect("result is UTF-8");
+    let v = parse_json(result.trim_end()).expect("result is valid JSON");
+    let obj = v.as_obj().expect("result is an object");
+    let served_md = get_str(obj, "markdown").expect("markdown field");
+    let served_csv = get_str(obj, "csv").expect("csv field");
+    println!("\n{served_md}");
+
+    // 5. Rebuild the same table straight through the library and diff.
+    let cache = SimCache::new();
+    let workloads: Vec<WorkloadKind> = WORKLOADS
+        .split(',')
+        .map(|w| WorkloadKind::parse(w).expect("workload"))
+        .collect();
+    let ctx = ExperimentCtx::new(Scale::mini(), &cache).with_workloads(&workloads);
+    let (direct_md, direct_csv) = build_artifact(&ctx, "table4").expect("direct build");
+
+    assert_eq!(served_md, direct_md, "served markdown != direct build");
+    assert_eq!(served_csv, direct_csv, "served csv != direct build");
+    println!("served artifact is byte-identical to the direct library build");
+
+    // 6. Shut down cleanly and tidy the scratch state.
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&state);
+}

@@ -1,0 +1,239 @@
+//! Hostile-input acceptance for the server's HTTP layer.
+//!
+//! The daemon's port is an open attack surface; the contract under test
+//! is the one DESIGN.md §15 pins: every malformed, oversized, truncated,
+//! or stalled request is answered with a 4xx/408 **response**, the
+//! connection closes, and the process never panics — mirroring the
+//! tracefile crate's corruption suite, but over live sockets.
+
+use memsim_server::http::{
+    read_request, HttpError, MAX_BODY, MAX_HEADERS, MAX_HEADER_LINE, MAX_REQUEST_LINE,
+};
+use memsim_server::{Server, ServerConfig};
+use proptest::prelude::*;
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("memsim-http-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start_server(tag: &str, read_timeout: Duration) -> (Server, PathBuf) {
+    let dir = tmp_dir(tag);
+    let mut config = ServerConfig::new(dir.clone());
+    config.workers = 1;
+    config.read_timeout = read_timeout;
+    (Server::start(config).unwrap(), dir)
+}
+
+/// Send raw bytes, read the whole response back.
+fn raw_round_trip(server: &Server, bytes: &[u8]) -> String {
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(bytes).unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response {response:?}"))
+}
+
+#[test]
+fn hostile_requests_get_4xx_and_the_server_survives() {
+    let (server, dir) = start_server("hostile", Duration::from_secs(5));
+
+    let mut huge_line = b"GET /".to_vec();
+    huge_line.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE));
+    huge_line.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+
+    let mut huge_header = b"GET /healthz HTTP/1.1\r\nx: ".to_vec();
+    huge_header.extend(std::iter::repeat_n(b'v', MAX_HEADER_LINE));
+    huge_header.extend_from_slice(b"\r\n\r\n");
+
+    let mut many_headers = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    for i in 0..=MAX_HEADERS {
+        many_headers.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+    }
+    many_headers.extend_from_slice(b"\r\n");
+
+    let cases: Vec<(Vec<u8>, u16)> = vec![
+        (huge_line, 414),
+        (huge_header, 431),
+        (many_headers, 431),
+        // truncated body: promises 10 bytes, sends 3, closes
+        (
+            b"POST /jobs HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc".to_vec(),
+            400,
+        ),
+        // unparseable Content-Length values
+        (
+            b"POST /jobs HTTP/1.1\r\ncontent-length: -1\r\n\r\n".to_vec(),
+            400,
+        ),
+        (
+            b"POST /jobs HTTP/1.1\r\ncontent-length: 4x\r\n\r\n".to_vec(),
+            400,
+        ),
+        // duplicate Content-Length (request-smuggling vector)
+        (
+            b"POST /jobs HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 2\r\n\r\nab".to_vec(),
+            400,
+        ),
+        // declared body over the cap
+        (
+            format!(
+                "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                MAX_BODY + 1
+            )
+            .into_bytes(),
+            413,
+        ),
+        // malformed JSON bodies reach the spec parser and bounce
+        (
+            b"POST /jobs HTTP/1.1\r\ncontent-length: 9\r\n\r\nnot json!".to_vec(),
+            400,
+        ),
+        (
+            b"POST /jobs HTTP/1.1\r\ncontent-length: 13\r\n\r\n{\"artifact\":1".to_vec(),
+            400,
+        ),
+        // valid JSON, hostile spec values
+        (
+            b"POST /jobs HTTP/1.1\r\ncontent-length: 28\r\n\r\n{\"artifact\":\"../etc/passwd\"}"
+                .to_vec(),
+            400,
+        ),
+        // method and framing garbage
+        (b"BREW /coffee HTTP/1.1\r\n\r\n".to_vec(), 405),
+        (b"GET /healthz HTTP/9.9\r\n\r\n".to_vec(), 400),
+        (b"GET no-slash HTTP/1.1\r\n\r\n".to_vec(), 400),
+        (b"\x00\x01\x02\xff\xfe\r\n\r\n".to_vec(), 400),
+        // chunked transfer is refused outright
+        (
+            b"POST /jobs HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n".to_vec(),
+            400,
+        ),
+        // unknown routes / wrong verbs on known routes
+        (b"GET /jobs/../../secrets HTTP/1.1\r\n\r\n".to_vec(), 404),
+        (b"DELETE /metrics HTTP/1.1\r\n\r\n".to_vec(), 405),
+    ];
+
+    for (bytes, want) in cases {
+        let response = raw_round_trip(&server, &bytes);
+        assert_eq!(
+            status_of(&response),
+            want,
+            "request {:?}...",
+            String::from_utf8_lossy(&bytes[..bytes.len().min(60)])
+        );
+    }
+
+    // After all that abuse the daemon still serves real traffic.
+    let ok = raw_round_trip(&server, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&ok), 200);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_loris_is_answered_408_and_disconnected() {
+    let (server, dir) = start_server("loris", Duration::from_millis(200));
+
+    // Send half a request line, then stall past the read timeout.
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GET /heal").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert_eq!(status_of(&out), 408, "stalled request line: {out:?}");
+
+    // Same stall, but inside the body this time.
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"POST /jobs HTTP/1.1\r\ncontent-length: 100\r\n\r\ndrip")
+        .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert_eq!(status_of(&out), 408, "stalled body: {out:?}");
+
+    let ok = raw_round_trip(&server, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&ok), 200);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A well-formed request whose prefixes exercise every parser state.
+fn valid_request() -> Vec<u8> {
+    b"POST /jobs HTTP/1.1\r\nhost: localhost\r\ncontent-type: application/json\r\ncontent-length: 21\r\n\r\n{\"artifact\":\"table4\"}"
+        .to_vec()
+}
+
+proptest! {
+    /// The parser never panics on arbitrary bytes — it returns Ok or a
+    /// typed error, nothing else.
+    #[test]
+    fn read_request_never_panics_on_random_bytes(
+        bytes in proptest::collection::vec((0u64..256).prop_map(|b| b as u8), 0..512),
+    ) {
+        let _ = read_request(&mut BufReader::new(bytes.as_slice()));
+    }
+
+    /// Every truncation of a valid request parses or fails cleanly —
+    /// the tracefile corruption-suite pattern applied to HTTP framing.
+    #[test]
+    fn read_request_never_panics_on_truncated_prefixes(cut in 0usize..114) {
+        let full = valid_request();
+        prop_assume!(cut <= full.len());
+        let r = read_request(&mut BufReader::new(&full[..cut]));
+        if cut < full.len() {
+            // incomplete input must never be mistaken for a full request
+            prop_assert!(r.is_err());
+        } else {
+            prop_assert!(r.is_ok());
+        }
+    }
+
+    /// Flipping any single byte of a valid request still never panics,
+    /// and whatever parses never exceeds the declared body.
+    #[test]
+    fn read_request_survives_single_byte_corruption(
+        pos in 0usize..113,
+        byte in (0u64..256).prop_map(|b| b as u8),
+    ) {
+        let mut bytes = valid_request();
+        prop_assume!(pos < bytes.len());
+        bytes[pos] = byte;
+        if let Ok(req) = read_request(&mut BufReader::new(bytes.as_slice())) {
+            prop_assert!(req.body.len() <= MAX_BODY);
+        }
+    }
+}
+
+#[test]
+fn error_mapping_matches_design_table() {
+    // The §15 table, pinned: error kind -> status.
+    let table = [
+        (HttpError::BadRequest("x".into()), Some(400)),
+        (HttpError::MethodNotAllowed, Some(405)),
+        (HttpError::Timeout, Some(408)),
+        (HttpError::PayloadTooLarge, Some(413)),
+        (HttpError::UriTooLong, Some(414)),
+        (HttpError::HeadersTooLarge, Some(431)),
+        (HttpError::Closed, None),
+    ];
+    for (err, want) in table {
+        assert_eq!(err.response().map(|r| r.status), want);
+    }
+}
