@@ -24,7 +24,9 @@ mod output;
 use memsim_core::configs::{eh_by_name, eh_configs, n_by_name, n_configs};
 use memsim_core::experiments::{self, ExperimentCtx, Metric};
 use memsim_core::report::{heatmap_to_csv, heatmap_to_markdown};
-use memsim_core::{evaluate, Design, Engine, Scale, SimCache, SweepCtx, SweepError, JOURNAL_FILE};
+use memsim_core::{
+    evaluate, Design, Engine, SampleMode, Scale, SimCache, SweepCtx, SweepError, JOURNAL_FILE,
+};
 use memsim_obs::json;
 use memsim_tech::Technology;
 use memsim_tracefile::TraceReader;
@@ -83,7 +85,7 @@ impl From<&str> for CliError {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [--resume] [options]\n  memsim analyze --workload <W> [options]\n  memsim record <W> -o FILE [options]      record W's address stream to a trace file\n  memsim replay <FILE> [--designs a,b,c]   evaluate designs against a recorded trace\n  memsim trace-info <FILE>                 inspect a trace file\n  memsim serve [--port P|auto] [--state DIR] [--threads N] [--queue N]\n                                           run the simulation-as-a-service daemon\n  memsim submit --addr H:P --artifact A | --replay W [--designs a,b] [options]\n                                           submit a job, wait, print/fetch the result\n  memsim status <JOB-ID> --addr H:P        query one job's status\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --shards N|auto|seq       simulation engine: N set shards, auto-detected cores,\n                            or the sequential walk (reproduce/figure/heatmap/replay)\n  --out DIR                 journal completed sweep points to DIR/sweep.journal.jsonl\n                            (table4/figure/heatmap; reproduce always journals)\n  --resume                  skip points already journaled in --out DIR\n  --csv                     CSV instead of markdown\n  --json                    one JSON object instead of human text (run/replay/record/trace-info)\n  --quiet                   suppress stdout (run/replay/record/trace-info)\n  --progress                live progress line + end-of-run phase timings (run/replay/record/reproduce)\n  --metrics-out FILE        write the metrics/span dump as deterministic JSON (run/replay/record/reproduce)"
+    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [--resume] [options]\n  memsim analyze --workload <W> [options]\n  memsim record <W> -o FILE [options]      record W's address stream to a trace file\n  memsim replay <FILE> [--designs a,b,c]   evaluate designs against a recorded trace\n  memsim trace-info <FILE>                 inspect a trace file\n  memsim serve [--port P|auto] [--state DIR] [--threads N] [--queue N]\n                                           run the simulation-as-a-service daemon\n  memsim submit --addr H:P --artifact A | --replay W [--designs a,b] [options]\n                                           submit a job, wait, print/fetch the result\n  memsim status <JOB-ID> --addr H:P        query one job's status\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --shards N|auto|seq       simulation engine: N set shards, auto-detected cores,\n                            or the sequential walk (reproduce/figure/heatmap/replay)\n  --sample MODE             interval sampling: off (default), on, or\n                            interval=N,clusters=K[,warmup=functional|cold] —\n                            simulate one representative interval per cluster and\n                            extrapolate with confidence intervals\n  --out DIR                 journal completed sweep points to DIR/sweep.journal.jsonl\n                            (table4/figure/heatmap; reproduce always journals)\n  --resume                  skip points already journaled in --out DIR\n  --csv                     CSV instead of markdown\n  --json                    one JSON object instead of human text (run/replay/record/trace-info)\n  --quiet                   suppress stdout (run/replay/record/trace-info)\n  --progress                live progress line + end-of-run phase timings (run/replay/record/reproduce)\n  --metrics-out FILE        write the metrics/span dump as deterministic JSON (run/replay/record/reproduce)"
 }
 
 /// Minimal flag parser: `--key value` pairs after the positional arguments.
@@ -205,6 +207,17 @@ impl Opts {
         }
     }
 
+    /// `--sample`: "off" (the default) walks every event;
+    /// `interval=N,clusters=K[,warmup=functional|cold]` (or just "on" for
+    /// the defaults) simulates one representative interval per cluster
+    /// and extrapolates with confidence intervals.
+    fn sample(&self) -> Result<SampleMode, String> {
+        match self.get("sample") {
+            None => Ok(SampleMode::Off),
+            Some(v) => SampleMode::parse(v),
+        }
+    }
+
     /// `--shards`: "auto" (the default) picks for this host, "seq" forces
     /// the sequential engine, N >= 1 requests that many set shards. Zero
     /// is rejected (a zero-worker engine cannot make progress) and
@@ -299,7 +312,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "table" => {
             opts.expect(
                 "table",
-                &["scale", "workloads", "threads", "out"],
+                &["scale", "workloads", "threads", "out", "sample"],
                 &["csv", "resume"],
             )?;
             cmd_table(&opts)
@@ -307,7 +320,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "figure" => {
             opts.expect(
                 "figure",
-                &["scale", "workloads", "threads", "shards", "out"],
+                &["scale", "workloads", "threads", "shards", "out", "sample"],
                 &["csv", "resume"],
             )?;
             cmd_figure(&opts)
@@ -331,7 +344,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "heatmap" => {
             opts.expect(
                 "heatmap",
-                &["scale", "workloads", "threads", "shards", "out"],
+                &["scale", "workloads", "threads", "shards", "out", "sample"],
                 &["csv", "resume"],
             )?;
             cmd_heatmap(&opts)
@@ -345,6 +358,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "workloads",
                     "threads",
                     "shards",
+                    "sample",
                     "metrics-out",
                 ],
                 &["resume", "progress"],
@@ -366,7 +380,14 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "replay" => {
             opts.expect(
                 "replay",
-                &["designs", "scale", "threads", "shards", "metrics-out"],
+                &[
+                    "designs",
+                    "scale",
+                    "threads",
+                    "shards",
+                    "sample",
+                    "metrics-out",
+                ],
                 &["json", "quiet", "progress"],
             )?;
             cmd_replay(&opts)
@@ -390,6 +411,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "scale",
                     "workloads",
                     "shards",
+                    "sample",
                     "out",
                 ],
                 &["json", "quiet"],
@@ -442,11 +464,18 @@ fn cmd_list() -> Result<(), String> {
 }
 
 /// Open (or resume) the sweep journal in `out` and arm the ctrl-c flag.
-fn start_sweep(out: &Path, scale: &Scale, resume: bool) -> Result<SweepCtx, String> {
+/// The sampling mode joins the journal fingerprint: a sampled journal
+/// refuses to resume a full-fidelity sweep and vice versa.
+fn start_sweep(
+    out: &Path,
+    scale: &Scale,
+    resume: bool,
+    sample: SampleMode,
+) -> Result<SweepCtx, String> {
     std::fs::create_dir_all(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
     let journal = out.join(JOURNAL_FILE);
     let mut ctx = if resume {
-        let (ctx, rec) = SweepCtx::resume(scale, &journal)?;
+        let (ctx, rec) = SweepCtx::resume_sampled(scale, &journal, sample)?;
         if rec.corrupt_lines > 0 {
             eprintln!(
                 "resume: dropped {} corrupt journal line(s)",
@@ -466,7 +495,7 @@ fn start_sweep(out: &Path, scale: &Scale, resume: bool) -> Result<SweepCtx, Stri
         );
         ctx
     } else {
-        SweepCtx::fresh(scale, &journal)?
+        SweepCtx::fresh_sampled(scale, &journal, sample)?
     };
     ctx.set_interrupt(interrupt::install());
     Ok(ctx)
@@ -474,9 +503,13 @@ fn start_sweep(out: &Path, scale: &Scale, resume: bool) -> Result<SweepCtx, Stri
 
 /// Journaling for `table`/`figure`/`heatmap`: armed only when `--out` is
 /// present (`reproduce` always journals and uses [`start_sweep`] directly).
-fn start_sweep_opt(opts: &Opts, scale: &Scale) -> Result<Option<SweepCtx>, String> {
+fn start_sweep_opt(
+    opts: &Opts,
+    scale: &Scale,
+    sample: SampleMode,
+) -> Result<Option<SweepCtx>, String> {
     match opts.get("out") {
-        Some(out) => start_sweep(Path::new(out), scale, opts.has("resume")).map(Some),
+        Some(out) => start_sweep(Path::new(out), scale, opts.has("resume"), sample).map(Some),
         None if opts.has("resume") => {
             Err("--resume needs --out DIR (the journal lives there)".into())
         }
@@ -572,9 +605,10 @@ fn cmd_table(opts: &Opts) -> Result<(), CliError> {
         }
         "table4" | "workloads" => {
             let scale = opts.scale()?;
-            let sweep = start_sweep_opt(opts, &scale)?;
+            let sample = opts.sample()?;
+            let sweep = start_sweep_opt(opts, &scale, sample)?;
             let cache = SimCache::new();
-            let mut ctx = ExperimentCtx::new(scale, &cache);
+            let mut ctx = ExperimentCtx::new(scale, &cache).with_sample(sample);
             if let Some(s) = &sweep {
                 ctx = ctx.with_sweep(s);
             }
@@ -608,12 +642,15 @@ fn cmd_figure(opts: &Opts) -> Result<(), CliError> {
         .ok_or("figure needs an id (fig1..fig10)")?;
     let scale = opts.scale()?;
     let engine = opts.shards()?;
-    let mut sweep = start_sweep_opt(opts, &scale)?;
+    let sample = opts.sample()?;
+    let mut sweep = start_sweep_opt(opts, &scale, sample)?;
     if let Some(s) = sweep.as_mut() {
         s.set_shards(engine.journal_shards());
     }
     let cache = SimCache::new();
-    let mut ctx = ExperimentCtx::new(scale, &cache).with_engine(engine);
+    let mut ctx = ExperimentCtx::new(scale, &cache)
+        .with_engine(engine)
+        .with_sample(sample);
     if let Some(s) = &sweep {
         ctx = ctx.with_sweep(s);
     }
@@ -952,16 +989,19 @@ fn cmd_reproduce(opts: &Opts) -> Result<(), CliError> {
     let out = PathBuf::from(opts.get("out").unwrap_or("reproduction"));
     let scale = opts.scale()?;
     let engine = opts.shards()?;
-    let mut sweep = start_sweep(&out, &scale, opts.has("resume"))?;
+    let sample = opts.sample()?;
+    let mut sweep = start_sweep(&out, &scale, opts.has("resume"), sample)?;
     sweep.set_shards(engine.journal_shards());
     let mut obs = ObsSession::start(opts, "reproduce");
     obs.annotate("scale", scale.class.name().to_string());
     obs.annotate("out", out.display().to_string());
     obs.annotate("engine", engine.to_string());
+    obs.annotate("sample", sample.canon());
     let cache = SimCache::new();
     let mut ctx = ExperimentCtx::new(scale, &cache)
         .with_sweep(&sweep)
-        .with_engine(engine);
+        .with_engine(engine)
+        .with_sample(sample);
     ctx.workloads = opts.workloads()?;
     ctx.threads = opts.threads()?;
 
@@ -1129,12 +1169,14 @@ fn cmd_replay(opts: &Opts) -> Result<(), CliError> {
     grid.extend(designs.iter().filter(|d| **d != Design::Baseline).copied());
 
     let engine = opts.shards()?;
+    let sample = opts.sample()?;
     let mut rep = Report::new(opts.report_mode()?);
     let mut obs = ObsSession::start(opts, "replay");
     obs.annotate("trace", file.to_string());
     obs.annotate("workload", header.workload.clone());
     obs.annotate("scale", scale.class.name().to_string());
     obs.annotate("engine", engine.to_string());
+    obs.annotate("sample", sample.canon());
     obs.annotate(
         "designs",
         grid.iter().map(|d| d.label()).collect::<Vec<_>>().join(","),
@@ -1143,8 +1185,14 @@ fn cmd_replay(opts: &Opts) -> Result<(), CliError> {
     // Fault-isolated: a shard that fails to decode (corrupt chunk,
     // truncation mid-walk) or panics strands only its own designs; the
     // surviving rows still print, and the exit is non-zero.
-    let outcome =
-        memsim_core::replay_grid_robust_engine(path, &grid, &scale, opts.threads()?, engine)?;
+    let outcome = memsim_core::replay_grid_robust_sampled(
+        path,
+        &grid,
+        &scale,
+        opts.threads()?,
+        engine,
+        sample,
+    )?;
     let stranded: Vec<Design> = outcome
         .failures
         .iter()
@@ -1169,21 +1217,33 @@ fn cmd_replay(opts: &Opts) -> Result<(), CliError> {
     let base = results[0].1;
 
     rep.text(format!(
-        "# replay of {} ({} events, {} scale)",
-        header.workload, base.run.total_refs, header.class
+        "# replay of {} ({} events, {} scale{})",
+        header.workload,
+        base.run.total_refs,
+        header.class,
+        if sample.is_on() {
+            format!(", sampled {}", sample.canon())
+        } else {
+            String::new()
+        }
     ));
     rep.blank();
-    rep.text(
-        "| design | AMAT (ns) | time (ms) | energy (mJ) | EDP (µJ·s) | time× | energy× | EDP× |",
-    );
-    rep.text("|---|---|---|---|---|---|---|---|");
+    if sample.is_on() {
+        rep.text("| design | AMAT (ns) | time (ms) | energy (mJ) | EDP (µJ·s) | time× | energy× | EDP× | AMAT CI ±% |");
+        rep.text("|---|---|---|---|---|---|---|---|---|");
+    } else {
+        rep.text(
+            "| design | AMAT (ns) | time (ms) | energy (mJ) | EDP (µJ·s) | time× | energy× | EDP× |",
+        );
+        rep.text("|---|---|---|---|---|---|---|---|");
+    }
     let mut rows: Vec<String> = Vec::new();
     for (d, r) in &results {
         if !designs.contains(d) {
             continue;
         }
         let norm = r.metrics.normalized_to(&base.metrics);
-        rep.text(format!(
+        let mut line = format!(
             "| {} | {:.3} | {:.3} | {:.3} | {:.4} | {:.4} | {:.4} | {:.4} |",
             d.label(),
             r.metrics.amat_ns,
@@ -1193,18 +1253,34 @@ fn cmd_replay(opts: &Opts) -> Result<(), CliError> {
             norm.time,
             norm.energy,
             norm.edp,
-        ));
+        );
+        if sample.is_on() {
+            match &r.sample_ci {
+                Some(ci) => line.push_str(&format!(" {:.3} |", 100.0 * ci.amat)),
+                None => line.push_str(" - |"),
+            }
+        }
+        rep.text(line);
         let mut row = json::Obj::new();
         row.str("design", &d.label())
             .raw("metrics", &metrics_json(&r.metrics))
             .f64("time_x", norm.time)
             .f64("energy_x", norm.energy)
             .f64("edp_x", norm.edp);
+        if let Some(ci) = &r.sample_ci {
+            let mut c = json::Obj::new();
+            c.f64("amat", ci.amat)
+                .f64("time", ci.time)
+                .f64("energy", ci.energy)
+                .f64("edp", ci.edp);
+            row.raw("ci_halfwidth", &c.finish());
+        }
         rows.push(row.finish());
     }
     rep.str_field("trace", file);
     rep.str_field("workload", &header.workload);
     rep.str_field("scale", scale.class.name());
+    rep.str_field("sample", &sample.canon());
     rep.u64_field("events", base.run.total_refs);
     rep.raw("results", json::array(&rows));
     if !outcome.failures.is_empty() {
@@ -1335,12 +1411,15 @@ fn cmd_heatmap(opts: &Opts) -> Result<(), CliError> {
         .unwrap_or("latency");
     let scale = opts.scale()?;
     let engine = opts.shards()?;
-    let mut sweep = start_sweep_opt(opts, &scale)?;
+    let sample = opts.sample()?;
+    let mut sweep = start_sweep_opt(opts, &scale, sample)?;
     if let Some(s) = sweep.as_mut() {
         s.set_shards(engine.journal_shards());
     }
     let cache = SimCache::new();
-    let mut ctx = ExperimentCtx::new(scale, &cache).with_engine(engine);
+    let mut ctx = ExperimentCtx::new(scale, &cache)
+        .with_engine(engine)
+        .with_sample(sample);
     if let Some(s) = &sweep {
         ctx = ctx.with_sweep(s);
     }
@@ -1453,6 +1532,9 @@ fn submit_spec(opts: &Opts) -> Result<String, String> {
     }
     if let Some(s) = opts.get("shards") {
         o.str("shards", s);
+    }
+    if let Some(s) = opts.get("sample") {
+        o.str("sample", s);
     }
     let spec = o.finish();
     memsim_server::jobs::parse_spec_bytes(spec.as_bytes())?;

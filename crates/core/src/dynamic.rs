@@ -84,6 +84,7 @@ pub fn simulate_epochs(kind: WorkloadKind, scale: &Scale, epoch_requests: u64) -
         region_starts: regions.iter().map(|r| r.start).collect(),
         total_refs,
         footprint_bytes: regions.iter().map(|r| r.len).sum(),
+        sample: None,
     };
     EpochRun { run, epochs }
 }
@@ -478,6 +479,7 @@ mod tests {
             region_starts: vec![0x1000_0000, 0x2000_0000],
             total_refs: 10_000_000,
             footprint_bytes: 8 << 20,
+            sample: None,
         };
         // epoch 0: region a hot; epoch 1: region b hot — repeated so the
         // migration amortizes

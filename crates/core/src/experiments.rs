@@ -6,11 +6,12 @@
 
 use crate::configs::{eh_configs, n_configs};
 use crate::design::Design;
-use crate::heatmap::{default_multipliers, heatmap, Axis, HeatmapData};
+use crate::heatmap::{default_multipliers, heatmap_sampled, Axis, HeatmapData};
 use crate::journal::SweepCtx;
 use crate::model::NormMetrics;
 use crate::report::{FigureData, Series};
-use crate::runner::{evaluate_grid_sweep_engine, Engine, EvalResult, SimCache, SweepError};
+use crate::runner::{evaluate_grid_sweep_sampled, Engine, EvalResult, SimCache, SweepError};
+use crate::sampling::SampleMode;
 use crate::scale::Scale;
 use memsim_tech::{TechParams, Technology};
 use memsim_workloads::WorkloadKind;
@@ -32,6 +33,10 @@ pub struct ExperimentCtx<'a> {
     /// Which engine walks each structure simulation (results are
     /// engine-independent; this is a throughput choice).
     pub engine: Engine,
+    /// Interval sampling mode: `Off` runs every event; `On` simulates
+    /// one representative interval per cluster and extrapolates (results
+    /// carry confidence intervals).
+    pub sample: SampleMode,
 }
 
 impl<'a> ExperimentCtx<'a> {
@@ -44,6 +49,7 @@ impl<'a> ExperimentCtx<'a> {
             threads: None,
             sweep: None,
             engine: Engine::Sequential,
+            sample: SampleMode::Off,
         }
     }
 
@@ -66,6 +72,12 @@ impl<'a> ExperimentCtx<'a> {
         self.engine = engine;
         self
     }
+
+    /// Choose the sampling mode (default off = full fidelity).
+    pub fn with_sample(mut self, sample: SampleMode) -> Self {
+        self.sample = sample;
+        self
+    }
 }
 
 /// Run a grid under the context's sweep state and lift the outcome into a
@@ -76,13 +88,14 @@ fn grid_or_err(
     ctx: &ExperimentCtx,
     points: &[(WorkloadKind, Design)],
 ) -> Result<Vec<EvalResult>, SweepError> {
-    let outcome = evaluate_grid_sweep_engine(
+    let outcome = evaluate_grid_sweep_sampled(
         points,
         &ctx.scale,
         ctx.cache,
         ctx.threads,
         ctx.sweep,
         ctx.engine,
+        ctx.sample,
     );
     if outcome.interrupted {
         return Err(SweepError::Interrupted);
@@ -414,7 +427,7 @@ pub fn fig_ndm(ctx: &ExperimentCtx, metric: Metric) -> Result<FigureData, SweepE
 /// Figure 9: the runtime heat map over read/write latency multipliers.
 pub fn fig9(ctx: &ExperimentCtx) -> Result<HeatmapData, SweepError> {
     let m = default_multipliers();
-    heatmap(
+    heatmap_sampled(
         &ctx.workloads,
         &ctx.scale,
         ctx.cache,
@@ -423,13 +436,14 @@ pub fn fig9(ctx: &ExperimentCtx) -> Result<HeatmapData, SweepError> {
         &m,
         ctx.sweep,
         ctx.engine,
+        ctx.sample,
     )
 }
 
 /// Figure 10: the energy heat map over read/write energy multipliers.
 pub fn fig10(ctx: &ExperimentCtx) -> Result<HeatmapData, SweepError> {
     let m = default_multipliers();
-    heatmap(
+    heatmap_sampled(
         &ctx.workloads,
         &ctx.scale,
         ctx.cache,
@@ -438,6 +452,7 @@ pub fn fig10(ctx: &ExperimentCtx) -> Result<HeatmapData, SweepError> {
         &m,
         ctx.sweep,
         ctx.engine,
+        ctx.sample,
     )
 }
 

@@ -10,7 +10,8 @@ use crate::configs::n_by_name;
 use crate::design::{sram_costs, Design, MEM_NAME};
 use crate::journal::SweepCtx;
 use crate::model::{LevelCost, Metrics};
-use crate::runner::{sweep_point_engine, Engine, SimCache, SweepError};
+use crate::runner::{sweep_point_sampled, Engine, SimCache, SweepError};
+use crate::sampling::SampleMode;
 use crate::scale::Scale;
 use memsim_cache::LevelStats;
 use memsim_tech::{Multipliers, TechParams, Technology};
@@ -72,6 +73,34 @@ pub fn heatmap(
     sweep: Option<&SweepCtx>,
     engine: Engine,
 ) -> Result<HeatmapData, SweepError> {
+    heatmap_sampled(
+        kinds,
+        scale,
+        cache,
+        axis,
+        read_mults,
+        write_mults,
+        sweep,
+        engine,
+        SampleMode::Off,
+    )
+}
+
+/// [`heatmap`] with an explicit sampling mode: with sampling on, the two
+/// simulated points per workload come from the interval-sampled replay
+/// (extrapolated counters), and every cell is costed from those.
+#[allow(clippy::too_many_arguments)]
+pub fn heatmap_sampled(
+    kinds: &[WorkloadKind],
+    scale: &Scale,
+    cache: &SimCache,
+    axis: Axis,
+    read_mults: &[f64],
+    write_mults: &[f64],
+    sweep: Option<&SweepCtx>,
+    engine: Engine,
+    sample: SampleMode,
+) -> Result<HeatmapData, SweepError> {
     let n6 = n_by_name("N6").expect("N6 exists");
     let mut grid = vec![vec![0.0f64; read_mults.len()]; write_mults.len()];
     let mut failures = Vec::new();
@@ -80,21 +109,30 @@ pub fn heatmap(
             return Err(SweepError::Interrupted);
         }
         // one simulation (structure of NMM@N6) + baseline per workload
-        let pair = sweep_point_engine(*kind, scale, &Design::Baseline, cache, sweep, engine)
-            .and_then(|base| {
-                sweep_point_engine(
-                    *kind,
-                    scale,
-                    &Design::Nmm {
-                        nvm: Technology::Pcm,
-                        config: n6,
-                    },
-                    cache,
-                    sweep,
-                    engine,
-                )
-                .map(|nmm| (base, nmm))
-            });
+        let pair = sweep_point_sampled(
+            *kind,
+            scale,
+            &Design::Baseline,
+            cache,
+            sweep,
+            engine,
+            sample,
+        )
+        .and_then(|base| {
+            sweep_point_sampled(
+                *kind,
+                scale,
+                &Design::Nmm {
+                    nvm: Technology::Pcm,
+                    config: n6,
+                },
+                cache,
+                sweep,
+                engine,
+                sample,
+            )
+            .map(|nmm| (base, nmm))
+        });
         let (base, nmm) = match pair {
             Ok(p) => p,
             Err(failed) => {
@@ -225,6 +263,44 @@ mod tests {
             origin < 1.3,
             "1×/1× cell should be near the baseline: {origin}"
         );
+    }
+
+    #[test]
+    fn extreme_boundary_point_lands_in_last_cell() {
+        // Regression: the max-valued design point must land in the *last*
+        // cell of the map, not fall off the edge or alias into an interior
+        // cell. The grid is indexed grid[write][read]; a ladder of n
+        // multipliers must produce exactly n rows × n columns with the
+        // (max read ×, max write ×) point present and equal to the
+        // monotone maximum of the whole map.
+        let cache = SimCache::new();
+        let ladder = [1.0, 20.0, 1000.0];
+        let m = heatmap(
+            &[WorkloadKind::Cg],
+            &Scale::mini(),
+            &cache,
+            Axis::Latency,
+            &ladder,
+            &ladder,
+            None,
+            Engine::Sequential,
+        )
+        .unwrap();
+        assert_eq!(m.grid.len(), ladder.len());
+        for row in &m.grid {
+            assert_eq!(row.len(), ladder.len());
+        }
+        let corner = m.at(ladder.len() - 1, ladder.len() - 1);
+        for row in &m.grid {
+            for v in row {
+                assert!(
+                    *v <= corner + 1e-12,
+                    "extreme cell {corner} not the map maximum ({v})"
+                );
+            }
+        }
+        // a 1000× read latency must actually register: far above origin
+        assert!(corner > m.at(0, 0) * 2.0, "boundary cell did not register");
     }
 
     #[test]

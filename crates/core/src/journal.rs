@@ -27,6 +27,7 @@ use crate::design::Design;
 use crate::jsontext::{get, get_str, get_u64, parse_json, JVal};
 use crate::model::Metrics;
 use crate::runner::{EvalResult, RawRun};
+use crate::sampling::{SampleCi, SampleMode};
 use crate::scale::Scale;
 use memsim_cache::LevelStats;
 use memsim_memory::{Placement, RegionTraffic};
@@ -56,7 +57,17 @@ pub type PointKey = (String, String);
 /// bit-identical simulation results, so their journal entries are
 /// interchangeable.
 pub fn sweep_fingerprint(scale: &Scale) -> String {
-    let canon = format!(
+    sweep_fingerprint_sampled(scale, SampleMode::Off)
+}
+
+/// [`sweep_fingerprint`] for a sampled sweep: the sampling parameters
+/// join the canonical string (full-fidelity runs hash the exact legacy
+/// string, so existing journals stay valid). Sampled results are
+/// extrapolations, not measurements — a sampled point must never be
+/// served to a full-fidelity resume or vice versa, and distinct sampling
+/// parameters must not mix either.
+pub fn sweep_fingerprint_sampled(scale: &Scale, sample: SampleMode) -> String {
+    let mut canon = format!(
         "memsim-sweep-v{JOURNAL_VERSION}|{}|l1={}:{}|l2={}:{}|l3={}:{}|line={}|div={}|l4w={}|fpm={}|class={}",
         env!("CARGO_PKG_VERSION"),
         scale.l1_bytes,
@@ -71,6 +82,10 @@ pub fn sweep_fingerprint(scale: &Scale) -> String {
         scale.footprint_multiplier,
         scale.class.name(),
     );
+    if sample.is_on() {
+        canon.push_str("|sample=");
+        canon.push_str(&sample.canon());
+    }
     format!("{:08x}", crc32(canon.as_bytes()))
 }
 
@@ -140,7 +155,13 @@ fn run_json(r: &RawRun) -> String {
     o.finish()
 }
 
-fn point_payload(fingerprint: &str, scale: &Scale, res: &EvalResult, shards: u64) -> String {
+fn point_payload(
+    fingerprint: &str,
+    scale: &Scale,
+    res: &EvalResult,
+    shards: u64,
+    sample: SampleMode,
+) -> String {
     let mut o = json::Obj::new();
     o.u64("v", JOURNAL_VERSION)
         .str("fp", fingerprint)
@@ -149,11 +170,26 @@ fn point_payload(fingerprint: &str, scale: &Scale, res: &EvalResult, shards: u64
         // engines journal bit-identical stats, so a resume may freely mix
         // shard counts (asserted by `shard_count_never_gates_resume`)
         .u64("shards", shards)
+        // NOT provenance: the sampling mode changes the numbers, so it
+        // both joins the fingerprint and gates resume explicitly (a
+        // mismatch is a hard refusal, never a silent skip)
+        .str("sample", &sample.canon())
         .str("scale", scale.class.name())
         .str("workload", res.workload.name())
         .str("design", &res.design.label())
         .raw("metrics", &metrics_json(&res.metrics))
         .raw("run", &run_json(&res.run));
+    match &res.sample_ci {
+        None => o.raw("ci", "null"),
+        Some(ci) => {
+            let mut c = json::Obj::new();
+            c.u64("amat_bits", ci.amat.to_bits())
+                .u64("time_bits", ci.time.to_bits())
+                .u64("energy_bits", ci.energy.to_bits())
+                .u64("edp_bits", ci.edp.to_bits());
+            o.raw("ci", &c.finish())
+        }
+    };
     match &res.placement {
         None => o.raw("placement", "null"),
         Some(p) => {
@@ -170,10 +206,17 @@ fn point_payload(fingerprint: &str, scale: &Scale, res: &EvalResult, shards: u64
     o.finish()
 }
 
-fn failure_payload(fingerprint: &str, scale: &Scale, key: &PointKey, message: &str) -> String {
+fn failure_payload(
+    fingerprint: &str,
+    scale: &Scale,
+    key: &PointKey,
+    message: &str,
+    sample: SampleMode,
+) -> String {
     let mut o = json::Obj::new();
     o.u64("v", JOURNAL_VERSION)
         .str("fp", fingerprint)
+        .str("sample", &sample.canon())
         .str("scale", scale.class.name())
         .str("workload", &key.0)
         .str("design", &key.1)
@@ -266,6 +309,9 @@ fn run_from(v: &JVal) -> Result<RawRun, String> {
         region_starts: u64_arr("region_starts")?,
         total_refs: get_u64(o, "total_refs")?,
         footprint_bytes: get_u64(o, "footprint_bytes")?,
+        // the journal persists the extrapolated counters and the derived
+        // CI (see `ci` in the payload), not the per-cluster detail
+        sample: None,
     })
 }
 
@@ -280,9 +326,17 @@ pub struct RestoredPoint {
     pub run: Arc<RawRun>,
     /// NDM only: the oracle's region placement.
     pub placement: Option<Vec<Placement>>,
+    /// Sampled sweeps only: the point's bit-exact confidence intervals.
+    pub sample_ci: Option<SampleCi>,
 }
 
-fn decode_line(line: &str) -> Result<(PointKey, Option<RestoredPoint>, String), String> {
+/// One decoded journal line: the point key, the restored point (None for
+/// failure entries), the line's fingerprint, and the line's sampling
+/// mode in canonical form (`"off"` for lines written before sampling
+/// existed).
+type DecodedLine = (PointKey, Option<RestoredPoint>, String, String);
+
+fn decode_line(line: &str) -> Result<DecodedLine, String> {
     // Envelope: {"crc":"xxxxxxxx","p":<payload>}
     let line = line.trim_end_matches(['\n', '\r']);
     let rest = line
@@ -303,13 +357,18 @@ fn decode_line(line: &str) -> Result<(PointKey, Option<RestoredPoint>, String), 
         return Err(format!("unsupported journal version {}", get_u64(o, "v")?));
     }
     let fp = get_str(o, "fp")?.to_string();
+    let sample = match o.get("sample") {
+        Some(v) => v.as_str().ok_or("'sample' is not a string")?.to_string(),
+        // journals written before sampling existed are full-fidelity
+        None => "off".to_string(),
+    };
     let key = (
         get_str(o, "workload")?.to_string(),
         get_str(o, "design")?.to_string(),
     );
     if o.contains_key("failed") {
         // A recorded failure is provenance, not a checkpoint.
-        return Ok((key, None, fp));
+        return Ok((key, None, fp, sample));
     }
     let m = get(o, "metrics")?
         .as_obj()
@@ -322,6 +381,18 @@ fn decode_line(line: &str) -> Result<(PointKey, Option<RestoredPoint>, String), 
         total_refs: get_u64(m, "total_refs")?,
     };
     let run = Arc::new(run_from(get(o, "run")?)?);
+    let sample_ci = match o.get("ci") {
+        None | Some(JVal::Null) => None,
+        Some(v) => {
+            let c = v.as_obj().ok_or("'ci' is neither null nor an object")?;
+            Some(SampleCi {
+                amat: f64::from_bits(get_u64(c, "amat_bits")?),
+                time: f64::from_bits(get_u64(c, "time_bits")?),
+                energy: f64::from_bits(get_u64(c, "energy_bits")?),
+                edp: f64::from_bits(get_u64(c, "edp_bits")?),
+            })
+        }
+    };
     let placement = match get(o, "placement")? {
         JVal::Null => None,
         JVal::Arr(items) => Some(
@@ -342,8 +413,10 @@ fn decode_line(line: &str) -> Result<(PointKey, Option<RestoredPoint>, String), 
             metrics,
             run,
             placement,
+            sample_ci,
         }),
         fp,
+        sample,
     ))
 }
 
@@ -414,11 +487,29 @@ pub struct JournalRecovery {
     pub failed_entries: usize,
 }
 
+/// Read and validate a journal for a full-fidelity resume.
+/// See [`load_journal_sampled`].
+pub fn load_journal(path: &Path, expected_fp: &str) -> Result<JournalRecovery, String> {
+    load_journal_sampled(path, expected_fp, SampleMode::Off)
+}
+
 /// Read and validate a journal. A missing file is an empty recovery, not
 /// an error — `--resume` on a sweep that never started is a fresh run.
 /// Damaged or foreign lines are counted and dropped, never trusted.
-pub fn load_journal(path: &Path, expected_fp: &str) -> Result<JournalRecovery, String> {
+///
+/// Exception: a *sampling-mode* mismatch on any intact line is a hard
+/// error, not a skipped line. Sampled results are extrapolations with
+/// error bars; resuming a full-fidelity sweep from them (or burying a
+/// full-fidelity journal under sampled points) would silently change
+/// what the artifact means. The caller must pick a different output
+/// directory or delete the journal, and the error says so.
+pub fn load_journal_sampled(
+    path: &Path,
+    expected_fp: &str,
+    expected_sample: SampleMode,
+) -> Result<JournalRecovery, String> {
     let mut rec = JournalRecovery::default();
+    let expected_canon = expected_sample.canon();
     // Bytes, not a String: a bit flip can make a line invalid UTF-8, and
     // that must drop the damaged line like any other corruption instead of
     // failing the whole recovery.
@@ -437,9 +528,26 @@ pub fn load_journal(path: &Path, expected_fp: &str) -> Result<JournalRecovery, S
         }
         match decode_line(line) {
             Err(_) => rec.corrupt_lines += 1,
-            Ok((_, _, fp)) if fp != expected_fp => rec.mismatched_lines += 1,
-            Ok((_, None, _)) => rec.failed_entries += 1,
-            Ok((key, Some(point), _)) => {
+            Ok((_, _, _, sample)) if sample != expected_canon => {
+                let describe = |canon: &str| {
+                    if canon == "off" {
+                        "a full-fidelity".to_string()
+                    } else {
+                        format!("an interval-sampled ({canon})")
+                    }
+                };
+                return Err(format!(
+                    "journal {} holds points from {} sweep, but this run is {} sweep: \
+                     refusing to resume across sampling modes — use a different output \
+                     directory or delete the journal to start fresh",
+                    path.display(),
+                    describe(&sample),
+                    describe(&expected_canon),
+                ));
+            }
+            Ok((_, _, fp, _)) if fp != expected_fp => rec.mismatched_lines += 1,
+            Ok((_, None, _, _)) => rec.failed_entries += 1,
+            Ok((key, Some(point), _, _)) => {
                 rec.points.insert(key, point);
             }
         }
@@ -479,6 +587,10 @@ pub struct SweepCtx {
     /// sequential engine). Never part of the fingerprint: results are
     /// engine-independent, so resume must not refuse on a mismatch.
     shards: u64,
+    /// The sweep's sampling mode — part of the fingerprint *and* an
+    /// explicit resume gate (unlike `shards`): sampled and full-fidelity
+    /// points must never mix.
+    sample: SampleMode,
     state: Mutex<CtxState>,
 }
 
@@ -486,20 +598,31 @@ impl SweepCtx {
     /// A context with no journal and no resume data (tests, ad-hoc grids):
     /// panic isolation and interrupt draining still work.
     pub fn detached(scale: &Scale) -> Self {
+        Self::detached_sampled(scale, SampleMode::Off)
+    }
+
+    /// [`SweepCtx::detached`] for a sampled sweep.
+    pub fn detached_sampled(scale: &Scale, sample: SampleMode) -> Self {
         Self {
             scale: *scale,
-            fingerprint: sweep_fingerprint(scale),
+            fingerprint: sweep_fingerprint_sampled(scale, sample),
             journal: None,
             resumed: HashMap::new(),
             interrupt: None,
             shards: 0,
+            sample,
             state: Mutex::new(CtxState::default()),
         }
     }
 
     /// Start a fresh journaled sweep, truncating any journal at `path`.
     pub fn fresh(scale: &Scale, path: &Path) -> Result<Self, String> {
-        let mut ctx = Self::detached(scale);
+        Self::fresh_sampled(scale, path, SampleMode::Off)
+    }
+
+    /// [`SweepCtx::fresh`] for a sampled sweep.
+    pub fn fresh_sampled(scale: &Scale, path: &Path, sample: SampleMode) -> Result<Self, String> {
+        let mut ctx = Self::detached_sampled(scale, sample);
         ctx.journal = Some(SweepJournal::create(path)?);
         Ok(ctx)
     }
@@ -507,8 +630,19 @@ impl SweepCtx {
     /// Resume a journaled sweep: load and validate `path`, then append.
     /// Returns the context plus the recovery statistics.
     pub fn resume(scale: &Scale, path: &Path) -> Result<(Self, JournalRecovery), String> {
-        let mut ctx = Self::detached(scale);
-        let rec = load_journal(path, &ctx.fingerprint)?;
+        Self::resume_sampled(scale, path, SampleMode::Off)
+    }
+
+    /// [`SweepCtx::resume`] for a sampled sweep: refuses (does not
+    /// silently skip) a journal whose sampling mode differs — see
+    /// [`load_journal_sampled`].
+    pub fn resume_sampled(
+        scale: &Scale,
+        path: &Path,
+        sample: SampleMode,
+    ) -> Result<(Self, JournalRecovery), String> {
+        let mut ctx = Self::detached_sampled(scale, sample);
+        let rec = load_journal_sampled(path, &ctx.fingerprint, sample)?;
         ctx.journal = Some(SweepJournal::append_to(path)?);
         {
             let mut st = ctx.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -574,6 +708,7 @@ impl SweepCtx {
             metrics: point.metrics,
             run: Arc::clone(&point.run),
             placement: point.placement.clone(),
+            sample_ci: point.sample_ci,
         })
     }
 
@@ -605,6 +740,7 @@ impl SweepCtx {
                 &self.scale,
                 res,
                 self.shards,
+                self.sample,
             )));
         }
     }
@@ -627,6 +763,7 @@ impl SweepCtx {
                 &self.scale,
                 &key,
                 message,
+                self.sample,
             )));
         }
     }
@@ -689,9 +826,10 @@ mod tests {
             },
         );
         let fp = sweep_fingerprint(&scale);
-        let line = envelope(&point_payload(&fp, &scale, &res, 3));
-        let (key, point, got_fp) = decode_line(&line).unwrap();
+        let line = envelope(&point_payload(&fp, &scale, &res, 3, SampleMode::Off));
+        let (key, point, got_fp, got_sample) = decode_line(&line).unwrap();
         assert_eq!(got_fp, fp);
+        assert_eq!(got_sample, "off");
         assert_eq!(key.0, "Hash");
         assert_eq!(key.1, res.design.label());
         let point = point.expect("completed point");
@@ -717,10 +855,10 @@ mod tests {
         let scale = Scale::mini();
         let res = evaluate(WorkloadKind::Hash, &scale, &Design::Baseline);
         let fp = sweep_fingerprint(&scale);
-        let seq_line = envelope(&point_payload(&fp, &scale, &res, 0));
-        let sharded_line = envelope(&point_payload(&fp, &scale, &res, 4));
-        let (seq_key, seq_point, seq_fp) = decode_line(&seq_line).unwrap();
-        let (sh_key, sh_point, sh_fp) = decode_line(&sharded_line).unwrap();
+        let seq_line = envelope(&point_payload(&fp, &scale, &res, 0, SampleMode::Off));
+        let sharded_line = envelope(&point_payload(&fp, &scale, &res, 4, SampleMode::Off));
+        let (seq_key, seq_point, seq_fp, _) = decode_line(&seq_line).unwrap();
+        let (sh_key, sh_point, sh_fp, _) = decode_line(&sharded_line).unwrap();
         assert_eq!(seq_fp, sh_fp, "fingerprint must not encode the engine");
         assert_eq!(seq_key, sh_key);
         let (seq_point, sh_point) = (seq_point.unwrap(), sh_point.unwrap());
@@ -750,7 +888,7 @@ mod tests {
         let scale = Scale::mini();
         let res = evaluate(WorkloadKind::Hash, &scale, &Design::Baseline);
         let fp = sweep_fingerprint(&scale);
-        let line = envelope(&point_payload(&fp, &scale, &res, 0));
+        let line = envelope(&point_payload(&fp, &scale, &res, 0, SampleMode::Off));
 
         // truncation at any prefix length must never decode
         for cut in [0, 1, 9, 20, line.len() / 2, line.len() - 2] {
@@ -787,7 +925,13 @@ mod tests {
                 .open(&path)
                 .unwrap();
             writeln!(f, "{{\"crc\":\"00000000\",\"p\":{{garbage").unwrap();
-            let foreign = envelope(&point_payload("ffffffff", &scale, &good, 0));
+            let foreign = envelope(&point_payload(
+                "ffffffff",
+                &scale,
+                &good,
+                0,
+                SampleMode::Off,
+            ));
             f.write_all(foreign.as_bytes()).unwrap();
         }
         let rec = load_journal(&path, &sweep_fingerprint(&scale)).unwrap();
@@ -829,6 +973,47 @@ mod tests {
         let lines2 = std::fs::read_to_string(&path).unwrap().lines().count();
         assert_eq!(lines2, 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sampling_mode_gates_resume_both_directions() {
+        use crate::sampling::SampleSpec;
+        let scale = Scale::mini();
+        let spec = SampleMode::On(SampleSpec::default());
+
+        // distinct fingerprints per mode (and per parameters)
+        let off = sweep_fingerprint(&scale);
+        let on = sweep_fingerprint_sampled(&scale, spec);
+        assert_ne!(off, on);
+        let other = SampleMode::parse("interval=2m,clusters=4").unwrap();
+        assert_ne!(on, sweep_fingerprint_sampled(&scale, other));
+
+        // a full-fidelity journal must refuse a sampled resume...
+        let path = temp_path("xsample-full.journal.jsonl");
+        {
+            let ctx = SweepCtx::fresh(&scale, &path).unwrap();
+            ctx.record(&evaluate(WorkloadKind::Hash, &scale, &Design::Baseline));
+        }
+        let err = SweepCtx::resume_sampled(&scale, &path, spec).unwrap_err();
+        assert!(err.contains("full-fidelity"), "{err}");
+        assert!(err.contains("interval-sampled"), "{err}");
+        assert!(err.contains("refusing"), "{err}");
+
+        // ...and a sampled journal must refuse a full-fidelity resume,
+        // even when the sampled side only recorded a failure
+        let path2 = temp_path("xsample-sampled.journal.jsonl");
+        {
+            let ctx = SweepCtx::fresh_sampled(&scale, &path2, spec).unwrap();
+            ctx.record_failure(WorkloadKind::Hash, &Design::Baseline, "injected");
+        }
+        let err2 = SweepCtx::resume(&scale, &path2).unwrap_err();
+        assert!(err2.contains("refusing"), "{err2}");
+
+        // same mode resumes fine
+        let (_, rec) = SweepCtx::resume_sampled(&scale, &path2, spec).unwrap();
+        assert_eq!(rec.failed_entries, 1);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
     }
 
     #[test]

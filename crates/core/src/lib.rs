@@ -14,6 +14,9 @@
 //! * [`runner`] — simulates a workload through a hierarchy *structure* once
 //!   and costs any number of technology assignments analytically (cache
 //!   statistics do not depend on latency/energy parameters).
+//! * [`sampling`] — interval-sampled simulation: cluster the stream's
+//!   intervals by locality signature, simulate one representative per
+//!   cluster, extrapolate with per-metric confidence intervals.
 //! * [`partition`] — the NDM oracle: merge the address space into a few hot
 //!   ranges and pick the best DRAM/NVM placement analytically.
 //! * [`dynamic`] — phase-aware partitioning (the paper's future work): an
@@ -53,19 +56,25 @@ pub mod partition;
 pub mod replay;
 pub mod report;
 pub mod runner;
+pub mod sampling;
 mod scale;
 
 pub use artifacts::{build_artifact, named_designs, parse_design_list, ARTIFACT_NAMES};
 pub use design::{Design, Structure};
-pub use journal::{sweep_fingerprint, JournalRecovery, SweepCtx, SweepJournal, JOURNAL_FILE};
+pub use journal::{
+    sweep_fingerprint, sweep_fingerprint_sampled, JournalRecovery, SweepCtx, SweepJournal,
+    JOURNAL_FILE,
+};
 pub use model::{breakdown, LevelBreakdown, LevelCost, Metrics, NormMetrics};
 pub use replay::{
     record_workload, replay_grid, replay_grid_engine, replay_grid_robust,
-    replay_grid_robust_engine, replay_structure, replay_structure_engine, RecordSummary,
-    ReplayFailure, ReplayOutcome,
+    replay_grid_robust_engine, replay_grid_robust_sampled, replay_structure,
+    replay_structure_engine, RecordSummary, ReplayFailure, ReplayOutcome,
 };
 pub use runner::{
-    evaluate, simulate_structure, simulate_structure_engine, sweep_point, sweep_point_engine,
-    Engine, EvalResult, FailedPoint, GridOutcome, RawRun, SimCache, SweepError,
+    evaluate, simulate_structure, simulate_structure_engine, simulate_structure_sampled,
+    sweep_point, sweep_point_engine, sweep_point_sampled, Engine, EvalResult, FailedPoint,
+    GridOutcome, RawRun, SimCache, SweepError,
 };
+pub use sampling::{SampleCi, SampleMode, SamplePlan, SampleSpec, Warmup};
 pub use scale::Scale;

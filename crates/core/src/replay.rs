@@ -16,6 +16,7 @@ use crate::runner::{
     build_caches, evaluate_run, raw_run_from_hierarchy, raw_run_from_parts, Engine, EvalResult,
     RawRun,
 };
+use crate::sampling::{plan_for, replay_structure_sampled, SampleMode};
 use crate::scale::Scale;
 use memsim_cache::{Hierarchy, HierarchyProbes, ShardedHierarchy};
 use memsim_memory::PartitionedMemory;
@@ -290,11 +291,32 @@ pub fn replay_grid_robust_engine(
     threads: Option<usize>,
     engine: Engine,
 ) -> Result<ReplayOutcome, String> {
+    replay_grid_robust_sampled(path, designs, scale, threads, engine, SampleMode::Off)
+}
+
+/// [`replay_grid_robust`] with an explicit engine and sampling mode: with
+/// sampling on, each structure's walk simulates one representative
+/// interval per cluster of the trace (per the shared [`SamplePlan`]) and
+/// extrapolates, instead of walking every event. The plan is built once
+/// per (trace, spec) and shared by every worker; a plan that cannot be
+/// built fails the whole call, like an unreadable header.
+pub fn replay_grid_robust_sampled(
+    path: &Path,
+    designs: &[Design],
+    scale: &Scale,
+    threads: Option<usize>,
+    engine: Engine,
+    sample: SampleMode,
+) -> Result<ReplayOutcome, String> {
     let _span = memsim_obs::span!("replay");
     for d in designs {
         d.validate()?;
     }
     let kind = trace_workload(path)?;
+    let plan = match sample {
+        SampleMode::Off => None,
+        SampleMode::On(spec) => Some(plan_for(path, spec)?),
+    };
 
     // distinct structures, in first-appearance order
     let mut structures: Vec<Structure> = Vec::new();
@@ -335,16 +357,20 @@ pub fn replay_grid_robust_engine(
                 // Isolate panics per shard for the same reason as the live
                 // grid: an unwinding worker must not take the completed
                 // shards' results down with the scope.
-                let run = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    replay_structure_shard(path, scale, &structures[i], Some(i), engine)
-                })) {
-                    Ok(Ok(run)) => Ok(Arc::new(run)),
-                    Ok(Err(e)) => Err(e.to_string()),
-                    Err(payload) => Err(format!(
-                        "shard panicked: {}",
-                        crate::runner::panic_message(payload)
-                    )),
-                };
+                let run =
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &plan {
+                        Some(plan) => replay_structure_sampled(path, scale, &structures[i], plan),
+                        None => {
+                            replay_structure_shard(path, scale, &structures[i], Some(i), engine)
+                        }
+                    })) {
+                        Ok(Ok(run)) => Ok(Arc::new(run)),
+                        Ok(Err(e)) => Err(e.to_string()),
+                        Err(payload) => Err(format!(
+                            "shard panicked: {}",
+                            crate::runner::panic_message(payload)
+                        )),
+                    };
                 slots[i].set(run).expect("replay slot written twice");
                 if obs_on {
                     memsim_obs::global().counter("progress.shards_done").inc();
@@ -379,6 +405,8 @@ pub fn replay_grid_robust_engine(
             }
         }
     }
+    let cis: Vec<crate::sampling::SampleCi> = results.iter().filter_map(|r| r.sample_ci).collect();
+    crate::sampling::publish_ci_summary(&cis);
     Ok(ReplayOutcome { results, failures })
 }
 

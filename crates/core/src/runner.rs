@@ -37,6 +37,10 @@ pub struct RawRun {
     pub total_refs: u64,
     /// Workload footprint in bytes.
     pub footprint_bytes: u64,
+    /// Set when the counters were *extrapolated* from an
+    /// interval-sampled run rather than measured over the whole stream;
+    /// carries what confidence-interval derivation needs.
+    pub sample: Option<crate::sampling::SampleDetail>,
 }
 
 impl RawRun {
@@ -218,6 +222,7 @@ pub(crate) fn raw_run_from_parts(
         region_starts: regions.iter().map(|r| r.start).collect(),
         total_refs,
         footprint_bytes: regions.iter().map(|r| r.len).sum(),
+        sample: None,
     }
 }
 
@@ -316,6 +321,38 @@ pub fn simulate_structure_engine(
     raw_run_from_hierarchy(hierarchy, &regions, obs_prefix.as_deref())
 }
 
+/// Simulate `kind` through `structure`, either at full fidelity (the
+/// chosen `engine` walks every reference) or interval-sampled: the
+/// workload's stream is recorded once per process, an interval plan is
+/// built and memoized, and only representative windows are replayed —
+/// see [`crate::sampling`]. The sampled walk is always sequential (the
+/// snapshot deltas need one hierarchy in event order), so `engine`
+/// applies to full-fidelity runs only.
+///
+/// Panics on sampling errors (unrecordable workload, unreadable trace)
+/// the same way the full path panics on a failed workload — grid
+/// workers catch both into [`FailedPoint`]s.
+pub fn simulate_structure_sampled(
+    kind: WorkloadKind,
+    scale: &Scale,
+    structure: &Structure,
+    engine: Engine,
+    sample: crate::sampling::SampleMode,
+) -> RawRun {
+    match sample {
+        crate::sampling::SampleMode::Off => {
+            simulate_structure_engine(kind, scale, structure, engine)
+        }
+        crate::sampling::SampleMode::On(spec) => {
+            let path =
+                crate::sampling::cached_trace(kind, scale.class).unwrap_or_else(|e| panic!("{e}"));
+            let plan = crate::sampling::plan_for(&path, spec).unwrap_or_else(|e| panic!("{e}"));
+            crate::sampling::replay_structure_sampled(&path, scale, structure, &plan)
+                .unwrap_or_else(|e| panic!("sampled replay of {}: {e}", path.display()))
+        }
+    }
+}
+
 /// A concurrency-safe memo of structure simulations.
 ///
 /// Each key owns a `OnceLock` cell created under the map lock, so concurrent
@@ -326,7 +363,12 @@ pub fn simulate_structure_engine(
 #[derive(Default)]
 pub struct SimCache {
     #[allow(clippy::type_complexity)]
-    map: Mutex<HashMap<(WorkloadKind, Scale, Structure), Arc<OnceLock<Arc<RawRun>>>>>,
+    map: Mutex<
+        HashMap<
+            (WorkloadKind, Scale, Structure, crate::sampling::SampleMode),
+            Arc<OnceLock<Arc<RawRun>>>,
+        >,
+    >,
 }
 
 impl SimCache {
@@ -340,15 +382,7 @@ impl SimCache {
         self.get_engine(kind, scale, structure, Engine::Sequential)
     }
 
-    /// Fetch or simulate with the chosen engine. The memo key deliberately
-    /// excludes the engine: both produce bit-identical runs, so whichever
-    /// requester arrives first fills the cell for everyone.
-    ///
-    /// When observability is on, every call lands in exactly one of the
-    /// `sim.memo.hits` / `sim.memo.misses` counters: concurrent requesters
-    /// blocked on the same in-flight cell count as hits, because the
-    /// overlap was simulated once — the property the server's job
-    /// coalescing asserts.
+    /// Fetch or simulate with the chosen engine (full fidelity).
     pub fn get_engine(
         &self,
         kind: WorkloadKind,
@@ -356,7 +390,36 @@ impl SimCache {
         structure: &Structure,
         engine: Engine,
     ) -> Arc<RawRun> {
-        let key = (kind, *scale, *structure);
+        self.get_sampled(
+            kind,
+            scale,
+            structure,
+            engine,
+            crate::sampling::SampleMode::Off,
+        )
+    }
+
+    /// Fetch or simulate with the chosen engine and sampling mode. The
+    /// memo key deliberately excludes the engine — both engines produce
+    /// bit-identical runs, so whichever requester arrives first fills
+    /// the cell for everyone — but it *includes* the sampling mode,
+    /// because a sampled run's extrapolated counters are not the full
+    /// run's counters and must never be served in its place.
+    ///
+    /// When observability is on, every call lands in exactly one of the
+    /// `sim.memo.hits` / `sim.memo.misses` counters: concurrent requesters
+    /// blocked on the same in-flight cell count as hits, because the
+    /// overlap was simulated once — the property the server's job
+    /// coalescing asserts.
+    pub fn get_sampled(
+        &self,
+        kind: WorkloadKind,
+        scale: &Scale,
+        structure: &Structure,
+        engine: Engine,
+        sample: crate::sampling::SampleMode,
+    ) -> Arc<RawRun> {
+        let key = (kind, *scale, *structure, sample);
         let cell = {
             let mut map = self.map.lock().expect("sim cache poisoned");
             Arc::clone(map.entry(key).or_default())
@@ -364,7 +427,9 @@ impl SimCache {
         let mut simulated = false;
         let run = Arc::clone(cell.get_or_init(|| {
             simulated = true;
-            Arc::new(simulate_structure_engine(kind, scale, structure, engine))
+            Arc::new(simulate_structure_sampled(
+                kind, scale, structure, engine, sample,
+            ))
         }));
         if memsim_obs::enabled() {
             let field = if simulated { "misses" } else { "hits" };
@@ -399,6 +464,10 @@ pub struct EvalResult {
     pub run: Arc<RawRun>,
     /// NDM only: the oracle's chosen region placement.
     pub placement: Option<Vec<Placement>>,
+    /// Sampled runs only: per-metric relative confidence-interval
+    /// halfwidths of `metrics` (absent for NDM, whose per-placement
+    /// costing has no single cost vector to spread the clusters over).
+    pub sample_ci: Option<crate::sampling::SampleCi>,
 }
 
 /// Cost a design analytically against an already-simulated (or replayed)
@@ -419,6 +488,7 @@ pub fn evaluate_run(
                 metrics: choice.metrics,
                 run,
                 placement: Some(choice.placement),
+                sample_ci: None,
             }
         }
         _ => {
@@ -426,12 +496,14 @@ pub fn evaluate_run(
             let stats = run.all_levels();
             let pairs: Vec<_> = stats.into_iter().zip(costs.iter()).collect();
             let metrics = Metrics::compute(&pairs, run.total_refs);
+            let sample_ci = crate::sampling::sample_ci(&run, &costs);
             EvalResult {
                 design: *design,
                 workload: kind,
                 metrics,
                 run,
                 placement: None,
+                sample_ci,
             }
         }
     }
@@ -456,8 +528,28 @@ pub fn evaluate_cached_engine(
     cache: &SimCache,
     engine: Engine,
 ) -> EvalResult {
+    evaluate_cached_sampled(
+        kind,
+        scale,
+        design,
+        cache,
+        engine,
+        crate::sampling::SampleMode::Off,
+    )
+}
+
+/// Evaluate one design point with the chosen engine and sampling mode,
+/// memoizing the (full or sampled) simulation in `cache`.
+pub fn evaluate_cached_sampled(
+    kind: WorkloadKind,
+    scale: &Scale,
+    design: &Design,
+    cache: &SimCache,
+    engine: Engine,
+    sample: crate::sampling::SampleMode,
+) -> EvalResult {
     design.validate().expect("invalid design");
-    let run = cache.get_engine(kind, scale, &design.structure(scale), engine);
+    let run = cache.get_sampled(kind, scale, &design.structure(scale), engine, sample);
     evaluate_run(kind, scale, design, run)
 }
 
@@ -565,13 +657,14 @@ pub(crate) fn evaluate_sweep_point(
     cache: &SimCache,
     sweep: Option<&crate::journal::SweepCtx>,
     engine: Engine,
+    sample: crate::sampling::SampleMode,
 ) -> EvalResult {
     if let Some(ctx) = sweep {
         if let Some(hit) = ctx.lookup(kind, design) {
             return hit;
         }
     }
-    let r = evaluate_cached_engine(kind, scale, design, cache, engine);
+    let r = evaluate_cached_sampled(kind, scale, design, cache, engine, sample);
     if let Some(ctx) = sweep {
         ctx.record(&r);
     }
@@ -601,8 +694,29 @@ pub fn sweep_point_engine(
     sweep: Option<&crate::journal::SweepCtx>,
     engine: Engine,
 ) -> Result<EvalResult, FailedPoint> {
+    sweep_point_sampled(
+        kind,
+        scale,
+        design,
+        cache,
+        sweep,
+        engine,
+        crate::sampling::SampleMode::Off,
+    )
+}
+
+/// [`sweep_point`] with explicit engine and sampling choices.
+pub fn sweep_point_sampled(
+    kind: WorkloadKind,
+    scale: &Scale,
+    design: &Design,
+    cache: &SimCache,
+    sweep: Option<&crate::journal::SweepCtx>,
+    engine: Engine,
+    sample: crate::sampling::SampleMode,
+) -> Result<EvalResult, FailedPoint> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        evaluate_sweep_point(kind, scale, design, cache, sweep, engine)
+        evaluate_sweep_point(kind, scale, design, cache, sweep, engine, sample)
     }))
     .map_err(|payload| {
         let message = panic_message(payload);
@@ -646,6 +760,29 @@ pub fn evaluate_grid_sweep_engine(
     sweep: Option<&crate::journal::SweepCtx>,
     engine: Engine,
 ) -> GridOutcome {
+    evaluate_grid_sweep_sampled(
+        points,
+        scale,
+        cache,
+        threads,
+        sweep,
+        engine,
+        crate::sampling::SampleMode::Off,
+    )
+}
+
+/// [`evaluate_grid_sweep`] with explicit engine and sampling choices for
+/// each point's structure simulation.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_grid_sweep_sampled(
+    points: &[(WorkloadKind, Design)],
+    scale: &Scale,
+    cache: &SimCache,
+    threads: Option<usize>,
+    sweep: Option<&crate::journal::SweepCtx>,
+    engine: Engine,
+    sample: crate::sampling::SampleMode,
+) -> GridOutcome {
     let _span = memsim_obs::span!("grid");
     let threads = threads
         .unwrap_or_else(|| {
@@ -676,7 +813,7 @@ pub fn evaluate_grid_sweep_engine(
                 // through `thread::scope` would re-raise on join and drop
                 // every completed slot with it.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    evaluate_sweep_point(kind, scale, &design, cache, sweep, engine)
+                    evaluate_sweep_point(kind, scale, &design, cache, sweep, engine, sample)
                 }))
                 .map_err(|payload| {
                     let message = panic_message(payload);
@@ -715,6 +852,12 @@ pub fn evaluate_grid_sweep_engine(
             }
         }
     }
+    let cis: Vec<crate::sampling::SampleCi> = results
+        .iter()
+        .flatten()
+        .filter_map(|r| r.sample_ci)
+        .collect();
+    crate::sampling::publish_ci_summary(&cis);
     GridOutcome {
         results,
         failures,

@@ -32,8 +32,8 @@
 use crate::store::{digest, TraceStore};
 use memsim_core::experiments::ExperimentCtx;
 use memsim_core::{
-    build_artifact, parse_design_list, replay_grid_robust_engine, Design, Engine, EvalResult,
-    Scale, SimCache, SweepCtx, SweepError, JOURNAL_FILE,
+    build_artifact, parse_design_list, replay_grid_robust_sampled, Design, Engine, EvalResult,
+    SampleMode, Scale, SimCache, SweepCtx, SweepError, JOURNAL_FILE,
 };
 use memsim_obs::json;
 use memsim_workloads::WorkloadKind;
@@ -102,6 +102,8 @@ pub struct JobSpec {
     pub workloads: Vec<WorkloadKind>,
     /// Engine spec string (`seq` / `auto` / shard count).
     pub engine_spec: String,
+    /// Interval-sampling mode (`off` or `interval=N,clusters=K,...`).
+    pub sample: SampleMode,
 }
 
 impl JobSpec {
@@ -135,6 +137,7 @@ impl JobSpec {
         }
         o.str("scale", &self.scale_name);
         o.str("shards", &self.engine_spec);
+        o.str("sample", &self.sample.canon());
         o.finish()
     }
 }
@@ -145,13 +148,14 @@ impl JobSpec {
 pub fn parse_spec(v: &memsim_core::jsontext::JVal) -> Result<JobSpec, String> {
     use memsim_core::jsontext::JVal;
     let obj = v.as_obj().ok_or("job spec must be a JSON object")?;
-    const KNOWN: [&str; 6] = [
+    const KNOWN: [&str; 7] = [
         "artifact",
         "replay",
         "designs",
         "scale",
         "workloads",
         "shards",
+        "sample",
     ];
     for key in obj.keys() {
         if !KNOWN.contains(&key.as_str()) {
@@ -171,6 +175,10 @@ pub fn parse_spec(v: &memsim_core::jsontext::JVal) -> Result<JobSpec, String> {
     parse_scale(&scale_name)?;
     let engine_spec = field_str("shards")?.unwrap_or_else(|| "seq".into());
     parse_engine(&engine_spec)?;
+    let sample = match field_str("sample")? {
+        None => SampleMode::Off,
+        Some(s) => SampleMode::parse(&s)?,
+    };
 
     let artifact = field_str("artifact")?;
     let replay = field_str("replay")?;
@@ -211,6 +219,7 @@ pub fn parse_spec(v: &memsim_core::jsontext::JVal) -> Result<JobSpec, String> {
         scale_name,
         workloads,
         engine_spec,
+        sample,
     })
 }
 
@@ -368,6 +377,9 @@ pub struct Registry {
     cv: Condvar,
     next_seq: AtomicU64,
     shutdown: AtomicBool,
+    // observed drain throughput, feeding the 503 Retry-After hint
+    drain_millis: AtomicU64,
+    drained_jobs: AtomicU64,
 }
 
 impl Registry {
@@ -392,6 +404,8 @@ impl Registry {
             cv: Condvar::new(),
             next_seq: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            drain_millis: AtomicU64::new(0),
+            drained_jobs: AtomicU64::new(0),
         });
         let resumed = reg.recover()?;
         Ok((reg, resumed))
@@ -528,6 +542,20 @@ impl Registry {
         lock(&self.queue).len()
     }
 
+    /// How long a rejected submit should wait before retrying: the
+    /// current queue depth times the observed mean per-job drain time
+    /// (assumed 1 s per job until the first job completes), floored at
+    /// 1 s and capped at 60 s so the hint stays a hint, not a lockout.
+    pub fn retry_after_secs(&self) -> u64 {
+        let jobs = self.drained_jobs.load(Ordering::Relaxed);
+        let mean_secs = if jobs == 0 {
+            1.0
+        } else {
+            self.drain_millis.load(Ordering::Relaxed) as f64 / jobs as f64 / 1000.0
+        };
+        ((self.queue_len() as f64 * mean_secs).ceil() as u64).clamp(1, 60)
+    }
+
     /// Raise the shutdown flag: workers drain their current point (the
     /// cancel flag doubles as the cooperative interrupt) and exit.
     pub fn stop(&self) {
@@ -579,6 +607,7 @@ impl Registry {
 
     fn run_job(self: &Arc<Self>, job: &Arc<Job>) {
         job.set_state(JobState::Running);
+        let started = std::time::Instant::now();
         // A panic that escapes the engine's own per-point isolation must
         // not take the worker thread down with it.
         let out = catch_unwind(AssertUnwindSafe(|| run_inner(self, job)));
@@ -625,6 +654,9 @@ impl Registry {
             }
             Err(message) => self.fail_job(job, &message),
         }
+        self.drain_millis
+            .fetch_add(started.elapsed().as_millis() as u64, Ordering::Relaxed);
+        self.drained_jobs.fetch_add(1, Ordering::Relaxed);
     }
 
     fn fail_job(&self, job: &Arc<Job>, message: &str) {
@@ -652,11 +684,12 @@ fn run_inner(reg: &Arc<Registry>, job: &Arc<Job>) -> Result<RunOutcome, String> 
     match &job.spec.kind {
         JobKind::Artifact(name) => {
             let journal = job.dir.join(JOURNAL_FILE);
+            let sample = job.spec.sample;
             let mut sweep = if journal.exists() {
-                let (ctx, _recovery) = SweepCtx::resume(&scale, &journal)?;
+                let (ctx, _recovery) = SweepCtx::resume_sampled(&scale, &journal, sample)?;
                 ctx
             } else {
-                SweepCtx::fresh(&scale, &journal)?
+                SweepCtx::fresh_sampled(&scale, &journal, sample)?
             };
             sweep.set_interrupt(Arc::clone(&job.cancel));
             sweep.set_shards(engine.journal_shards());
@@ -666,7 +699,8 @@ fn run_inner(reg: &Arc<Registry>, job: &Arc<Job>) -> Result<RunOutcome, String> 
             let ctx = ExperimentCtx::new(scale, &reg.cache)
                 .with_workloads(&job.spec.workloads)
                 .with_sweep(&sweep)
-                .with_engine(engine);
+                .with_engine(engine)
+                .with_sample(sample);
             let built = build_artifact(&ctx, name);
             lock(&job.progress).points_done = sweep.persisted_points();
             match built {
@@ -686,7 +720,8 @@ fn run_inner(reg: &Arc<Registry>, job: &Arc<Job>) -> Result<RunOutcome, String> 
             // Baseline anchors normalization even when not requested.
             let mut grid = vec![Design::Baseline];
             grid.extend(wanted.iter().filter(|d| **d != Design::Baseline).copied());
-            let outcome = replay_grid_robust_engine(&trace, &grid, &scale, None, engine)?;
+            let outcome =
+                replay_grid_robust_sampled(&trace, &grid, &scale, None, engine, job.spec.sample)?;
             let stranded: Vec<Design> = outcome
                 .failures
                 .iter()

@@ -224,7 +224,9 @@ pub fn route(reg: &Arc<Registry>, req: &Request) -> Response {
                 }
                 Err(SubmitError::Full) => {
                     let mut r = Response::error(503, "job queue full");
-                    r.retry_after = Some(1);
+                    // hint from the backlog: queue depth × observed mean
+                    // drain time, floored at 1 s and capped at 60 s
+                    r.retry_after = Some(reg.retry_after_secs() as u32);
                     r
                 }
                 Err(SubmitError::Bad(msg)) => Response::error(400, &msg),
@@ -364,7 +366,10 @@ mod tests {
         assert_eq!(route(&reg, &req(Method::Post, "/jobs", body)).status, 202);
         let full = route(&reg, &req(Method::Post, "/jobs", body));
         assert_eq!(full.status, 503);
-        assert_eq!(full.retry_after, Some(1));
+        // no job has drained yet, so the hint assumes 1 s per queued job:
+        // two queued jobs → retry after 2 s (never the old hardcoded 1)
+        assert_eq!(full.retry_after, Some(reg.retry_after_secs() as u32));
+        assert_eq!(full.retry_after, Some(2));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -40,6 +40,7 @@
 
 mod containers;
 mod event;
+pub mod interval;
 pub mod reuse;
 pub mod sinks;
 mod space;
@@ -47,6 +48,7 @@ pub mod stats;
 
 pub use containers::{SimMatrix2, SimMatrix3, SimVec};
 pub use event::{AccessKind, FnSink, TraceEvent, TraceSink};
+pub use interval::{IntervalSignature, SignatureBuilder, SIGNATURE_DIMS};
 pub use reuse::ReuseDistance;
 pub use sinks::{ChunkBuffer, CountingSink, CHUNK_EVENTS};
 pub use space::{AddressSpace, Region, RegionId, DEFAULT_BASE_ADDR, REGION_ALIGN};

@@ -69,7 +69,12 @@ impl StreamStats {
         if total == 0 {
             return 0.0;
         }
-        let cut = 64 - limit.max(1).leading_zeros(); // buckets strictly below `limit`
+        // Bucket `i` covers `[2^i, 2^(i+1))`, so the buckets *entirely*
+        // below `limit` are `0..ilog2(limit)`: exact when `limit` is a
+        // power of two, conservative otherwise. (The old `64 -
+        // leading_zeros` cut was off by one at power-of-two limits,
+        // counting the `[limit, 2·limit)` bucket as "below".)
+        let cut = limit.max(1).ilog2();
         let near: u64 = self.stride_pow2[..(cut as usize).min(48)].iter().sum();
         near as f64 / total as f64
     }
@@ -145,6 +150,23 @@ mod tests {
             s.access(TraceEvent::load((i % 2) * (1 << 20) + i, 8));
         }
         assert!(s.locality_below(64) < 0.1);
+    }
+
+    #[test]
+    fn locality_cut_excludes_the_limit_bucket() {
+        // Every stride is exactly 64: "below 64" must be 0, "below 128"
+        // must be 1. The pre-fix cut counted the [64, 128) bucket as
+        // below 64.
+        let mut s = StreamStats::new();
+        for i in 0..1000u64 {
+            s.access(TraceEvent::load(i * 64, 8));
+        }
+        assert_eq!(s.locality_below(64), 0.0);
+        assert_eq!(s.locality_below(128), 1.0);
+        // non-power-of-two limits stay conservative: strides of 64 are
+        // below 100, but bucket 6 = [64, 128) straddles it, so the score
+        // under-counts rather than over-counts
+        assert_eq!(s.locality_below(100), 0.0);
     }
 
     #[test]

@@ -8,17 +8,40 @@ use crate::format::{
 use crate::varint;
 use memsim_trace::TraceEvent;
 use std::fs::File;
-use std::io::{BufReader, ErrorKind, Read};
+use std::io::{BufReader, ErrorKind, Read, Seek};
 use std::path::Path;
+
+/// One step of a skip-capable chunk walk
+/// (see [`TraceReader::next_chunk_where`]).
+#[derive(Debug)]
+pub enum ChunkStep<'a> {
+    /// The chunk was wanted: its decoded, CRC-verified events.
+    Events(&'a [TraceEvent]),
+    /// The chunk was skipped without decoding: the stream index of its
+    /// first event and how many events it frames.
+    Skipped {
+        /// Global index (within the whole trace) of the chunk's first
+        /// event.
+        first_event: u64,
+        /// Events framed by the skipped chunk.
+        count: u32,
+    },
+    /// The footer was reached and validated.
+    End,
+}
 
 /// Reads a trace file chunk by chunk, validating framing and CRCs.
 ///
-/// Two consumption styles:
+/// Three consumption styles:
 ///
 /// * [`TraceReader::next_chunk`] — borrow each decoded chunk as a
 ///   `&[TraceEvent]` slice; the natural fit for
 ///   [`TraceSink::access_chunk`](memsim_trace::TraceSink::access_chunk)
 ///   batched delivery (what [`crate::replay_into`] does).
+/// * [`TraceReader::next_chunk_where`] — the same walk, but a predicate
+///   over `(first_event_index, event_count)` decides per chunk whether
+///   to decode it or to skip its payload without decoding (sampled
+///   replay's fast path).
 /// * the [`Iterator`] impl — yields `Result<TraceEvent, TraceError>` one
 ///   event at a time; after yielding an error the iterator fuses.
 ///
@@ -35,6 +58,11 @@ pub struct TraceReader<R: Read> {
     payload: Vec<u8>,
     chunks_read: u64,
     events_read: u64,
+    /// Chunks whose payload was drained without decoding.
+    chunks_skipped: u64,
+    /// Events framed by skipped chunks (counted from frame headers, not
+    /// decoded).
+    events_skipped: u64,
     payload_bytes: u64,
     /// Chunks whose CRC32 validated (every chunk that reached the sink).
     crc_verified_chunks: u64,
@@ -48,12 +76,26 @@ pub struct TraceReader<R: Read> {
     chunk_events_max: u64,
     /// Footer seen and validated (or a fatal error already reported).
     done: bool,
+    /// When set, skipped chunk payloads are seeked over instead of read
+    /// (see [`TraceReader::enable_seek_skip`]).
+    seek_skip: Option<fn(&mut R, u64) -> std::io::Result<()>>,
 }
 
 impl TraceReader<BufReader<File>> {
     /// Open `path` and parse its header.
     pub fn open(path: &Path) -> Result<Self, TraceError> {
         Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read + Seek> TraceReader<R> {
+    /// Skip over unwanted chunk payloads with a relative seek instead of
+    /// reading them into the scratch buffer. Worth enabling for sparse
+    /// access patterns (e.g. sampled replay) over file-backed traces; the
+    /// trade-off is that a truncated payload in a *skipped* chunk is only
+    /// detected at the next frame boundary.
+    pub fn enable_seek_skip(&mut self) {
+        self.seek_skip = Some(|input, n| input.seek_relative(n as i64));
     }
 }
 
@@ -69,6 +111,8 @@ impl<R: Read> TraceReader<R> {
             payload: Vec::new(),
             chunks_read: 0,
             events_read: 0,
+            chunks_skipped: 0,
+            events_skipped: 0,
             payload_bytes: 0,
             crc_verified_chunks: 0,
             chunk_payload_min: u64::MAX,
@@ -76,6 +120,7 @@ impl<R: Read> TraceReader<R> {
             chunk_events_min: u64::MAX,
             chunk_events_max: 0,
             done: false,
+            seek_skip: None,
         })
     }
 
@@ -92,6 +137,16 @@ impl<R: Read> TraceReader<R> {
     /// Events decoded so far.
     pub fn events_read(&self) -> u64 {
         self.events_read
+    }
+
+    /// Chunks skipped without decoding so far.
+    pub fn chunks_skipped(&self) -> u64 {
+        self.chunks_skipped
+    }
+
+    /// Events framed by skipped chunks so far (from frame headers).
+    pub fn events_skipped(&self) -> u64 {
+        self.events_skipped
     }
 
     /// Encoded payload bytes decoded so far (excludes framing).
@@ -123,12 +178,33 @@ impl<R: Read> TraceReader<R> {
     /// footer has been reached and validated. After an error or the
     /// footer, subsequent calls return `Ok(None)`.
     pub fn next_chunk(&mut self) -> Result<Option<&[TraceEvent]>, TraceError> {
+        let decoded = match self.next_chunk_where(|_, _| true)? {
+            ChunkStep::Events(_) => true,
+            ChunkStep::End => false,
+            ChunkStep::Skipped { .. } => unreachable!("predicate decodes every chunk"),
+        };
+        Ok(decoded.then_some(self.chunk.as_slice()))
+    }
+
+    /// Walk one chunk, letting `want(first_event_index, event_count)`
+    /// decide whether to decode it or to drain its payload undecoded.
+    ///
+    /// The frame carries the payload length, so a skipped chunk costs a
+    /// buffered read of its bytes and nothing else — no varint decode,
+    /// no CRC check (see [`TraceReader::crc_verified_chunks`], which
+    /// therefore counts decoded chunks only). The footer's total-event
+    /// check still holds: decoded and skipped events must sum to the
+    /// recorded total.
+    pub fn next_chunk_where<F>(&mut self, want: F) -> Result<ChunkStep<'_>, TraceError>
+    where
+        F: FnOnce(u64, u32) -> bool,
+    {
         if self.done {
-            return Ok(None);
+            return Ok(ChunkStep::End);
         }
         self.chunk.clear();
         self.cursor = 0;
-        let index = self.chunks_read;
+        let index = self.chunks_read + self.chunks_skipped;
 
         // Frame header. EOF exactly here means the footer is missing.
         let count = match read_u32(&mut self.input) {
@@ -144,17 +220,62 @@ impl<R: Read> TraceReader<R> {
         };
 
         if count == 0 {
-            return self.read_footer();
+            self.read_footer()?;
+            return Ok(ChunkStep::End);
         }
 
-        let result = self.read_chunk_body(index, count);
-        if result.is_err() {
-            self.done = true;
+        let first_event = self.events_read + self.events_skipped;
+        if want(first_event, count) {
+            let result = self.read_chunk_body(index, count);
+            if result.is_err() {
+                self.done = true;
+            }
+            result?;
+            self.chunks_read += 1;
+            self.events_read += self.chunk.len() as u64;
+            Ok(ChunkStep::Events(&self.chunk))
+        } else {
+            let result = self.skip_chunk_body(index, count);
+            if result.is_err() {
+                self.done = true;
+            }
+            result?;
+            self.chunks_skipped += 1;
+            self.events_skipped += u64::from(count);
+            Ok(ChunkStep::Skipped { first_event, count })
         }
-        result?;
-        self.chunks_read += 1;
-        self.events_read += self.chunk.len() as u64;
-        Ok(Some(&self.chunk))
+    }
+
+    /// Drain a chunk's frame without decoding it: the framing fields and
+    /// payload bytes are read (the stream must stay positioned) but the
+    /// payload is neither varint-decoded nor CRC-verified.
+    fn skip_chunk_body(&mut self, index: u64, count: u32) -> Result<(), TraceError> {
+        if count > MAX_CHUNK_EVENTS {
+            return Err(TraceError::MalformedChunkHeader {
+                chunk: index,
+                detail: format!("event count {count} exceeds the {MAX_CHUNK_EVENTS} cap"),
+            });
+        }
+        let truncated = |_| TraceError::TruncatedChunk { chunk: index };
+        let payload_len = read_u32(&mut self.input).map_err(truncated)?;
+        if payload_len as usize > count as usize * MAX_EVENT_BYTES {
+            return Err(TraceError::MalformedChunkHeader {
+                chunk: index,
+                detail: format!("payload of {payload_len} bytes for {count} events"),
+            });
+        }
+        let _first_addr = read_u64(&mut self.input).map_err(truncated)?;
+        let _stored_crc = read_u32(&mut self.input).map_err(truncated)?;
+        match self.seek_skip {
+            Some(seek) => seek(&mut self.input, u64::from(payload_len)).map_err(truncated)?,
+            None => {
+                self.payload.resize(payload_len as usize, 0);
+                self.input
+                    .read_exact(&mut self.payload)
+                    .map_err(truncated)?;
+            }
+        }
+        Ok(())
     }
 
     fn read_chunk_body(&mut self, index: u64, count: u32) -> Result<(), TraceError> {
@@ -231,25 +352,28 @@ impl<R: Read> TraceReader<R> {
         Ok(())
     }
 
-    fn read_footer(&mut self) -> Result<Option<&[TraceEvent]>, TraceError> {
+    fn read_footer(&mut self) -> Result<(), TraceError> {
         self.done = true;
-        let total_bytes = match read_u64(&mut self.input) {
+        let total_events = match read_u64(&mut self.input) {
             Ok(t) => t,
             Err(_) => return Err(TraceError::CorruptFooter),
         };
         let stored_crc = read_u32(&mut self.input).map_err(|_| TraceError::CorruptFooter)?;
-        if crc32(&total_bytes.to_le_bytes()) != stored_crc {
+        if crc32(&total_events.to_le_bytes()) != stored_crc {
             return Err(TraceError::CorruptFooter);
         }
-        if total_bytes != self.events_read {
+        // Decoded and skipped chunks together must account for every
+        // recorded event.
+        let seen = self.events_read + self.events_skipped;
+        if total_events != seen {
             return Err(TraceError::EventCountMismatch {
-                expected: total_bytes,
-                actual: self.events_read,
+                expected: total_events,
+                actual: seen,
             });
         }
         let mut probe = [0u8; 1];
         match self.input.read(&mut probe) {
-            Ok(0) => Ok(None),
+            Ok(0) => Ok(()),
             Ok(_) => Err(TraceError::TrailingData),
             Err(e) => Err(e.into()),
         }
@@ -388,6 +512,87 @@ mod tests {
         let mut r = TraceReader::new(buf.as_slice()).unwrap();
         r.next_chunk().unwrap();
         assert!(matches!(r.next_chunk(), Err(TraceError::TrailingData)));
+    }
+
+    #[test]
+    fn skip_walk_sees_every_event_once() {
+        // 3 full chunks + a partial tail; decode only every other chunk
+        let n = (crate::format::TRACE_CHUNK_EVENTS * 3 + 100) as u64;
+        let events: Vec<TraceEvent> = (0..n).map(|i| TraceEvent::load(i * 8, 4)).collect();
+        let buf = write_events(&events);
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        let mut decoded = 0u64;
+        let mut skipped = 0u64;
+        let mut next_first = 0u64;
+        let mut toggle = false;
+        loop {
+            toggle = !toggle;
+            match r.next_chunk_where(|first, count| {
+                assert_eq!(first, next_first, "first_event index must be contiguous");
+                next_first = first + u64::from(count);
+                toggle
+            }) {
+                Ok(ChunkStep::Events(evs)) => {
+                    // decoded events match the recorded stream slice
+                    let start = (decoded + skipped) as usize;
+                    assert_eq!(evs, &events[start..start + evs.len()]);
+                    decoded += evs.len() as u64;
+                }
+                Ok(ChunkStep::Skipped { count, .. }) => skipped += u64::from(count),
+                Ok(ChunkStep::End) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(decoded + skipped, n, "footer total covers both");
+        assert_eq!(r.events_read(), decoded);
+        assert_eq!(r.events_skipped(), skipped);
+        assert_eq!(r.chunks_read(), 2);
+        assert_eq!(r.chunks_skipped(), 2);
+        assert_eq!(
+            r.crc_verified_chunks(),
+            2,
+            "skipped chunks are not CRC-checked"
+        );
+    }
+
+    #[test]
+    fn skip_all_still_validates_footer_total() {
+        let events: Vec<TraceEvent> = (0..10_000u64).map(|i| TraceEvent::load(i * 8, 8)).collect();
+        let buf = write_events(&events);
+        let mut r = TraceReader::new(buf.as_slice()).unwrap();
+        loop {
+            match r.next_chunk_where(|_, _| false).unwrap() {
+                ChunkStep::End => break,
+                ChunkStep::Skipped { .. } => {}
+                ChunkStep::Events(_) => panic!("nothing should decode"),
+            }
+        }
+        assert_eq!(r.events_skipped(), 10_000);
+
+        // a corrupted footer total is still caught on a skip-only walk
+        let mut bad = write_events(&events);
+        let n = bad.len();
+        bad[n - 12] ^= 0x01;
+        let mut r = TraceReader::new(bad.as_slice()).unwrap();
+        let err = loop {
+            match r.next_chunk_where(|_, _| false) {
+                Ok(ChunkStep::End) => panic!("must error"),
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, TraceError::CorruptFooter));
+    }
+
+    #[test]
+    fn truncation_inside_skipped_chunk_reported() {
+        let events: Vec<TraceEvent> = (0..100u64).map(|i| TraceEvent::load(i * 8, 8)).collect();
+        let buf = write_events(&events);
+        let mut r = TraceReader::new(&buf[..buf.len() - 40]).unwrap();
+        assert!(matches!(
+            r.next_chunk_where(|_, _| false),
+            Err(TraceError::TruncatedChunk { chunk: 0 })
+        ));
     }
 
     #[test]

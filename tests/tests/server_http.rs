@@ -237,3 +237,58 @@ fn error_mapping_matches_design_table() {
         assert_eq!(err.response().map(|r| r.status), want);
     }
 }
+
+#[test]
+fn queue_full_503_pins_computed_retry_after() {
+    // Satellite pin for the backpressure hint: the 503 must carry a
+    // Retry-After computed from queue depth × mean drain time — an
+    // integer inside the contract's [1 s, 60 s] clamp — never absent
+    // and never the old hardcoded constant regardless of backlog.
+    let dir = tmp_dir("retry-after");
+    let mut config = ServerConfig::new(dir.clone());
+    config.workers = 1;
+    config.queue_depth = 1;
+    config.read_timeout = Duration::from_secs(5);
+    let server = Server::start(config).unwrap();
+
+    let spec = br#"{"artifact":"table4","workloads":"hash","scale":"mini"}"#;
+    let mut post = format!(
+        "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        spec.len()
+    )
+    .into_bytes();
+    post.extend_from_slice(spec);
+
+    let mut refused = None;
+    for _ in 0..8 {
+        let resp = raw_round_trip(&server, &post);
+        match status_of(&resp) {
+            202 => continue,
+            503 => {
+                refused = Some(resp);
+                break;
+            }
+            other => panic!("unexpected submit status {other}: {resp:?}"),
+        }
+    }
+    let refused = refused.expect("queue never refused after 8 submissions");
+
+    let retry_line = refused
+        .lines()
+        .find(|l| l.to_ascii_lowercase().starts_with("retry-after:"))
+        .unwrap_or_else(|| panic!("503 must carry Retry-After: {refused:?}"));
+    let secs: u32 = retry_line
+        .split(':')
+        .nth(1)
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("Retry-After must be an integer ({e}): {retry_line:?}"));
+    assert!(
+        (1..=60).contains(&secs),
+        "Retry-After {secs} outside the documented 1..=60 clamp"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -228,9 +228,14 @@ fn backpressure_answers_503_with_retry_after_and_recovers() {
         Err(e) => panic!("reading 503: {e}"),
     };
     if refused.starts_with("HTTP/1.1 503") {
+        let line = refused
+            .lines()
+            .find(|l| l.to_ascii_lowercase().starts_with("retry-after:"))
+            .unwrap_or_else(|| panic!("503 must carry Retry-After: {refused:?}"));
+        let secs: u32 = line.split(':').nth(1).unwrap().trim().parse().unwrap();
         assert!(
-            refused.contains("retry-after:"),
-            "503 must carry Retry-After: {refused:?}"
+            (1..=60).contains(&secs),
+            "Retry-After {secs} outside the 1..=60 clamp"
         );
     } else {
         // A worker drained the queue between the loop and this probe;
