@@ -203,6 +203,75 @@ else
     echo "python3 not found; skipping sampled-parity error/speedup checks"
 fi
 
+echo "== obs-trace: flight-recorder timeline export, byte stability, golden diff"
+# Sharded full-fidelity replay: one lane per engine shard with per-chunk
+# spans and queue-depth / Mev/s counter tracks. ~2 MB, so it is pinned
+# by double-run byte identity plus the structural validation below
+# rather than a committed golden.
+MEMSIM_OBS_DETERMINISTIC=1 "$BIN" replay "$smoke_dir/hash.trace" --designs baseline,nmm \
+    --shards 2 --threads 1 --quiet --trace-out "$smoke_dir/trace-sharded-a.json"
+MEMSIM_OBS_DETERMINISTIC=1 "$BIN" replay "$smoke_dir/hash.trace" --designs baseline,nmm \
+    --shards 2 --threads 1 --quiet --trace-out "$smoke_dir/trace-sharded-b.json"
+cmp "$smoke_dir/trace-sharded-a.json" "$smoke_dir/trace-sharded-b.json"
+# Sampled replay: warm-vs-measure phase spans and CI-halfwidth counter
+# tracks. The first run pays the one-time interval-plan build (an extra
+# sample.plan span) and warms the plan sidecar; the next two are the
+# byte-stability pair, diffed against the committed golden.
+MEMSIM_OBS_DETERMINISTIC=1 "$BIN" replay "$smoke_dir/hash.trace" --designs baseline,nmm \
+    --sample interval=32k,clusters=2 --threads 1 --quiet \
+    --trace-out "$smoke_dir/trace-planwarm.json"
+for t in a b; do
+    MEMSIM_OBS_DETERMINISTIC=1 "$BIN" replay "$smoke_dir/hash.trace" --designs baseline,nmm \
+        --sample interval=32k,clusters=2 --threads 1 --quiet \
+        --trace-out "$smoke_dir/trace-sampled-$t.json"
+done
+cmp "$smoke_dir/trace-sampled-a.json" "$smoke_dir/trace-sampled-b.json"
+cmp "$smoke_dir/trace-sampled-a.json" tests/golden/sampled_replay.trace.json
+echo "flight-recorder exports byte-stable; sampled timeline matches the committed golden"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$smoke_dir/trace-sharded-a.json" "$smoke_dir/trace-sampled-a.json" <<'PY'
+import json, sys
+sharded = json.load(open(sys.argv[1]))
+sampled = json.load(open(sys.argv[2]))
+
+def lanes(doc):
+    return {e["args"]["name"]: e["tid"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"}
+
+def check_balanced(doc):
+    depth = {}
+    for e in doc["traceEvents"]:
+        if e["ph"] == "B":
+            depth[e["tid"]] = depth.get(e["tid"], 0) + 1
+        elif e["ph"] == "E":
+            depth[e["tid"]] = depth.get(e["tid"], 0) - 1
+            assert depth[e["tid"]] >= 0, ("unbalanced span end", e)
+    assert all(v == 0 for v in depth.values()), depth
+
+for doc in (sharded, sampled):
+    assert doc["displayTimeUnit"] == "ms", doc.keys()
+    check_balanced(doc)
+
+shard_lanes = lanes(sharded)
+assert "memsim-shard0" in shard_lanes and "memsim-shard1" in shard_lanes, shard_lanes
+names = {e["name"] for e in sharded["traceEvents"]}
+for want in ("shard.chunk", "shard.queue_depth", "shard.mev_s"):
+    assert want in names, (want, sorted(names))
+counters = [e for e in sharded["traceEvents"] if e["ph"] == "C"]
+assert counters and all("value" in e["args"] for e in counters)
+
+snames = {e["name"] for e in sampled["traceEvents"]}
+for want in ("sample.warm", "sample.measure", "sample.ci_halfwidth.amat"):
+    assert want in snames, (want, sorted(snames))
+assert "memsim-replay0" in lanes(sampled), lanes(sampled)
+print("obs-trace: shard lanes {}, {} sharded events; sampled timeline has warm/measure phases".format(
+    sorted(k for k in shard_lanes if k.startswith("memsim-shard")),
+    len(sharded["traceEvents"])))
+PY
+else
+    echo "python3 not found; skipping trace structural validation"
+fi
+
 echo "== server smoke: daemon up, submit, byte-parity vs batch reproduce, clean SIGINT"
 server_state="$smoke_dir/server-state"
 mkdir -p "$server_state"
@@ -232,6 +301,25 @@ c = doc["counters"]
 assert c["server.jobs.completed"] >= 1, c
 assert c["server.http.requests"] > 0, c
 print("/metrics parses: {} counters exported".format(len(c)))
+
+# The same endpoint content-negotiates Prometheus text exposition.
+req = urllib.request.Request("http://{}/metrics".format(addr),
+                             headers={"Accept": "text/plain"})
+resp = urllib.request.urlopen(req, timeout=10)
+ctype = resp.headers.get("Content-Type", "")
+assert ctype.startswith("text/plain; version=0.0.4"), ctype
+text = resp.read().decode()
+assert "# TYPE server_jobs_completed counter" in text, text[:400]
+assert "server_jobs_completed 1" in text, text[:400]
+lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+assert all(len(l.split(" ")) == 2 for l in lines), lines[:5]
+print("/metrics Prometheus scrape: {} samples".format(len(lines)))
+
+# healthz carries uptime, build version, and jobs-by-state gauges.
+hz = urllib.request.urlopen("http://{}/healthz".format(addr), timeout=10).read().decode()
+h = json.loads(hz)
+assert h["status"] == "ok" and "uptime_secs" in h and h["version"], h
+assert h["jobs"]["done"] >= 1, h
 PY
 else
     echo "python3 not found; skipping /metrics parse check"

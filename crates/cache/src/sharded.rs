@@ -319,6 +319,14 @@ fn run_worker<M: MainMemory>(
 ) -> WorkerOut<M> {
     let mut slice: Vec<TraceEvent> = Vec::with_capacity(CHUNK_EVENTS);
     while let Msg::Chunk(events) = queue.pop() {
+        // Flight-recorder lane for this shard (the worker thread's name):
+        // one span per chunk plus queue-depth / throughput counter tracks.
+        // One relaxed load when the recorder is disarmed.
+        let recording = memsim_obs::recorder::recording();
+        let t0 = recording.then(std::time::Instant::now);
+        if recording {
+            memsim_obs::recorder::span_begin("shard.chunk");
+        }
         let kept = if filter.pass_through {
             hierarchy.access_chunk(&events);
             events.len()
@@ -327,6 +335,20 @@ fn run_worker<M: MainMemory>(
             hierarchy.access_chunk(&slice);
             slice.len()
         };
+        if recording {
+            memsim_obs::recorder::span_end("shard.chunk");
+            let depth = queue.depth.as_ref().map_or(0, |g| g.get());
+            memsim_obs::recorder::counter("shard.queue_depth", depth as f64);
+            // always emitted so the event stream stays deterministic;
+            // the value is zeroed in deterministic mode anyway
+            let secs = t0.map_or(0.0, |t| t.elapsed().as_secs_f64());
+            let mev_s = if secs > 0.0 {
+                kept as f64 / secs / 1e6
+            } else {
+                0.0
+            };
+            memsim_obs::recorder::counter("shard.mev_s", mev_s);
+        }
         if let Some(o) = &obs {
             o.claims.inc();
             o.events.add(kept as u64);

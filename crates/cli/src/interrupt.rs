@@ -12,12 +12,14 @@ use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, OnceLock};
 
 static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+static USR1: OnceLock<Arc<AtomicBool>> = OnceLock::new();
 
 #[cfg(unix)]
 mod sys {
     use std::sync::atomic::Ordering;
 
     pub(super) const SIGINT: i32 = 2;
+    pub(super) const SIGUSR1: i32 = 10;
     pub(super) const SIG_DFL: usize = 0;
 
     extern "C" {
@@ -34,6 +36,14 @@ mod sys {
             signal(SIGINT, SIG_DFL);
         }
     }
+
+    /// Async-signal-safe: one atomic store. The handler stays armed —
+    /// every SIGUSR1 requests another flight-recorder dump.
+    pub(super) extern "C" fn on_sigusr1(_signum: i32) {
+        if let Some(flag) = super::USR1.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
 }
 
 /// Install the SIGINT handler (idempotent) and return the shared flag.
@@ -42,6 +52,19 @@ pub fn install() -> Arc<AtomicBool> {
     #[cfg(unix)]
     unsafe {
         sys::signal(sys::SIGINT, sys::on_sigint as extern "C" fn(i32) as usize);
+    }
+    flag
+}
+
+/// Install the SIGUSR1 handler (idempotent) and return its flag. The
+/// daemon polls it and dumps the flight-recorder tail when set; the
+/// poller clears the flag, so repeated signals request repeated dumps.
+/// On non-unix targets the flag is simply never set.
+pub fn install_usr1() -> Arc<AtomicBool> {
+    let flag = Arc::clone(USR1.get_or_init(|| Arc::new(AtomicBool::new(false))));
+    #[cfg(unix)]
+    unsafe {
+        sys::signal(sys::SIGUSR1, sys::on_sigusr1 as extern "C" fn(i32) as usize);
     }
     flag
 }

@@ -85,7 +85,7 @@ impl From<&str> for CliError {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [--resume] [options]\n  memsim analyze --workload <W> [options]\n  memsim record <W> -o FILE [options]      record W's address stream to a trace file\n  memsim replay <FILE> [--designs a,b,c]   evaluate designs against a recorded trace\n  memsim trace-info <FILE>                 inspect a trace file\n  memsim serve [--port P|auto] [--state DIR] [--threads N] [--queue N]\n                                           run the simulation-as-a-service daemon\n  memsim submit --addr H:P --artifact A | --replay W [--designs a,b] [options]\n                                           submit a job, wait, print/fetch the result\n  memsim status <JOB-ID> --addr H:P        query one job's status\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --shards N|auto|seq       simulation engine: N set shards, auto-detected cores,\n                            or the sequential walk (reproduce/figure/heatmap/replay)\n  --sample MODE             interval sampling: off (default), on, or\n                            interval=N,clusters=K[,warmup=functional|cold] —\n                            simulate one representative interval per cluster and\n                            extrapolate with confidence intervals\n  --out DIR                 journal completed sweep points to DIR/sweep.journal.jsonl\n                            (table4/figure/heatmap; reproduce always journals)\n  --resume                  skip points already journaled in --out DIR\n  --csv                     CSV instead of markdown\n  --json                    one JSON object instead of human text (run/replay/record/trace-info)\n  --quiet                   suppress stdout (run/replay/record/trace-info)\n  --progress                live progress line + end-of-run phase timings (run/replay/record/reproduce)\n  --metrics-out FILE        write the metrics/span dump as deterministic JSON (run/replay/record/reproduce)"
+    "usage:\n  memsim list\n  memsim table <tech|eh-configs|nmm-configs|table4> [options]\n  memsim figure <fig1..fig10> [options]\n  memsim run --workload <W> --design <baseline|4lc|nmm|4lcnvm|ndm> [--llc T] [--nvm T] [--config C] [options]\n  memsim heatmap <latency|energy> [options]\n  memsim reproduce [--out DIR] [--resume] [options]\n  memsim analyze --workload <W> [options]\n  memsim record <W> -o FILE [options]      record W's address stream to a trace file\n  memsim replay <FILE> [--designs a,b,c]   evaluate designs against a recorded trace\n  memsim trace-info <FILE>                 inspect a trace file\n  memsim serve [--port P|auto] [--state DIR] [--threads N] [--queue N]\n                                           run the simulation-as-a-service daemon\n  memsim submit --addr H:P --artifact A | --replay W [--designs a,b] [options]\n                                           submit a job, wait, print/fetch the result\n  memsim status <JOB-ID> --addr H:P        query one job's status\noptions:\n  --scale mini|demo|paper   capacity scale (default demo)\n  --workloads a,b,c         benchmark subset (default: the Table 4 set)\n  --threads N               worker threads\n  --shards N|auto|seq       simulation engine: N set shards, auto-detected cores,\n                            or the sequential walk (reproduce/figure/heatmap/replay)\n  --sample MODE             interval sampling: off (default), on, or\n                            interval=N,clusters=K[,warmup=functional|cold] —\n                            simulate one representative interval per cluster and\n                            extrapolate with confidence intervals\n  --out DIR                 journal completed sweep points to DIR/sweep.journal.jsonl\n                            (table4/figure/heatmap; reproduce always journals)\n  --resume                  skip points already journaled in --out DIR\n  --csv                     CSV instead of markdown\n  --json                    one JSON object instead of human text (run/replay/record/trace-info)\n  --quiet                   suppress stdout (run/replay/record/trace-info)\n  --progress                live progress line + end-of-run phase timings (run/replay/record/reproduce)\n  --metrics-out FILE        write the metrics/span dump as deterministic JSON (run/replay/record/reproduce)\n  --trace-out FILE          record a flight-recorder timeline and write it as Chrome\n                            trace-event JSON for ui.perfetto.dev / chrome://tracing\n                            (run/replay/reproduce/figure/heatmap)"
 }
 
 /// Minimal flag parser: `--key value` pairs after the positional arguments.
@@ -235,13 +235,15 @@ impl Opts {
     }
 }
 
-/// Per-command observability lifecycle: armed by `--metrics-out` or
-/// `--progress`, it resets and enables the global registry, optionally
-/// starts the live progress sampler, accumulates the run manifest, and on
-/// [`ObsSession::finish`] renders the phase-timing summary and writes the
-/// deterministic metrics JSON.
+/// Per-command observability lifecycle: armed by `--metrics-out`,
+/// `--progress`, or `--trace-out`, it resets and enables the global
+/// registry, optionally starts the live progress sampler and the flight
+/// recorder, accumulates the run manifest, and on [`ObsSession::finish`]
+/// renders the phase-timing summary, writes the deterministic metrics
+/// JSON, and drains the recorder into a Chrome trace-event file.
 struct ObsSession {
     metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     sampler: Option<memsim_obs::ProgressSampler>,
     progress: bool,
     active: bool,
@@ -251,8 +253,9 @@ struct ObsSession {
 impl ObsSession {
     fn start(opts: &Opts, command: &str) -> Self {
         let metrics_out = opts.get("metrics-out").map(PathBuf::from);
+        let trace_out = opts.get("trace-out").map(PathBuf::from);
         let progress = opts.has("progress");
-        let active = metrics_out.is_some() || progress;
+        let active = metrics_out.is_some() || trace_out.is_some() || progress;
         if active {
             memsim_obs::reset();
             memsim_obs::set_enabled(true);
@@ -260,9 +263,13 @@ impl ObsSession {
                 memsim_obs::set_deterministic(true);
             }
         }
+        if trace_out.is_some() {
+            memsim_obs::recorder::start(0);
+        }
         let sampler = progress.then(|| memsim_obs::ProgressSampler::start(command));
         Self {
             metrics_out,
+            trace_out,
             sampler,
             progress,
             active,
@@ -285,13 +292,23 @@ impl ObsSession {
         if self.progress {
             eprint!("{}", memsim_obs::render_summary(memsim_obs::global()));
         }
+        let manifest: Vec<(&str, String)> =
+            self.manifest.iter().map(|(k, v)| (*k, v.clone())).collect();
         if let Some(path) = &self.metrics_out {
-            let manifest: Vec<(&str, String)> =
-                self.manifest.iter().map(|(k, v)| (*k, v.clone())).collect();
             let doc = memsim_obs::export_json(&manifest, memsim_obs::global());
             std::fs::write(path, doc)
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
             eprintln!("metrics written to {}", path.display());
+        }
+        if let Some(path) = &self.trace_out {
+            let lanes = memsim_obs::recorder::stop_and_drain();
+            let doc = memsim_obs::chrome_trace_json(&manifest, &lanes);
+            std::fs::write(path, doc)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!(
+                "timeline trace written to {} (open in ui.perfetto.dev)",
+                path.display()
+            );
         }
         if self.active {
             // leave global state quiescent for subsequent in-process calls
@@ -299,6 +316,16 @@ impl ObsSession {
         }
         Ok(())
     }
+}
+
+/// Trace-file name for the export manifest. Only the basename goes in:
+/// the directory varies per run (tmpdirs, CI workspaces) and would break
+/// the byte-stable deterministic exports that CI diffs against goldens.
+fn trace_basename(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
 }
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -320,7 +347,15 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "figure" => {
             opts.expect(
                 "figure",
-                &["scale", "workloads", "threads", "shards", "out", "sample"],
+                &[
+                    "scale",
+                    "workloads",
+                    "threads",
+                    "shards",
+                    "out",
+                    "sample",
+                    "trace-out",
+                ],
                 &["csv", "resume"],
             )?;
             cmd_figure(&opts)
@@ -336,6 +371,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "config",
                     "scale",
                     "metrics-out",
+                    "trace-out",
                 ],
                 &["json", "quiet", "progress"],
             )?;
@@ -344,7 +380,15 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "heatmap" => {
             opts.expect(
                 "heatmap",
-                &["scale", "workloads", "threads", "shards", "out", "sample"],
+                &[
+                    "scale",
+                    "workloads",
+                    "threads",
+                    "shards",
+                    "out",
+                    "sample",
+                    "trace-out",
+                ],
                 &["csv", "resume"],
             )?;
             cmd_heatmap(&opts)
@@ -360,6 +404,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "shards",
                     "sample",
                     "metrics-out",
+                    "trace-out",
                 ],
                 &["resume", "progress"],
             )?;
@@ -387,6 +432,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "shards",
                     "sample",
                     "metrics-out",
+                    "trace-out",
                 ],
                 &["json", "quiet", "progress"],
             )?;
@@ -643,6 +689,9 @@ fn cmd_figure(opts: &Opts) -> Result<(), CliError> {
     let scale = opts.scale()?;
     let engine = opts.shards()?;
     let sample = opts.sample()?;
+    let mut obs = ObsSession::start(opts, "figure");
+    obs.annotate("figure", which.clone());
+    obs.annotate("scale", scale.class.name().to_string());
     let mut sweep = start_sweep_opt(opts, &scale, sample)?;
     if let Some(s) = sweep.as_mut() {
         s.set_shards(engine.journal_shards());
@@ -674,6 +723,7 @@ fn cmd_figure(opts: &Opts) -> Result<(), CliError> {
     if let Some(out) = opts.get("out") {
         write_artifact(Path::new(out), which, &md, &csv)?;
     }
+    obs.finish()?;
     Ok(())
 }
 
@@ -1091,7 +1141,7 @@ fn cmd_record(opts: &Opts) -> Result<(), String> {
     let mut obs = ObsSession::start(opts, "record");
     obs.annotate("workload", kind.name().to_string());
     obs.annotate("scale", scale.class.name().to_string());
-    obs.annotate("trace", out.to_string());
+    obs.annotate("trace", trace_basename(out));
     if r.mode() == Mode::Human {
         eprintln!(
             "recording {} at {} scale to {out} ...",
@@ -1172,7 +1222,7 @@ fn cmd_replay(opts: &Opts) -> Result<(), CliError> {
     let sample = opts.sample()?;
     let mut rep = Report::new(opts.report_mode()?);
     let mut obs = ObsSession::start(opts, "replay");
-    obs.annotate("trace", file.to_string());
+    obs.annotate("trace", trace_basename(file));
     obs.annotate("workload", header.workload.clone());
     obs.annotate("scale", scale.class.name().to_string());
     obs.annotate("engine", engine.to_string());
@@ -1412,6 +1462,9 @@ fn cmd_heatmap(opts: &Opts) -> Result<(), CliError> {
     let scale = opts.scale()?;
     let engine = opts.shards()?;
     let sample = opts.sample()?;
+    let mut obs = ObsSession::start(opts, "heatmap");
+    obs.annotate("axis", axis.to_string());
+    obs.annotate("scale", scale.class.name().to_string());
     let mut sweep = start_sweep_opt(opts, &scale, sample)?;
     if let Some(s) = sweep.as_mut() {
         s.set_shards(engine.journal_shards());
@@ -1443,6 +1496,7 @@ fn cmd_heatmap(opts: &Opts) -> Result<(), CliError> {
         let (md, csv) = render_heat(&h);
         write_artifact(Path::new(out), axis, &md, &csv)?;
     }
+    obs.finish()?;
     Ok(())
 }
 
@@ -1481,11 +1535,14 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
     std::fs::create_dir_all(&state_dir)
         .map_err(|e| format!("cannot create state dir {}: {e}", state_dir.display()))?;
 
-    // The daemon always collects metrics — /metrics is part of its API.
+    // The daemon always collects metrics — /metrics is part of its API —
+    // and keeps the flight recorder armed so a SIGUSR1 (or a job panic)
+    // can dump the recent timeline without any prior opt-in.
     memsim_obs::set_enabled(true);
     if std::env::var_os("MEMSIM_OBS_DETERMINISTIC").is_some() {
         memsim_obs::set_deterministic(true);
     }
+    memsim_obs::recorder::start(0);
 
     let mut config = memsim_server::ServerConfig::new(state_dir.clone());
     config.port = port;
@@ -1499,7 +1556,22 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
     }
 
     let stop = interrupt::install();
+    let dump = interrupt::install_usr1();
+    let mut dump_seq = 0u32;
     while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+        if dump.swap(false, std::sync::atomic::Ordering::SeqCst) {
+            dump_seq += 1;
+            let path = state_dir.join(format!("flightrec-{dump_seq}.json"));
+            let lanes = memsim_obs::recorder::snapshot_tail(4096);
+            let manifest = [("command", "serve".to_string())];
+            match std::fs::write(&path, memsim_obs::chrome_trace_json(&manifest, &lanes)) {
+                Ok(()) => eprintln!(
+                    "SIGUSR1: flight-recorder tail written to {}",
+                    path.display()
+                ),
+                Err(e) => eprintln!("SIGUSR1: cannot write {}: {e}", path.display()),
+            }
+        }
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     eprintln!("interrupt: draining in-flight points and shutting down");

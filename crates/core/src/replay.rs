@@ -348,8 +348,9 @@ pub fn replay_grid_robust_sampled(
     let slots: Vec<OnceLock<Result<Arc<RawRun>, String>>> =
         (0..structures.len()).map(|_| OnceLock::new()).collect();
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
+        for w in 0..threads {
+            // Named so flight-recorder lanes are stable and readable.
+            let worker = || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= structures.len() {
                     break;
@@ -375,7 +376,11 @@ pub fn replay_grid_robust_sampled(
                 if obs_on {
                     memsim_obs::global().counter("progress.shards_done").inc();
                 }
-            });
+            };
+            std::thread::Builder::new()
+                .name(format!("memsim-replay{w}"))
+                .spawn_scoped(s, worker)
+                .expect("spawn replay worker");
         }
     });
     let runs: Vec<Result<Arc<RawRun>, String>> = slots

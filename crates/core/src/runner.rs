@@ -799,8 +799,11 @@ pub fn evaluate_grid_sweep_sampled(
     let slots: Vec<OnceLock<Result<EvalResult, FailedPoint>>> =
         (0..points.len()).map(|_| OnceLock::new()).collect();
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
+        for w in 0..threads {
+            // Named so each worker gets a stable flight-recorder lane
+            // ("memsim-sweep0", ...) in `--trace-out` timelines.
+            let builder = std::thread::Builder::new().name(format!("memsim-sweep{w}"));
+            let worker = || loop {
                 if sweep.is_some_and(|ctx| ctx.interrupted()) {
                     break;
                 }
@@ -809,6 +812,10 @@ pub fn evaluate_grid_sweep_sampled(
                     break;
                 }
                 let (kind, design) = points[i];
+                // One recorder span per sweep point so the timeline shows
+                // which worker ran which (workload, design) pair, when.
+                let _point_span =
+                    memsim_obs::span!("grid.point.{}.{}", kind.name(), design.label());
                 // Catch the panic *inside* the worker: letting it unwind
                 // through `thread::scope` would re-raise on join and drop
                 // every completed slot with it.
@@ -827,7 +834,8 @@ pub fn evaluate_grid_sweep_sampled(
                     }
                 });
                 slots[i].set(outcome).expect("result slot written twice");
-            });
+            };
+            builder.spawn_scoped(s, worker).expect("spawn sweep worker");
         }
     });
     let mut results = Vec::with_capacity(points.len());

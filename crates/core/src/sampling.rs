@@ -575,6 +575,8 @@ pub fn publish_ci_summary(cis: &[SampleCi]) {
     let store = |key: &str, rel: f64| {
         reg.counter(&format!("sample.ci_halfwidth.{key}"))
             .store((rel * 1e6).round() as u64);
+        // CI-halfwidth counter track on the caller's timeline lane
+        memsim_obs::recorder::counter(&format!("sample.ci_halfwidth.{key}"), rel);
     };
     store("amat", max(|c| c.amat));
     store("time", max(|c| c.time));
@@ -730,6 +732,13 @@ pub fn replay_structure_sampled(
     let mut runs: Vec<Option<ClusterRun>> = (0..plan.clusters.len()).map(|_| None).collect();
     let mut mark_i = 0usize;
     let mut seg_i = 0usize;
+    // Flight-recorder phase spans: the timeline distinguishes warm-window
+    // feeding (`sample.warm`, Functional warmup only) from measured
+    // representative windows (`sample.measure`). Mark application and
+    // feed ranges are deterministic given the plan, so the emitted event
+    // stream is too.
+    let mut warm_open = false;
+    let mut measuring = false;
 
     // applies every mark at stream position <= `pos` (no events between
     // the mark position and `pos` have been fed, so the counters at
@@ -739,6 +748,14 @@ pub fn replay_structure_sampled(
             while mark_i < marks.len() && marks[mark_i].0 <= $pos {
                 match marks[mark_i].1 {
                     Mark::Start(c) => {
+                        if warm_open {
+                            memsim_obs::recorder::span_end("sample.warm");
+                            warm_open = false;
+                        }
+                        if memsim_obs::recorder::recording() {
+                            memsim_obs::recorder::span_begin("sample.measure");
+                        }
+                        measuring = true;
                         if functional {
                             starts[c] = Some(snap(hierarchy.as_ref().expect("live hierarchy")));
                         } else {
@@ -746,6 +763,10 @@ pub fn replay_structure_sampled(
                         }
                     }
                     Mark::End(c) => {
+                        if measuring && memsim_obs::recorder::recording() {
+                            memsim_obs::recorder::span_end("sample.measure");
+                        }
+                        measuring = false;
                         if functional {
                             let s0 = starts[c].take().expect("start snapshot");
                             let s1 = snap(hierarchy.as_ref().expect("live hierarchy"));
@@ -811,6 +832,10 @@ pub fn replay_structure_sampled(
                     if mark_i < marks.len() {
                         until = until.min(marks[mark_i].0 - base);
                     }
+                    if !measuring && !warm_open && memsim_obs::recorder::recording() {
+                        memsim_obs::recorder::span_begin("sample.warm");
+                        warm_open = true;
+                    }
                     hierarchy
                         .as_mut()
                         .expect("feeding outside a representative window")
@@ -825,6 +850,9 @@ pub fn replay_structure_sampled(
         }
     }
     apply_marks_through!(plan.total_events);
+    if warm_open {
+        memsim_obs::recorder::span_end("sample.warm");
+    }
 
     let cluster_runs: Vec<ClusterRun> = runs
         .into_iter()

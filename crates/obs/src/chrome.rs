@@ -1,0 +1,168 @@
+//! Chrome trace-event JSON export of a drained flight recording.
+//!
+//! The output is the Trace Event Format's JSON-object form
+//! (`{"traceEvents":[...]}`), loadable directly in ui.perfetto.dev or
+//! chrome://tracing. Every [`Lane`] becomes one timeline thread: a
+//! `thread_name` metadata record plus its events — duration spans as
+//! `ph:"B"`/`ph:"E"` pairs, instants as `ph:"i"`, counter samples as
+//! `ph:"C"` tracks (queue depth, Mev/s, CI halfwidths, ...).
+//!
+//! Determinism contract: for a fixed set of lanes the emitted bytes are
+//! identical — lanes arrive name-sorted from the recorder, tids are
+//! assigned in that order, and under [`crate::set_deterministic`] the
+//! recorder has already sequenced timestamps and zeroed counter values,
+//! so the whole document is byte-stable across runs (the property the
+//! ci.sh golden diff pins).
+
+use crate::json;
+use crate::recorder::{EventKind, Lane};
+
+const PID: u64 = 1;
+
+/// Render drained recorder lanes as a Chrome trace-event JSON document
+/// (trailing newline included). `manifest` entries become string args on
+/// the `process_name` metadata record, in the order given.
+pub fn chrome_trace_json(manifest: &[(&str, String)], lanes: &[Lane]) -> String {
+    let mut events: Vec<String> = Vec::new();
+
+    let mut args = json::Obj::new();
+    args.str("name", "memsim");
+    for (key, value) in manifest {
+        args.str(key, value);
+    }
+    let mut proc_meta = json::Obj::new();
+    proc_meta
+        .str("name", "process_name")
+        .str("ph", "M")
+        .u64("pid", PID)
+        .u64("tid", 0)
+        .raw("args", &args.finish());
+    events.push(proc_meta.finish());
+
+    for (i, lane) in lanes.iter().enumerate() {
+        let tid = i as u64 + 1;
+        let mut meta = json::Obj::new();
+        let mut args = json::Obj::new();
+        args.str("name", &lane.name);
+        meta.str("name", "thread_name")
+            .str("ph", "M")
+            .u64("pid", PID)
+            .u64("tid", tid)
+            .raw("args", &args.finish());
+        events.push(meta.finish());
+
+        for ev in &lane.events {
+            let mut obj = json::Obj::new();
+            obj.str("name", &ev.name);
+            match ev.kind {
+                EventKind::SpanBegin => {
+                    obj.str("ph", "B");
+                }
+                EventKind::SpanEnd => {
+                    obj.str("ph", "E");
+                }
+                EventKind::Instant => {
+                    obj.str("ph", "i").str("s", "t");
+                }
+                EventKind::Counter => {
+                    obj.str("ph", "C");
+                }
+            }
+            obj.u64("pid", PID).u64("tid", tid).u64("ts", ev.ts_us);
+            if ev.kind == EventKind::Counter {
+                let mut args = json::Obj::new();
+                args.f64("value", ev.value);
+                obj.raw("args", &args.finish());
+            }
+            events.push(obj.finish());
+        }
+
+        if lane.dropped > 0 {
+            let mut obj = json::Obj::new();
+            let last_ts = lane.events.last().map_or(0, |e| e.ts_us);
+            let mut args = json::Obj::new();
+            args.u64("value", lane.dropped);
+            obj.str("name", "recorder.dropped")
+                .str("ph", "C")
+                .u64("pid", PID)
+                .u64("tid", tid)
+                .u64("ts", last_ts)
+                .raw("args", &args.finish());
+            events.push(obj.finish());
+        }
+    }
+
+    let mut root = json::Obj::new();
+    root.raw("traceEvents", &json::array(&events))
+        .str("displayTimeUnit", "ms");
+    let mut out = root.finish();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RecordedEvent;
+
+    fn lane(name: &str, events: Vec<RecordedEvent>, dropped: u64) -> Lane {
+        Lane {
+            name: name.to_string(),
+            events,
+            dropped,
+        }
+    }
+
+    fn ev(ts_us: u64, kind: EventKind, name: &str, value: f64) -> RecordedEvent {
+        RecordedEvent {
+            ts_us,
+            kind,
+            name: name.to_string(),
+            value,
+        }
+    }
+
+    #[test]
+    fn emits_metadata_lanes_and_event_phases() {
+        let lanes = vec![
+            lane(
+                "memsim-shard0",
+                vec![
+                    ev(0, EventKind::SpanBegin, "shard.chunk", 0.0),
+                    ev(1, EventKind::Counter, "queue_depth", 3.0),
+                    ev(2, EventKind::SpanEnd, "shard.chunk", 0.0),
+                ],
+                0,
+            ),
+            lane("main", vec![ev(0, EventKind::Instant, "mark", 0.0)], 2),
+        ];
+        let doc = chrome_trace_json(&[("command", "test".to_string())], &lanes);
+        assert!(doc.starts_with(r#"{"traceEvents":["#));
+        assert!(doc.contains(r#""name":"process_name""#));
+        assert!(doc.contains(r#""name":"memsim-shard0""#));
+        assert!(doc.contains(r#""command":"test""#));
+        assert!(doc.contains(r#""ph":"B""#));
+        assert!(doc.contains(r#""ph":"E""#));
+        assert!(doc.contains(r#""ph":"i""#));
+        assert!(doc.contains(r#""name":"queue_depth","ph":"C""#));
+        assert!(doc.contains(r#""name":"recorder.dropped""#));
+        assert!(doc.ends_with("\n"));
+        // Fixed input, fixed bytes.
+        assert_eq!(
+            doc,
+            chrome_trace_json(&[("command", "test".to_string())], &lanes)
+        );
+    }
+
+    #[test]
+    fn tids_follow_lane_order() {
+        let lanes = vec![
+            lane("a", vec![ev(0, EventKind::Instant, "x", 0.0)], 0),
+            lane("b", vec![ev(0, EventKind::Instant, "y", 0.0)], 0),
+        ];
+        let doc = chrome_trace_json(&[], &lanes);
+        let a = doc.find(r#""name":"x","ph":"i","s":"t","pid":1,"tid":1"#);
+        let b = doc.find(r#""name":"y","ph":"i","s":"t","pid":1,"tid":2"#);
+        assert!(a.is_some() && b.is_some(), "{doc}");
+    }
+}

@@ -145,9 +145,13 @@ fn histogram_json(h: &HistogramSnapshot) -> String {
         );
     }
     buckets.push(']');
+    let (p50, p90, p99) = h.percentiles();
     let mut obj = json::Obj::new();
     obj.u64("count", h.count())
         .u64("sum", h.sum)
+        .u64("p50", p50)
+        .u64("p90", p90)
+        .u64("p99", p99)
         .raw("buckets", &buckets);
     obj.finish()
 }
@@ -320,6 +324,9 @@ mod tests {
         assert!(one.contains(r#""z.count":7"#));
         assert!(one.contains(r#""a.gauge":3"#));
         assert!(one.contains(r#""buckets":[[4,1]]"#));
+        // One sample of 5 (bucket [4,7]): every quantile is the sample's
+        // bucket interpolated at rank 1 of 1, i.e. the upper bound.
+        assert!(one.contains(r#""p50":7,"p90":7,"p99":7"#));
         assert!(one.ends_with('\n'));
     }
 }

@@ -17,6 +17,13 @@
 //! * [`export_json`] — the run manifest plus a full metrics dump as
 //!   deterministic JSON (`--metrics-out`), and [`render_summary`] for the
 //!   human table.
+//! * [`recorder`] — a flight recorder of per-thread bounded ring buffers
+//!   holding timestamped span/instant/counter events, drained into
+//!   [`chrome_trace_json`] (Perfetto / chrome://tracing timelines, one
+//!   lane per thread) for `--trace-out`.
+//! * [`prometheus_text`] — the registry rendered as Prometheus text
+//!   exposition (histograms become p50/p90/p99 summaries), served by the
+//!   daemon's `/metrics` via content negotiation.
 //!
 //! # The enabled flag
 //!
@@ -36,13 +43,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chrome;
 mod export;
 mod progress;
+mod prometheus;
+pub mod recorder;
 pub mod registry;
 pub mod span;
 
+pub use chrome::chrome_trace_json;
 pub use export::{export_json, json, render_summary};
 pub use progress::ProgressSampler;
+pub use prometheus::{prometheus_text, PROMETHEUS_CONTENT_TYPE};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, Metric, MetricValue, MetricsRegistry,
     HISTOGRAM_BUCKETS,

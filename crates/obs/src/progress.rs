@@ -90,6 +90,34 @@ fn sample_loop(label: &str, stop: &AtomicBool) {
             eprintln!("{line}");
         }
     }
+    if let Some(line) = final_flush(tty, label, start, &mut last_events, &mut last_t) {
+        eprintln!("{line}");
+    }
+}
+
+/// The line flushed once when sampling stops. A run usually ends between
+/// the reduced non-tty ticks, so without this the captured log's last
+/// progress line can be seconds stale (old `points_done`); re-render at
+/// stop time so the log always ends with the final counter state. On a
+/// terminal there is nothing to flush — `Drop` clears the live line and
+/// the end-of-run summary follows.
+fn final_flush(
+    tty: bool,
+    label: &str,
+    start: Instant,
+    last_events: &mut u64,
+    last_t: &mut Instant,
+) -> Option<String> {
+    if tty {
+        return None;
+    }
+    Some(render_line(
+        label,
+        start,
+        Instant::now(),
+        last_events,
+        last_t,
+    ))
 }
 
 fn render_line(
@@ -285,6 +313,34 @@ mod tests {
         // without any queue gauges the segment stays off the line
         let line = render_line("figure", t0, Instant::now(), &mut last_events, &mut last_t);
         assert!(!line.contains("q max"), "{line}");
+    }
+
+    #[test]
+    fn final_flush_renders_fresh_counters_not_the_last_sample() {
+        let _lock = crate::test_lock();
+        crate::reset();
+        let reg = crate::global();
+        reg.counter("sweep.points_done").add(3);
+        let t0 = Instant::now();
+        let mut last_events = 0;
+        let mut last_t = t0;
+        // A mid-run sample sees 3 points; the run then finishes two more
+        // before the sampler stops mid-interval.
+        let line = render_line(
+            "reproduce",
+            t0,
+            Instant::now(),
+            &mut last_events,
+            &mut last_t,
+        );
+        assert!(line.contains("points 3 done"), "{line}");
+        reg.counter("sweep.points_done").add(2);
+        let flushed = final_flush(false, "reproduce", t0, &mut last_events, &mut last_t)
+            .expect("non-tty stop must flush a final line");
+        assert!(flushed.contains("points 5 done"), "{flushed}");
+        // On a terminal the live line is cleared instead — nothing to flush.
+        assert!(final_flush(true, "reproduce", t0, &mut last_events, &mut last_t).is_none());
+        crate::reset();
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Prometheus text exposition (version 0.0.4) of a [`MetricsRegistry`].
+//!
+//! The same registry the `memsim-obs/1` JSON export serializes, rendered
+//! in the format a Prometheus scraper expects: counters and gauges as
+//! single samples, power-of-two histograms as summaries carrying the
+//! derived p50/p90/p99 quantile estimates plus `_sum`/`_count`. Dotted
+//! metric names are sanitized to the `[a-zA-Z_:][a-zA-Z0-9_:]*` charset
+//! (`sim.Hash.3L.L1.loads` → `sim_Hash_3L_L1_loads`); a leading digit
+//! after sanitization gets an underscore prefix. Output is name-sorted
+//! and value-deterministic — fixed registry, fixed bytes.
+
+use crate::registry::{MetricValue, MetricsRegistry};
+use std::fmt::Write as _;
+
+/// The content type a scraper negotiates for (the `/metrics` endpoint
+/// answers with this when the request's Accept header asks for text).
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Sanitize a dotted metric name into the Prometheus name charset.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Render every metric in `registry` as Prometheus text exposition.
+pub fn prometheus_text(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.snapshot() {
+        let n = sanitize(&name);
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let (p50, p90, p99) = h.percentiles();
+                let _ = writeln!(out, "# TYPE {n} summary");
+                let _ = writeln!(out, "{n}{{quantile=\"0.5\"}} {p50}");
+                let _ = writeln!(out, "{n}{{quantile=\"0.9\"}} {p90}");
+                let _ = writeln!(out, "{n}{{quantile=\"0.99\"}} {p99}");
+                let _ = writeln!(out, "{n}_sum {}", h.sum);
+                let _ = writeln!(out, "{n}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_gauges_and_summaries() {
+        let reg = MetricsRegistry::new();
+        reg.counter("sim.Hash.3L.L1.loads").add(7);
+        reg.gauge("replay.shard0.queue_depth").set(3);
+        let h = reg.histogram("lat.us");
+        for _ in 0..100 {
+            h.record(4);
+        }
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE sim_Hash_3L_L1_loads counter\nsim_Hash_3L_L1_loads 7\n"));
+        assert!(
+            text.contains("# TYPE replay_shard0_queue_depth gauge\nreplay_shard0_queue_depth 3\n")
+        );
+        assert!(text.contains("# TYPE lat_us summary\n"));
+        assert!(text.contains("lat_us{quantile=\"0.5\"} 6\n"));
+        assert!(text.contains("lat_us{quantile=\"0.9\"} 7\n"));
+        assert!(text.contains("lat_us{quantile=\"0.99\"} 7\n"));
+        assert!(text.contains("lat_us_sum 400\n"));
+        assert!(text.contains("lat_us_count 100\n"));
+        // Fixed registry, fixed bytes.
+        assert_eq!(text, prometheus_text(&reg));
+    }
+
+    #[test]
+    fn sanitizes_hostile_names() {
+        assert_eq!(sanitize("a.b-c/d"), "a_b_c_d");
+        assert_eq!(sanitize("3level"), "_3level");
+        assert_eq!(sanitize("ok_name:sub"), "ok_name:sub");
+    }
+}

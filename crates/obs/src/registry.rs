@@ -167,6 +167,55 @@ impl HistogramSnapshot {
     pub fn count(&self) -> u64 {
         self.buckets.iter().fold(0u64, |a, &b| a.saturating_add(b))
     }
+
+    /// The inclusive upper bound of bucket `i`.
+    fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) of the recorded samples.
+    ///
+    /// The sample at rank `ceil(q * count)` (1-based, clamped to at
+    /// least 1) is located in its bucket, then linearly interpolated
+    /// between the bucket's bounds — the same convention Prometheus's
+    /// `histogram_quantile` uses. Power-of-two buckets bound the estimate
+    /// within a factor of two of the true sample; bucket 0 (the value 0)
+    /// is exact. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if rank <= cum.saturating_add(count) {
+                let lo = Histogram::bucket_lower_bound(i);
+                let hi = Self::bucket_upper_bound(i);
+                let frac = (rank - cum) as f64 / count as f64;
+                // saturating: the top bucket's width rounds up to 2^63 as
+                // an f64, which would overflow lo + width at frac = 1.0
+                return lo.saturating_add(((hi - lo) as f64 * frac).round() as u64);
+            }
+            cum = cum.saturating_add(count);
+        }
+        Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The (p50, p90, p99) triple exports embed.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (self.quantile(0.5), self.quantile(0.9), self.quantile(0.99))
+    }
 }
 
 /// One registered metric, by kind.
@@ -397,6 +446,55 @@ mod tests {
             snap.sum,
             0u64.wrapping_add(1 + 1023 + 1024).wrapping_add(u64::MAX)
         );
+    }
+
+    #[test]
+    fn quantiles_pin_the_bucket_interpolation_math() {
+        // Empty histogram: every quantile is 0.
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), 0);
+
+        // All mass in bucket 0 (the exact value 0).
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        let s = h.snapshot();
+        assert_eq!((s.quantile(0.5), s.quantile(0.99)), (0, 0));
+
+        // 100 samples in bucket 3 = [4, 7]: rank r of 100 interpolates to
+        // 4 + round(3 * r/100). p50 -> rank 50 -> 4 + round(1.5) = 6,
+        // p90 -> rank 90 -> 4 + round(2.7) = 7, p99 -> rank 99 -> 7.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(4);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentiles(), (6, 7, 7));
+
+        // Mass split across buckets: 90 samples at 1 (bucket 1 = [1,1]),
+        // 10 at 1024 (bucket 11 = [1024, 2047]). Ranks 1..=90 sit in
+        // bucket 1 (exactly 1); rank 99 is the 9th of 10 in bucket 11:
+        // 1024 + round(1023 * 9/10) = 1945.
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1024);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 1);
+        assert_eq!(s.quantile(0.9), 1);
+        assert_eq!(s.quantile(0.99), 1945);
+
+        // q = 0 clamps to rank 1, q = 1 is the maximum bucket's upper
+        // bound; the top bucket saturates at u64::MAX.
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(1.0), 2047);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().quantile(1.0), u64::MAX);
     }
 
     #[test]

@@ -82,6 +82,9 @@ struct ActiveSpan {
     segments: usize,
     start: Instant,
     events: u64,
+    /// Dotted name, kept only while the flight recorder is armed so the
+    /// guard can emit the matching timeline span-end event.
+    recorded: Option<String>,
 }
 
 /// Open a span named `name`. When observability is disabled this returns
@@ -98,6 +101,13 @@ pub fn enter(name: &str) -> SpanGuard {
     if segments.is_empty() {
         return SpanGuard::inert();
     }
+    let recorded = if crate::recorder::recording() {
+        let full = segments.join(".");
+        crate::recorder::span_begin(&full);
+        Some(full)
+    } else {
+        None
+    };
     let n = segments.len();
     PATH.with(|p| p.borrow_mut().extend(segments));
     SpanGuard {
@@ -105,6 +115,7 @@ pub fn enter(name: &str) -> SpanGuard {
             segments: n,
             start: Instant::now(),
             events: 0,
+            recorded,
         }),
         _not_send: PhantomData,
     }
@@ -133,6 +144,9 @@ impl Drop for SpanGuard {
             return;
         };
         let wall_ns = u64::try_from(active.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(name) = &active.recorded {
+            crate::recorder::span_end(name);
+        }
         PATH.with(|p| {
             let mut path = p.borrow_mut();
             {

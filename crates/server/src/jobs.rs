@@ -272,6 +272,30 @@ struct Progress {
     error: Option<String>,
 }
 
+/// Most state-transition events a job's in-memory log retains. State
+/// machines are short (queued→running→done), so this is generous; a
+/// pathological churn just drops the oldest entries and counts them.
+const EVENT_BACKLOG: usize = 64;
+
+/// One entry in a job's bounded event log: a state transition observed
+/// at a point in the job's life. Served (with live progress samples
+/// interleaved) by `GET /jobs/<id>/events`.
+#[derive(Debug, Clone)]
+pub struct JobEvent {
+    /// Monotonic per-job sequence number (0-based, never reused).
+    pub seq: u64,
+    /// State entered.
+    pub state: &'static str,
+    /// Journaled points at the time of the transition.
+    pub points_done: u64,
+}
+
+struct EventLog {
+    next_seq: u64,
+    dropped: u64,
+    entries: VecDeque<JobEvent>,
+}
+
 /// One job: immutable spec plus mutable progress, cancel flag, and — while
 /// running — a handle on the live sweep context for point-level progress.
 pub struct Job {
@@ -284,11 +308,12 @@ pub struct Job {
     cancel: Arc<AtomicBool>,
     progress: Mutex<Progress>,
     sweep: Mutex<Option<Arc<SweepCtx>>>,
+    events: Mutex<EventLog>,
 }
 
 impl Job {
     fn new(id: String, spec: JobSpec, dir: PathBuf, state: JobState) -> Arc<Job> {
-        Arc::new(Job {
+        let job = Arc::new(Job {
             id,
             spec,
             dir,
@@ -299,7 +324,44 @@ impl Job {
                 error: None,
             }),
             sweep: Mutex::new(None),
-        })
+            events: Mutex::new(EventLog {
+                next_seq: 0,
+                dropped: 0,
+                entries: VecDeque::new(),
+            }),
+        });
+        job.push_event(state);
+        job
+    }
+
+    /// Append a state transition to the bounded event log.
+    fn push_event(&self, state: JobState) {
+        let points = self.points_done() as u64;
+        let mut log = lock(&self.events);
+        let seq = log.next_seq;
+        log.next_seq += 1;
+        if log.entries.len() >= EVENT_BACKLOG {
+            log.entries.pop_front();
+            log.dropped += 1;
+        }
+        log.entries.push_back(JobEvent {
+            seq,
+            state: state.name(),
+            points_done: points,
+        });
+    }
+
+    /// Logged events with `seq >= after`, plus how many older entries
+    /// the bounded backlog has already discarded.
+    pub fn events_since(&self, after: u64) -> (Vec<JobEvent>, u64) {
+        let log = lock(&self.events);
+        let events = log
+            .entries
+            .iter()
+            .filter(|e| e.seq >= after)
+            .cloned()
+            .collect();
+        (events, log.dropped)
     }
 
     /// Current state.
@@ -340,6 +402,7 @@ impl Job {
 
     fn set_state(&self, state: JobState) {
         lock(&self.progress).state = state;
+        self.push_event(state);
     }
 }
 
@@ -377,6 +440,7 @@ pub struct Registry {
     cv: Condvar,
     next_seq: AtomicU64,
     shutdown: AtomicBool,
+    started: std::time::Instant,
     // observed drain throughput, feeding the 503 Retry-After hint
     drain_millis: AtomicU64,
     drained_jobs: AtomicU64,
@@ -404,6 +468,7 @@ impl Registry {
             cv: Condvar::new(),
             next_seq: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            started: std::time::Instant::now(),
             drain_millis: AtomicU64::new(0),
             drained_jobs: AtomicU64::new(0),
         });
@@ -523,6 +588,7 @@ impl Registry {
             JobState::Queued => {
                 p.state = JobState::Cancelled;
                 drop(p);
+                job.push_event(JobState::Cancelled);
                 let _ = std::fs::write(job.dir.join("cancelled"), b"");
                 if memsim_obs::enabled() {
                     memsim_obs::global().counter("server.jobs.cancelled").inc();
@@ -540,6 +606,39 @@ impl Registry {
     /// Current queue depth (for metrics).
     pub fn queue_len(&self) -> usize {
         lock(&self.queue).len()
+    }
+
+    /// Whole seconds since the registry opened. Zeroed in deterministic
+    /// mode so `/healthz` stays byte-comparable in CI.
+    pub fn uptime_secs(&self) -> u64 {
+        if memsim_obs::deterministic() {
+            0
+        } else {
+            self.started.elapsed().as_secs()
+        }
+    }
+
+    /// Job counts per lifecycle state, in wire order
+    /// (queued/running/done/failed/cancelled).
+    pub fn jobs_by_state(&self) -> [(&'static str, u64); 5] {
+        let mut counts = [0u64; 5];
+        for job in lock(&self.jobs).values() {
+            let i = match job.state() {
+                JobState::Queued => 0,
+                JobState::Running => 1,
+                JobState::Done => 2,
+                JobState::Failed => 3,
+                JobState::Cancelled => 4,
+            };
+            counts[i] += 1;
+        }
+        [
+            ("queued", counts[0]),
+            ("running", counts[1]),
+            ("done", counts[2]),
+            ("failed", counts[3]),
+            ("cancelled", counts[4]),
+        ]
     }
 
     /// How long a rejected submit should wait before retrying: the
@@ -620,6 +719,18 @@ impl Registry {
                     .map(|s| s.to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "job panicked".into());
+                // Post-mortem: when the flight recorder is armed (the
+                // daemon arms it at startup), freeze its tail into the
+                // job's state dir so the timeline leading up to the
+                // panic survives for offline inspection.
+                let lanes = memsim_obs::recorder::snapshot_tail(4096);
+                if !lanes.is_empty() {
+                    let manifest = [("job", job.id.clone()), ("reason", "panic".to_string())];
+                    let _ = std::fs::write(
+                        job.dir.join("flightrec.json"),
+                        memsim_obs::chrome_trace_json(&manifest, &lanes),
+                    );
+                }
                 Err(format!("panic: {msg}"))
             }
         };
@@ -627,9 +738,7 @@ impl Registry {
             Ok(RunOutcome::Finished(result)) => {
                 match write_atomic(&job.result_path(), result.as_bytes()) {
                     Ok(()) => {
-                        let mut p = lock(&job.progress);
-                        p.state = JobState::Done;
-                        drop(p);
+                        job.set_state(JobState::Done);
                         if memsim_obs::enabled() {
                             memsim_obs::global().counter("server.jobs.completed").inc();
                         }
@@ -667,6 +776,7 @@ impl Registry {
         p.state = JobState::Failed;
         p.error = Some(message.to_string());
         drop(p);
+        job.push_event(JobState::Failed);
         if memsim_obs::enabled() {
             memsim_obs::global().counter("server.jobs.failed").inc();
         }

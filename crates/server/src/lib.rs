@@ -15,9 +15,10 @@
 //! | `POST /jobs` | submit a job spec → `202 {"id":...}`, or `503` + `Retry-After` when the queue is full |
 //! | `GET /jobs/<id>` | status: state, per-point progress, spec |
 //! | `GET /jobs/<id>/result` | the deterministic result document (`409` until done) |
+//! | `GET /jobs/<id>/events` | live NDJSON stream: state transitions, progress samples, heartbeats |
 //! | `DELETE /jobs/<id>` | cooperative cancel; in-flight points drain into the journal |
-//! | `GET /metrics` | deterministic `memsim-obs/1` export |
-//! | `GET /healthz` | liveness + queue depth |
+//! | `GET /metrics` | `memsim-obs/1` JSON, or Prometheus text when `Accept: text/plain` |
+//! | `GET /healthz` | liveness: uptime, queue depth, jobs by state, version |
 //!
 //! See DESIGN.md §15 for the job lifecycle, cache keys, and backpressure
 //! behavior, and the `server_http` / `server_jobs` integration suites for
@@ -182,7 +183,22 @@ fn handle_connection(stream: TcpStream, reg: &Arc<Registry>, timeout: Duration) 
         Err(_) => return,
     });
     let response = match read_request(&mut reader) {
-        Ok(req) => route(reg, &req),
+        Ok(req) => {
+            // The one route that cannot flow through `route()`: the live
+            // event stream has no known content length and writes
+            // incrementally until the job goes terminal.
+            if let Some(id) = events_stream_target(&req) {
+                if memsim_obs::enabled() {
+                    memsim_obs::global().counter("server.http.requests").inc();
+                    memsim_obs::global()
+                        .counter("server.http.events_streams")
+                        .inc();
+                }
+                stream_job_events(stream, reg, &id);
+                return;
+            }
+            route(reg, &req)
+        }
         Err(e) => match e.response() {
             Some(r) => r,
             None => return, // peer closed without sending anything
@@ -198,6 +214,132 @@ fn handle_connection(stream: TcpStream, reg: &Arc<Registry>, timeout: Duration) 
     let _ = response.write_to(&mut out);
 }
 
+/// Match `GET /jobs/<id>/events`, the NDJSON streaming route handled at
+/// the connection layer instead of [`route`].
+fn events_stream_target(req: &Request) -> Option<String> {
+    if req.method != Method::Get {
+        return None;
+    }
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["jobs", id, "events"] => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// How often the event stream polls job state for new lines.
+const EVENTS_POLL: Duration = Duration::from_millis(200);
+/// Idle keep-alive cadence: a heartbeat line proves the stream is live.
+const EVENTS_HEARTBEAT: Duration = Duration::from_secs(3);
+
+fn write_ndjson_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// Serve `GET /jobs/<id>/events`: replay the bounded backlog of state
+/// transitions as NDJSON, then follow the job live — progress samples
+/// when journaled points advance, heartbeats while idle — until it
+/// reaches a terminal state (or the daemon stops), then close.
+fn stream_job_events(mut stream: TcpStream, reg: &Arc<Registry>, id: &str) {
+    let job = match reg.get(id) {
+        Some(j) => j,
+        None => {
+            let _ = Response::error(404, "no such job").write_to(&mut stream);
+            return;
+        }
+    };
+    // Raw header block: the body length is unknown up front, so the
+    // usual content-length framing cannot apply; Connection: close
+    // delimits the stream instead.
+    {
+        use std::io::Write;
+        if stream
+            .write_all(
+                b"HTTP/1.1 200 OK\r\ncontent-type: application/x-ndjson\r\nconnection: close\r\n\r\n",
+            )
+            .is_err()
+        {
+            return;
+        }
+    }
+    let mut next_seq = 0u64;
+    let mut reported_drop = false;
+    let mut last_points: Option<u64> = None;
+    let mut last_write = std::time::Instant::now();
+    loop {
+        let mut wrote = false;
+        let (events, dropped) = job.events_since(next_seq);
+        if dropped > 0 && !reported_drop {
+            // The bounded backlog already discarded old transitions;
+            // tell the client its replay is incomplete.
+            reported_drop = true;
+            let mut o = json::Obj::new();
+            o.str("event", "truncated").u64("dropped", dropped);
+            if write_ndjson_line(&mut stream, &o.finish()).is_err() {
+                return;
+            }
+            wrote = true;
+        }
+        for e in &events {
+            next_seq = e.seq + 1;
+            let mut o = json::Obj::new();
+            o.u64("seq", e.seq)
+                .str("event", "state")
+                .str("state", e.state)
+                .u64("points_done", e.points_done);
+            if write_ndjson_line(&mut stream, &o.finish()).is_err() {
+                return;
+            }
+            last_points = Some(e.points_done);
+            wrote = true;
+        }
+        if job.state().terminal() {
+            // One final drain: the terminal transition may have been
+            // logged after the read above.
+            for e in job.events_since(next_seq).0 {
+                let mut o = json::Obj::new();
+                o.u64("seq", e.seq)
+                    .str("event", "state")
+                    .str("state", e.state)
+                    .u64("points_done", e.points_done);
+                if write_ndjson_line(&mut stream, &o.finish()).is_err() {
+                    return;
+                }
+            }
+            return;
+        }
+        let points = job.points_done() as u64;
+        if last_points.is_some_and(|p| p != points) {
+            let mut o = json::Obj::new();
+            o.str("event", "progress")
+                .str("state", job.state().name())
+                .u64("points_done", points);
+            if write_ndjson_line(&mut stream, &o.finish()).is_err() {
+                return;
+            }
+            wrote = true;
+        }
+        if last_points.is_none() || wrote {
+            last_points = Some(points);
+        }
+        if wrote {
+            last_write = std::time::Instant::now();
+        } else if last_write.elapsed() >= EVENTS_HEARTBEAT {
+            if write_ndjson_line(&mut stream, "{\"event\":\"heartbeat\"}").is_err() {
+                return;
+            }
+            last_write = std::time::Instant::now();
+        }
+        if reg.stopping() {
+            return;
+        }
+        std::thread::sleep(EVENTS_POLL);
+    }
+}
+
 /// Dispatch one parsed request. Pure routing — every effect lives in the
 /// registry — so the full surface is testable without sockets.
 pub fn route(reg: &Arc<Registry>, req: &Request) -> Response {
@@ -206,13 +348,33 @@ pub fn route(reg: &Arc<Registry>, req: &Request) -> Response {
         (Method::Get, ["healthz"]) => {
             let mut o = json::Obj::new();
             o.str("status", "ok")
+                .str("version", env!("CARGO_PKG_VERSION"))
+                .u64("uptime_secs", reg.uptime_secs())
                 .u64("queue", reg.queue_len() as u64)
                 .bool("stopping", reg.stopping());
+            let mut jobs = json::Obj::new();
+            for (name, n) in reg.jobs_by_state() {
+                jobs.u64(name, n);
+            }
+            o.raw("jobs", &jobs.finish());
             Response::json(200, o.finish())
         }
         (Method::Get, ["metrics"]) => {
-            let manifest = [("component", "memsim-server".to_string())];
-            Response::json(200, memsim_obs::export_global(&manifest))
+            // Content negotiation: a Prometheus scraper asks for
+            // text/plain (or OpenMetrics); everything else keeps the
+            // `memsim-obs/1` JSON existing tooling parses.
+            let accept = req.header("accept").unwrap_or("");
+            if accept.contains("text/plain") || accept.contains("openmetrics") {
+                Response {
+                    status: 200,
+                    content_type: memsim_obs::PROMETHEUS_CONTENT_TYPE,
+                    body: memsim_obs::prometheus_text(memsim_obs::global()).into_bytes(),
+                    retry_after: None,
+                }
+            } else {
+                let manifest = [("component", "memsim-server".to_string())];
+                Response::json(200, memsim_obs::export_global(&manifest))
+            }
         }
         (Method::Post, ["jobs"]) => match jobs::parse_spec_bytes(&req.body) {
             Err(msg) => Response::error(400, &msg),

@@ -1,0 +1,101 @@
+//! Cross-thread contracts for the flight recorder.
+//!
+//! The obs crate's unit tests pin single-thread ring semantics; this
+//! suite drives the global recorder from many threads at once and pins
+//! the properties the Chrome-trace export depends on: each thread's
+//! lane drains in emission order, the bounded ring keeps exactly the
+//! newest `capacity` events (counting the rest as dropped), and lanes
+//! come back sorted by name so exports are stable.
+//!
+//! Every test grabs `memsim_obs::test_lock()` — the recorder is
+//! process-global state and the parallel test runner must not
+//! interleave sessions.
+
+use memsim_obs::recorder;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random event bursts across N named threads: every lane drains
+    /// per-thread ordered (deterministic timestamps renumbered 0..kept),
+    /// bounded by the ring capacity, keeping the newest suffix of the
+    /// burst and counting everything older as dropped.
+    #[test]
+    fn bursts_across_threads_drain_ordered_and_bounded(
+        bursts in proptest::collection::vec(1usize..200, 1..4),
+        capacity in 8usize..64,
+    ) {
+        let _g = memsim_obs::test_lock();
+        memsim_obs::set_deterministic(true);
+        recorder::start(capacity);
+        std::thread::scope(|s| {
+            for (t, n) in bursts.iter().enumerate() {
+                let n = *n;
+                std::thread::Builder::new()
+                    .name(format!("fr-worker{t}"))
+                    .spawn_scoped(s, move || {
+                        for i in 0..n {
+                            recorder::instant(&format!("e{i}"));
+                        }
+                    })
+                    .unwrap();
+            }
+        });
+        let lanes = recorder::stop_and_drain();
+        memsim_obs::set_deterministic(false);
+
+        prop_assert_eq!(lanes.len(), bursts.len());
+        for pair in lanes.windows(2) {
+            prop_assert!(pair[0].name < pair[1].name, "lanes unsorted");
+        }
+        for lane in &lanes {
+            let t: usize = lane.name.strip_prefix("fr-worker").unwrap().parse().unwrap();
+            let n = bursts[t];
+            let kept = n.min(capacity);
+            prop_assert_eq!(lane.events.len(), kept);
+            prop_assert_eq!(lane.dropped as usize, n - kept);
+            for (i, e) in lane.events.iter().enumerate() {
+                // deterministic timestamps are the per-lane sequence
+                prop_assert_eq!(e.ts_us, i as u64);
+                // the ring keeps the newest events, in emission order
+                prop_assert_eq!(e.name.as_str(), format!("e{}", n - kept + i).as_str());
+            }
+        }
+    }
+}
+
+/// Wall-clock mode: a span/counter mix from three threads lands in
+/// three distinct lanes and per-lane timestamps never run backwards.
+#[test]
+fn wall_clock_lanes_are_monotonic_per_thread() {
+    let _g = memsim_obs::test_lock();
+    recorder::start(0);
+    std::thread::scope(|s| {
+        for t in 0..3 {
+            std::thread::Builder::new()
+                .name(format!("fr-mono{t}"))
+                .spawn_scoped(s, move || {
+                    for i in 0..100 {
+                        recorder::span_begin("work");
+                        recorder::counter("c", i as f64);
+                        recorder::span_end("work");
+                    }
+                })
+                .unwrap();
+        }
+    });
+    let lanes = recorder::stop_and_drain();
+    assert_eq!(lanes.len(), 3);
+    for lane in &lanes {
+        assert_eq!(lane.events.len(), 300, "lane {}", lane.name);
+        assert_eq!(lane.dropped, 0);
+        for pair in lane.events.windows(2) {
+            assert!(
+                pair[0].ts_us <= pair[1].ts_us,
+                "lane {} ts ran backwards",
+                lane.name
+            );
+        }
+    }
+}

@@ -238,6 +238,135 @@ fn error_mapping_matches_design_table() {
     }
 }
 
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}
+
+fn header_of<'a>(response: &'a str, name: &str) -> Option<&'a str> {
+    let prefix = format!("{name}:");
+    response
+        .lines()
+        .take_while(|l| !l.is_empty())
+        .find(|l| l.to_ascii_lowercase().starts_with(&prefix))
+        .map(|l| l[prefix.len()..].trim())
+}
+
+#[test]
+fn healthz_reports_uptime_jobs_by_state_and_version() {
+    // Substring pins, not jsontext: the workspace JSON reader rejects
+    // booleans by design, and healthz carries `"stopping":false`.
+    let (server, dir) = start_server("healthz", Duration::from_secs(5));
+    let resp = raw_round_trip(&server, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&resp), 200);
+    let body = body_of(&resp);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"version\":\"0.1.0\""), "{body}");
+    assert!(body.contains("\"uptime_secs\":"), "{body}");
+    assert!(body.contains("\"stopping\":false"), "{body}");
+    // jobs-by-state gauges, all zero on a fresh daemon, in wire order
+    assert!(
+        body.contains(
+            "\"jobs\":{\"queued\":0,\"running\":0,\"done\":0,\"failed\":0,\"cancelled\":0}"
+        ),
+        "{body}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_content_negotiates_prometheus_and_json() {
+    // The daemon's own process counters only exist when obs is on —
+    // the serve command always enables it; tests do the same.
+    memsim_obs::set_enabled(true);
+    let (server, dir) = start_server("negotiate", Duration::from_secs(5));
+
+    // Default (no Accept): the memsim-obs/1 JSON document, unchanged.
+    let json = raw_round_trip(&server, b"GET /metrics HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&json), 200);
+    assert_eq!(header_of(&json, "content-type"), Some("application/json"));
+    assert!(body_of(&json).contains("memsim-obs/1"));
+
+    // A Prometheus scraper's Accept gets the text exposition format.
+    let prom = raw_round_trip(
+        &server,
+        b"GET /metrics HTTP/1.1\r\naccept: text/plain\r\n\r\n",
+    );
+    assert_eq!(status_of(&prom), 200);
+    assert_eq!(
+        header_of(&prom, "content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    // The JSON probe above was counted, so at least one counter renders.
+    assert!(
+        body_of(&prom).contains("# TYPE server_http_requests counter"),
+        "prometheus body: {:?}",
+        body_of(&prom)
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn job_events_stream_is_ordered_ndjson_until_terminal() {
+    let (server, dir) = start_server("events", Duration::from_secs(5));
+
+    // Streaming an unknown job answers a plain 404.
+    let missing = raw_round_trip(&server, b"GET /jobs/jX-absent/events HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&missing), 404);
+
+    let spec = br#"{"artifact":"table4","workloads":"hash","scale":"mini"}"#;
+    let mut post = format!(
+        "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        spec.len()
+    )
+    .into_bytes();
+    post.extend_from_slice(spec);
+    let accepted = raw_round_trip(&server, &post);
+    assert_eq!(status_of(&accepted), 202);
+    let v = memsim_core::jsontext::parse_json(body_of(&accepted)).unwrap();
+    let id = v.as_obj().unwrap()["id"].as_str().unwrap().to_string();
+
+    // The stream replays the backlog and follows the job live; the
+    // connection closes itself once the job goes terminal.
+    let resp = raw_round_trip(
+        &server,
+        format!("GET /jobs/{id}/events HTTP/1.1\r\n\r\n").as_bytes(),
+    );
+    assert_eq!(status_of(&resp), 200);
+    assert_eq!(
+        header_of(&resp, "content-type"),
+        Some("application/x-ndjson")
+    );
+    let mut last_seq = None;
+    let mut states = Vec::new();
+    for line in body_of(&resp).lines() {
+        let v = memsim_core::jsontext::parse_json(line)
+            .unwrap_or_else(|e| panic!("non-JSON NDJSON line {line:?}: {e}"));
+        let o = v.as_obj().unwrap();
+        match o["event"].as_str().unwrap() {
+            "state" => {
+                // Per-job seq numbers arrive strictly increasing.
+                let seq = o["seq"].as_u64().unwrap();
+                assert!(last_seq.is_none_or(|p| seq > p), "seq regressed: {line}");
+                last_seq = Some(seq);
+                states.push(o["state"].as_str().unwrap().to_string());
+            }
+            "progress" | "heartbeat" | "truncated" => {}
+            other => panic!("unknown event kind {other:?}"),
+        }
+    }
+    assert_eq!(states.first().map(String::as_str), Some("queued"));
+    assert_eq!(states.last().map(String::as_str), Some("done"));
+    assert!(states.contains(&"running".to_string()), "{states:?}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn queue_full_503_pins_computed_retry_after() {
     // Satellite pin for the backpressure hint: the 503 must carry a
